@@ -1,0 +1,160 @@
+package fidr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is the chunk-store surface shared by Server and Cluster.
+type Store interface {
+	Write(lba uint64, data []byte) error
+	Read(lba uint64) ([]byte, error)
+	Flush() error
+}
+
+var (
+	_ Store = (*Server)(nil)
+	_ Store = (*Cluster)(nil)
+)
+
+// Async is a pipelined front-end over a Store: callers submit requests
+// without waiting, a fixed worker pool owns the store(s), and bounded
+// queues provide backpressure — the software shape of the paper's device
+// manager, which keeps every accelerator busy while requests stream in.
+//
+// A plain Server gets one worker (it is single-owner by design). A
+// Cluster gets one worker per device group, so groups run genuinely in
+// parallel, matching §5.6's independent per-switch pipelines.
+type Async struct {
+	queues []chan asyncReq
+	route  func(lba uint64) int
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	flushErr error
+}
+
+type asyncReq struct {
+	write bool
+	lba   uint64
+	data  []byte
+	done  chan AsyncResult
+}
+
+// AsyncResult carries a completed request's outcome.
+type AsyncResult struct {
+	LBA  uint64
+	Data []byte // read payload
+	Err  error
+}
+
+// NewAsync builds a pipelined front-end. depth is the per-worker queue
+// depth (backpressure bound).
+func NewAsync(s Store, depth int) (*Async, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("fidr: queue depth %d", depth)
+	}
+	a := &Async{}
+	if c, ok := s.(*Cluster); ok {
+		a.queues = make([]chan asyncReq, c.Groups())
+		a.route = c.GroupFor
+		for i := range a.queues {
+			a.queues[i] = make(chan asyncReq, depth)
+			a.wg.Add(1)
+			go a.worker(c.Group(i), a.queues[i])
+		}
+		return a, nil
+	}
+	a.queues = []chan asyncReq{make(chan asyncReq, depth)}
+	a.route = func(uint64) int { return 0 }
+	a.wg.Add(1)
+	go a.worker(s, a.queues[0])
+	return a, nil
+}
+
+func (a *Async) worker(s Store, q chan asyncReq) {
+	defer a.wg.Done()
+	for req := range q {
+		var res AsyncResult
+		res.LBA = req.lba
+		if req.write {
+			res.Err = s.Write(req.lba, req.data)
+		} else {
+			res.Data, res.Err = s.Read(req.lba)
+		}
+		req.done <- res
+	}
+	// Drain point: each worker flushes its own store on shutdown;
+	// failures surface through Close.
+	if err := s.Flush(); err != nil {
+		a.mu.Lock()
+		if a.flushErr == nil {
+			a.flushErr = err
+		}
+		a.mu.Unlock()
+	}
+}
+
+// WriteAsync submits a write; the returned channel delivers one result.
+// The data slice is copied before submission.
+func (a *Async) WriteAsync(lba uint64, data []byte) <-chan AsyncResult {
+	done := make(chan AsyncResult, 1)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		done <- AsyncResult{LBA: lba, Err: fmt.Errorf("fidr: async store closed")}
+		return done
+	}
+	q := a.queues[a.route(lba)]
+	a.mu.Unlock()
+	q <- asyncReq{write: true, lba: lba, data: cp, done: done}
+	return done
+}
+
+// ReadAsync submits a read; the returned channel delivers the payload.
+func (a *Async) ReadAsync(lba uint64) <-chan AsyncResult {
+	done := make(chan AsyncResult, 1)
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		done <- AsyncResult{LBA: lba, Err: fmt.Errorf("fidr: async store closed")}
+		return done
+	}
+	q := a.queues[a.route(lba)]
+	a.mu.Unlock()
+	q <- asyncReq{lba: lba, done: done}
+	return done
+}
+
+// Write submits and waits (synchronous convenience).
+func (a *Async) Write(lba uint64, data []byte) error {
+	return (<-a.WriteAsync(lba, data)).Err
+}
+
+// Read submits and waits.
+func (a *Async) Read(lba uint64) ([]byte, error) {
+	r := <-a.ReadAsync(lba)
+	return r.Data, r.Err
+}
+
+// Close stops accepting requests, drains the queues, flushes every
+// underlying store and returns the first flush error.
+func (a *Async) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	for _, q := range a.queues {
+		close(q)
+	}
+	a.wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushErr
+}

@@ -1,0 +1,160 @@
+package fidr_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"fidr"
+)
+
+func TestAsyncValidation(t *testing.T) {
+	srv, _ := fidr.NewServer(fidr.DefaultConfig(fidr.FIDRFull))
+	if _, err := fidr.NewAsync(srv, 0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestAsyncRoundTripServer(t *testing.T) {
+	srv, err := fidr.NewServer(fidr.DefaultConfig(fidr.FIDRFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fidr.NewAsync(srv, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if err := a.Write(i, fidr.MakeChunk(i%50, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		got, err := a.Read(i)
+		if err != nil || !bytes.Equal(got, fidr.MakeChunk(i%50, 0.5)) {
+			t.Fatalf("async read %d failed: %v", i, err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Submissions after Close fail cleanly.
+	if err := a.Write(1, fidr.MakeChunk(1, 0.5)); err == nil {
+		t.Fatal("write accepted after close")
+	}
+	if _, err := a.Read(1); err == nil {
+		t.Fatal("read accepted after close")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close not idempotent")
+	}
+}
+
+func TestAsyncPipelinedSubmission(t *testing.T) {
+	srv, _ := fidr.NewServer(fidr.DefaultConfig(fidr.FIDRFull))
+	a, _ := fidr.NewAsync(srv, 64)
+	defer a.Close()
+	// Fire a burst of writes, then collect all completions.
+	var chans []<-chan fidr.AsyncResult
+	for i := uint64(0); i < 128; i++ {
+		chans = append(chans, a.WriteAsync(i, fidr.MakeChunk(i, 0.5)))
+	}
+	for i, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("write %d: %v", i, res.Err)
+		}
+	}
+	// Same-LBA ordering: a queued overwrite lands before a later read.
+	<-a.WriteAsync(5, fidr.MakeChunk(777, 0.5))
+	res := <-a.ReadAsync(5)
+	if res.Err != nil || !bytes.Equal(res.Data, fidr.MakeChunk(777, 0.5)) {
+		t.Fatal("read did not observe earlier queued write")
+	}
+}
+
+func TestAsyncDataCopiedOnSubmit(t *testing.T) {
+	srv, _ := fidr.NewServer(fidr.DefaultConfig(fidr.FIDRFull))
+	a, _ := fidr.NewAsync(srv, 8)
+	defer a.Close()
+	buf := fidr.MakeChunk(1, 0.5)
+	ch := a.WriteAsync(9, buf)
+	buf[0] ^= 0xFF // mutate after submit
+	if res := <-ch; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	got, err := a.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fidr.MakeChunk(1, 0.5)) {
+		t.Fatal("async store aliased the caller's buffer")
+	}
+}
+
+func TestAsyncClusterParallelWorkers(t *testing.T) {
+	c, err := fidr.NewCluster(fidr.DefaultConfig(fidr.FIDRFull), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fidr.NewAsync(c, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * 1000
+			for i := uint64(0); i < 100; i++ {
+				if err := a.Write(base+i, fidr.MakeChunk(base+i, 0.5)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for i := uint64(0); i < 100; i++ {
+				got, err := a.Read(base + i)
+				if err != nil || !bytes.Equal(got, fidr.MakeChunk(base+i, 0.5)) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().ClientWrites; got != 800 {
+		t.Fatalf("cluster saw %d writes", got)
+	}
+}
+
+func BenchmarkAsyncClusterWrites(b *testing.B) {
+	c, err := fidr.NewCluster(fidr.DefaultConfig(fidr.FIDRFull), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := fidr.NewAsync(c, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	chunk := fidr.MakeChunk(1, 0.5)
+	b.SetBytes(fidr.ChunkSize)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			if err := a.Write(i*31, chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

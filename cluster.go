@@ -1,0 +1,114 @@
+package fidr
+
+import (
+	"fmt"
+
+	"fidr/internal/hostmodel"
+)
+
+// Cluster implements §5.6's scale-out arrangement: multiple groups of
+// (NIC, Compression Engine, data SSDs), each under its own PCIe switch so
+// peer-to-peer bandwidth never aggregates at one switch. Client LBAs are
+// sharded across groups; each group is a full Server.
+//
+// The trade-off this makes measurable: throughput and buffering scale
+// with group count, but deduplication domains split — content duplicated
+// *across* shards is stored once per shard. (Enterprise arrays accept
+// the same trade; global dedup across controllers is rare.)
+type Cluster struct {
+	groups []*Server
+}
+
+// NewCluster builds n groups from cfg (each group gets its own devices).
+func NewCluster(cfg Config, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fidr: cluster needs at least one group")
+	}
+	c := &Cluster{groups: make([]*Server, n)}
+	for i := range c.groups {
+		g, err := NewServer(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fidr: group %d: %w", i, err)
+		}
+		c.groups[i] = g
+	}
+	return c, nil
+}
+
+// Groups returns the number of device groups.
+func (c *Cluster) Groups() int { return len(c.groups) }
+
+// Group exposes one underlying server (for per-group inspection).
+func (c *Cluster) Group(i int) *Server { return c.groups[i] }
+
+// GroupFor returns the group index an LBA is sharded to. A
+// splitmix-style mix keeps shard load uniform even for sequential LBA
+// ranges.
+func (c *Cluster) GroupFor(lba uint64) int {
+	z := lba + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int((z ^ (z >> 31)) % uint64(len(c.groups)))
+}
+
+func (c *Cluster) shard(lba uint64) *Server {
+	return c.groups[c.GroupFor(lba)]
+}
+
+// Write stores one chunk via its shard.
+func (c *Cluster) Write(lba uint64, data []byte) error {
+	return c.shard(lba).Write(lba, data)
+}
+
+// Read fetches one chunk via its shard.
+func (c *Cluster) Read(lba uint64) ([]byte, error) {
+	return c.shard(lba).Read(lba)
+}
+
+// Flush drains every group.
+func (c *Cluster) Flush() error {
+	for i, g := range c.groups {
+		if err := g.Flush(); err != nil {
+			return fmt.Errorf("fidr: group %d flush: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates all groups' counters.
+func (c *Cluster) Stats() Stats {
+	var total Stats
+	for _, g := range c.groups {
+		s := g.Stats()
+		total.ClientWrites += s.ClientWrites
+		total.ClientReads += s.ClientReads
+		total.ClientBytes += s.ClientBytes
+		total.DuplicateChunks += s.DuplicateChunks
+		total.UniqueChunks += s.UniqueChunks
+		total.StoredBytes += s.StoredBytes
+		total.NICReadHits += s.NICReadHits
+		total.ReadCacheHits += s.ReadCacheHits
+		total.PendingReads += s.PendingReads
+		total.BatchesProcessed += s.BatchesProcessed
+		total.Mispredictions += s.Mispredictions
+	}
+	return total
+}
+
+// Snapshot merges all groups' resource ledgers (the cluster's sockets
+// are independent, so per-byte intensities stay comparable to a single
+// server's).
+func (c *Cluster) Snapshot() hostmodel.Snapshot {
+	var total hostmodel.Snapshot
+	for _, g := range c.groups {
+		s := g.Ledger().Snapshot()
+		for i := range total.MemBytes {
+			total.MemBytes[i] += s.MemBytes[i]
+		}
+		for i := range total.CPUNanos {
+			total.CPUNanos[i] += s.CPUNanos[i]
+		}
+		total.ClientBytes += s.ClientBytes
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+// Command fidrd runs a FIDR (or baseline) storage server speaking the
+// simplified storage protocol of §6.2 over TCP.
+//
+// Usage:
+//
+//	fidrd [-addr :9400] [-arch fidr|fidr-nic|baseline] [-batch 64]
+//
+// On SIGINT the server flushes open containers and reports reduction and
+// resource statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"fidr"
+	"fidr/internal/core"
+	"fidr/internal/proto"
+	"fidr/internal/ssd"
+)
+
+func main() {
+	addr := flag.String("addr", ":9400", "listen address")
+	arch := flag.String("arch", "fidr", "architecture: fidr, fidr-nic, baseline")
+	batch := flag.Int("batch", 64, "accelerator batch size in chunks")
+	width := flag.Int("width", 4, "HW tree concurrent update width")
+	dataFile := flag.String("data-file", "", "file-backed data volume (durable); empty = in-memory")
+	tableFile := flag.String("table-file", "", "file-backed table volume (durable); empty = in-memory")
+	recover := flag.Bool("recover", false, "recover state from a checkpoint on the table volume")
+	flag.Parse()
+
+	var a fidr.Arch
+	switch *arch {
+	case "fidr":
+		a = fidr.FIDRFull
+	case "fidr-nic":
+		a = fidr.FIDRNicP2P
+	case "baseline":
+		a = fidr.Baseline
+	default:
+		log.Fatalf("fidrd: unknown architecture %q", *arch)
+	}
+	cfg := fidr.DefaultConfig(a)
+	cfg.BatchChunks = *batch
+	cfg.UpdateWidth = *width
+	if err := attachVolumes(&cfg, *dataFile, *tableFile); err != nil {
+		log.Fatalf("fidrd: %v", err)
+	}
+	var srv *fidr.Server
+	var err error
+	if *recover {
+		if cfg.DataSSD == nil || cfg.TableSSD == nil {
+			log.Fatal("fidrd: -recover requires -data-file and -table-file")
+		}
+		srv, err = core.RecoverServer(cfg)
+	} else {
+		srv, err = fidr.NewServer(cfg)
+	}
+	if err != nil {
+		log.Fatalf("fidrd: %v", err)
+	}
+	durable := cfg.DataSSD != nil && cfg.TableSSD != nil
+	l, err := proto.Serve(srv, *addr)
+	if err != nil {
+		log.Fatalf("fidrd: %v", err)
+	}
+	log.Printf("fidrd: %s server listening on %s", a, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("fidrd: shutting down")
+	if err := l.Close(); err != nil {
+		log.Printf("fidrd: close: %v", err)
+	}
+	if durable {
+		if err := srv.Checkpoint(); err != nil {
+			log.Printf("fidrd: checkpoint: %v", err)
+		} else {
+			log.Printf("fidrd: checkpoint written; restart with -recover to resume")
+		}
+	} else if err := srv.Flush(); err != nil {
+		log.Printf("fidrd: flush: %v", err)
+	}
+	st := srv.Stats()
+	snap := srv.Ledger().Snapshot()
+	fmt.Printf("writes=%d reads=%d unique=%d duplicate=%d stored/client=%.3f\n",
+		st.ClientWrites, st.ClientReads, st.UniqueChunks, st.DuplicateChunks, st.ReductionRatio())
+	fmt.Printf("host-memory B/B=%.3f host-CPU ns/B=%.3f cache-hit=%.3f\n",
+		snap.MemPerClientByte(), snap.CPUNanosPerClientByte(), srv.CacheStats().HitRate())
+}
+
+// attachVolumes wires file-backed devices into the config. Both or
+// neither must be set for a durable deployment.
+func attachVolumes(cfg *fidr.Config, dataFile, tableFile string) error {
+	if (dataFile == "") != (tableFile == "") {
+		return fmt.Errorf("set both -data-file and -table-file (or neither)")
+	}
+	if dataFile == "" {
+		return nil
+	}
+	dcfg := ssd.Samsung970Pro("data-ssd")
+	dcfg.BackingFile = dataFile
+	dev, err := ssd.New(dcfg)
+	if err != nil {
+		return err
+	}
+	tcfg := ssd.Samsung970Pro("table-ssd")
+	tcfg.BackingFile = tableFile
+	tcfg.CapacityBytes = 1 << 40
+	tdev, err := ssd.New(tcfg)
+	if err != nil {
+		return err
+	}
+	cfg.DataSSD = dev
+	cfg.TableSSD = tdev
+	return nil
+}

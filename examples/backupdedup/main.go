@@ -1,0 +1,85 @@
+// Backupdedup: content-defined chunking over a byte stream — the classic
+// backup-deduplication scenario the paper contrasts with its fixed 4-KB
+// inline design (§2.1.1: variable chunking is too compute-heavy for
+// inline Tbps reduction, but it shines when streams shift by insertion).
+//
+// The example builds three "nightly backups" of a synthetic file, where
+// each night inserts a few bytes near the front. Fixed chunking loses all
+// alignment after the insertion; CDC resynchronizes and dedups the tail.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"fidr/internal/chunk"
+	"fidr/internal/fingerprint"
+)
+
+const fileSize = 1 << 20 // 1 MiB synthetic file
+
+func makeBackups() [][]byte {
+	base := make([]byte, fileSize)
+	rand.New(rand.NewSource(99)).Read(base)
+	night2 := append(append([]byte("day2-header!"), base[:5000]...), base[5000:]...)
+	night3 := append(append([]byte("dddday3-hdr"), night2[:100]...), night2[100:]...)
+	return [][]byte{base, night2, night3}
+}
+
+// dedupFixed deduplicates the streams with fixed 4-KB chunks.
+func dedupFixed(streams [][]byte) (total, unique int) {
+	seen := map[fingerprint.FP]bool{}
+	for _, s := range streams {
+		for off := 0; off < len(s); off += 4096 {
+			end := off + 4096
+			if end > len(s) {
+				end = len(s)
+			}
+			total++
+			fp := fingerprint.Of(s[off:end])
+			if !seen[fp] {
+				seen[fp] = true
+				unique++
+			}
+		}
+	}
+	return
+}
+
+// dedupCDC deduplicates with content-defined chunking.
+func dedupCDC(streams [][]byte) (total, unique int) {
+	c := chunk.NewCDC(2048, 8192, 65536)
+	seen := map[fingerprint.FP]bool{}
+	for _, s := range streams {
+		for _, ch := range c.Split(s) {
+			total++
+			fp := fingerprint.Of(ch.Data)
+			if !seen[fp] {
+				seen[fp] = true
+				unique++
+			}
+		}
+	}
+	return
+}
+
+func main() {
+	backups := makeBackups()
+	fmt.Printf("three nightly backups of a %d-KiB file, bytes inserted near the front each night\n\n", fileSize/1024)
+
+	ft, fu := dedupFixed(backups)
+	ct, cu := dedupCDC(backups)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "chunking\tchunks\tunique\tdedup ratio")
+	fmt.Fprintf(w, "fixed 4 KiB\t%d\t%d\t%.1f%%\n", ft, fu, 100*(1-float64(fu)/float64(ft)))
+	fmt.Fprintf(w, "content-defined\t%d\t%d\t%.1f%%\n", ct, cu, 100*(1-float64(cu)/float64(ct)))
+	w.Flush()
+
+	fmt.Println("\nfixed chunking loses alignment after every insertion (near-zero dedup);")
+	fmt.Println("CDC resynchronizes within a few chunks and dedups the unshifted tail.")
+	fmt.Println("FIDR still uses fixed 4-KB chunks inline: block storage is write-in-place")
+	fmt.Println("(no insertions), and CDC's rolling hash is too expensive at Tbps rates (§2.1.1).")
+}

@@ -1,0 +1,82 @@
+// Multitenant: the §8 contention scenario — a locality-rich tenant and a
+// scan-heavy tenant share one FIDR server. Plain LRU lets the scanner
+// wash the hot tenant's table buckets out of the cache; the prioritized
+// (weighted) policy protects them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fidr"
+)
+
+// run executes the contention scenario and returns the hot tenant's
+// table-cache hit rate in a final measurement phase.
+func run(multiTenant bool) (hotHit float64, tenants map[string]fidr.TenantStats) {
+	cfg := fidr.DefaultConfig(fidr.FIDRFull)
+	cfg.MultiTenant = multiTenant
+	cfg.UniqueChunkCapacity = 1 << 18
+	cfg.CacheLines = 128
+	srv, err := fidr.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if multiTenant {
+		srv.SetTenantWeight("oltp", 16)
+		srv.SetTenantWeight("backup-scan", 1)
+	}
+	// Warm the OLTP tenant's 40-content working set.
+	srv.SetTenant("oltp")
+	for i := uint64(0); i < 40; i++ {
+		srv.Write(i, fidr.MakeChunk(i, 0.5))
+	}
+	srv.Flush()
+	// Contention: the backup scan streams unique content while OLTP
+	// keeps touching its set.
+	for round := 0; round < 20; round++ {
+		srv.SetTenant("backup-scan")
+		for j := uint64(0); j < 60; j++ {
+			lba := uint64(100000+round*100) + j
+			srv.Write(lba, fidr.MakeChunk(1_000_000+lba, 0.5))
+		}
+		srv.SetTenant("oltp")
+		for i := uint64(0); i < 40; i += 4 {
+			srv.Write(1000+i, fidr.MakeChunk(i, 0.5))
+		}
+	}
+	srv.Flush()
+	// Measure the OLTP tenant's hit rate on its own set.
+	srv.SetTenant("oltp")
+	before := srv.CacheStats()
+	for i := uint64(0); i < 40; i++ {
+		srv.Write(2000+i, fidr.MakeChunk(i, 0.5))
+	}
+	srv.Flush()
+	after := srv.CacheStats()
+	return float64(after.Hits-before.Hits) / float64(after.Lookups-before.Lookups),
+		srv.TenantStats()
+}
+
+func main() {
+	fmt.Println("two tenants on one FIDR server: 'oltp' (hot 40-chunk working set)")
+	fmt.Println("vs 'backup-scan' (unique content streaming through the table cache)")
+	fmt.Println()
+	plain, _ := run(false)
+	prio, tenants := run(true)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "replacement policy\toltp table-cache hit rate")
+	fmt.Fprintf(w, "plain LRU\t%.1f%%\n", 100*plain)
+	fmt.Fprintf(w, "prioritized (weight 16:1)\t%.1f%%\n", 100*prio)
+	w.Flush()
+
+	fmt.Println("\nper-tenant accounting (prioritized run):")
+	for name, ts := range tenants {
+		fmt.Printf("  %-12s writes=%d reads=%d\n", name, ts.Writes, ts.Reads)
+	}
+	fmt.Println("\npaper (§8): 'instead of a basic LRU replacement policy, we may use a")
+	fmt.Println("prioritized LRU policy that considers each workload's locality'")
+}

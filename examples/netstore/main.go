@@ -1,0 +1,58 @@
+// Netstore: run a FIDR storage server and a client in one process,
+// speaking the paper's simplified storage protocol (§6.2) over loopback
+// TCP — the end-to-end "client machine <-> storage server" setup of the
+// evaluation, scaled to one host.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"fidr"
+	"fidr/internal/proto"
+)
+
+func main() {
+	srv, err := fidr.NewServer(fidr.DefaultConfig(fidr.FIDRFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := proto.Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	fmt.Printf("FIDR server listening on %s\n", l.Addr())
+
+	client, err := proto.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A virtual-desktop-style dataset: 512 chunks, heavy duplication
+	// (the paper's motivating VDI case reduces by >80%).
+	fmt.Println("storing 512 chunks over TCP (64 distinct contents)...")
+	for lba := uint64(0); lba < 512; lba++ {
+		if err := client.WriteChunk(lba, fidr.MakeChunk(lba%64, 0.5)); err != nil {
+			log.Fatalf("write %d: %v", lba, err)
+		}
+	}
+	// Read-back verification through the same wire protocol.
+	for lba := uint64(0); lba < 512; lba++ {
+		got, err := client.ReadChunk(lba)
+		if err != nil {
+			log.Fatalf("read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, fidr.MakeChunk(lba%64, 0.5)) {
+			log.Fatalf("chunk %d corrupted over the wire", lba)
+		}
+	}
+	fmt.Println("512 chunks verified over the wire")
+
+	st := srv.Stats()
+	fmt.Printf("\nserver-side: %d unique / %d duplicate chunks, stored %.1f%% of client bytes\n",
+		st.UniqueChunks, st.DuplicateChunks, 100*st.ReductionRatio())
+	fmt.Printf("NIC read-buffer hits: %d (reads served without touching the backend)\n", st.NICReadHits)
+}

@@ -1,0 +1,23 @@
+package fidr
+
+import "testing"
+
+// TestRegistryConsistent guards the experiment registry: every ordered
+// name has a runner and every runner is reachable from the order list.
+func TestRegistryConsistent(t *testing.T) {
+	order := make(map[string]bool, len(experimentOrder))
+	for _, n := range experimentOrder {
+		if order[n] {
+			t.Errorf("duplicate name %q in order list", n)
+		}
+		order[n] = true
+		if _, ok := experimentRegistry[n]; !ok {
+			t.Errorf("ordered experiment %q has no runner", n)
+		}
+	}
+	for n := range experimentRegistry {
+		if !order[n] {
+			t.Errorf("runner %q missing from the order list", n)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module fidr
+
+go 1.22

@@ -1,0 +1,160 @@
+package fidr_test
+
+// End-to-end system tests: a Table 3 workload through the full stack —
+// TCP protocol front-end, FIDR engine, snapshots, GC, recovery — the way
+// a deployment would exercise it.
+
+import (
+	"bytes"
+	"testing"
+
+	"fidr"
+	"fidr/internal/core"
+	"fidr/internal/proto"
+	"fidr/internal/trace"
+)
+
+func TestSystemWorkloadOverTCP(t *testing.T) {
+	cfg := fidr.DefaultConfig(fidr.FIDRFull)
+	srv, err := fidr.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := proto.Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := proto.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	wl := fidr.WriteM(2000)
+	gen, err := fidr.NewWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make(map[uint64]uint64)
+	// Stream the workload through the wire protocol, batching
+	// consecutive LBAs like a real initiator.
+	var batch []byte
+	var batchStart uint64
+	var batchNext uint64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := c.WriteBatch(batchStart, batch)
+		batch = nil
+		return err
+	}
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if req.Op != trace.OpWrite {
+			continue
+		}
+		chunk := fidr.MakeChunk(req.ContentSeed, wl.CompressRatio)
+		if len(batch) > 0 && (req.LBA != batchNext || len(batch) >= 64*fidr.ChunkSize) {
+			if err := flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(batch) == 0 {
+			batchStart = req.LBA
+		}
+		batch = append(batch, chunk...)
+		batchNext = req.LBA + 1
+		content[req.LBA] = req.ContentSeed
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spot-check reads over the wire (bounded for test time).
+	checked := 0
+	for lba, seed := range content {
+		got, err := c.ReadChunk(lba)
+		if err != nil {
+			t.Fatalf("read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, fidr.MakeChunk(seed, wl.CompressRatio)) {
+			t.Fatalf("lba %d corrupted through the full stack", lba)
+		}
+		checked++
+		if checked >= 300 {
+			break
+		}
+	}
+	// Server-side dedup happened.
+	st := srv.Stats()
+	if st.DuplicateChunks == 0 || st.UniqueChunks == 0 {
+		t.Fatalf("no reduction through the stack: %+v", st)
+	}
+	// fsck the volume.
+	rep, err := srv.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck after system run: %v", rep.Problems)
+	}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	// Write -> snapshot -> overwrite -> compact -> checkpoint ->
+	// recover -> verify: every operational feature in one lifecycle.
+	cfg := core.DefaultConfig(core.FIDRFull)
+	cfg.ContainerSize = 64 << 10
+	srv, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 150; i++ {
+		if err := srv.Write(i, fidr.MakeChunk(i, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := srv.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		srv.Write(i, fidr.MakeChunk(5000+i, 0.5))
+	}
+	srv.Flush()
+	if _, err := srv.Compact(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DeleteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("pre-recovery fsck: %v %v", err, rep.Problems)
+	}
+	// Recovery note: Checkpoint() was taken before Verify's Flush, but
+	// Verify is read-only so the checkpoint still matches.
+	// (Recovery itself is covered in internal/core persist tests; here
+	// we just confirm the lifecycle leaves a consistent volume.)
+	for i := uint64(0); i < 150; i++ {
+		want := fidr.MakeChunk(i, 0.5)
+		if i < 100 {
+			want = fidr.MakeChunk(5000+i, 0.5)
+		}
+		got, err := srv.Read(i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("lifecycle read %d: %v", i, err)
+		}
+	}
+}

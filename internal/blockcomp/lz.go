@@ -1,0 +1,149 @@
+package blockcomp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LZ is a byte-oriented LZ77 compressor shaped like the greedy,
+// entropy-stage-free matchers used in FPGA compression engines
+// (Abdelfattah'14, Fowers'15 — the paper's references [2,16]): hash-table
+// match search, 16-byte minimum useful match, 64-KB window, literal runs
+// and (length, distance) copies encoded in a simple token stream.
+//
+// Token format:
+//
+//	0x00 lenVarint  <lit bytes>   literal run
+//	0x01 lenVarint distVarint     copy run (length >= 4)
+//
+// The format favors decode simplicity over density, matching hardware
+// implementations that decode one token per cycle.
+type LZ struct{}
+
+// NewLZ returns the LZ compressor.
+func NewLZ() *LZ { return &LZ{} }
+
+// Name implements Compressor.
+func (*LZ) Name() string { return "lz" }
+
+const (
+	lzMinMatch = 4
+	lzWindow   = 1 << 16
+	lzHashBits = 14
+)
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// Compress implements Compressor.
+func (*LZ) Compress(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return []byte{}, nil
+	}
+	var dst []byte
+	var table [1 << lzHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	i := 0
+	emitLiterals := func(end int) {
+		if end <= litStart {
+			return
+		}
+		run := src[litStart:end]
+		var hdr [binary.MaxVarintLen64 + 1]byte
+		hdr[0] = 0x00
+		n := binary.PutUvarint(hdr[1:], uint64(len(run)))
+		dst = append(dst, hdr[:1+n]...)
+		dst = append(dst, run...)
+	}
+	for i+lzMinMatch <= len(src) {
+		v := binary.LittleEndian.Uint32(src[i:])
+		h := lzHash(v)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) < lzWindow &&
+			binary.LittleEndian.Uint32(src[cand:]) == v {
+			// Extend the match forward.
+			length := lzMinMatch
+			for i+length < len(src) && src[int(cand)+length] == src[i+length] {
+				length++
+			}
+			emitLiterals(i)
+			var hdr [2*binary.MaxVarintLen64 + 1]byte
+			hdr[0] = 0x01
+			n := binary.PutUvarint(hdr[1:], uint64(length))
+			n += binary.PutUvarint(hdr[1+n:], uint64(i-int(cand)))
+			dst = append(dst, hdr[:1+n]...)
+			// Index a few positions inside the match so later
+			// repeats are found, then skip past it.
+			end := i + length
+			for j := i + 1; j < end && j+lzMinMatch <= len(src); j += 7 {
+				table[lzHash(binary.LittleEndian.Uint32(src[j:]))] = int32(j)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		i++
+	}
+	emitLiterals(len(src))
+	return dst, nil
+}
+
+// Decompress implements Compressor.
+func (*LZ) Decompress(src []byte, dstSize int) ([]byte, error) {
+	dst := make([]byte, 0, dstSize)
+	p := 0
+	for p < len(src) {
+		tok := src[p]
+		p++
+		switch tok {
+		case 0x00:
+			length, n := binary.Uvarint(src[p:])
+			if n <= 0 {
+				return nil, fmt.Errorf("blockcomp: lz bad literal length at %d", p)
+			}
+			p += n
+			// Compare in uint64: a huge varint must not overflow int.
+			if length > uint64(len(src)-p) {
+				return nil, fmt.Errorf("blockcomp: lz literal run overflows input")
+			}
+			dst = append(dst, src[p:p+int(length)]...)
+			p += int(length)
+		case 0x01:
+			length, n := binary.Uvarint(src[p:])
+			if n <= 0 {
+				return nil, fmt.Errorf("blockcomp: lz bad copy length at %d", p)
+			}
+			if length > uint64(dstSize) {
+				return nil, fmt.Errorf("blockcomp: lz copy length %d exceeds output bound %d", length, dstSize)
+			}
+			p += n
+			dist, n2 := binary.Uvarint(src[p:])
+			if n2 <= 0 {
+				return nil, fmt.Errorf("blockcomp: lz bad copy distance at %d", p)
+			}
+			p += n2
+			if dist == 0 || dist > uint64(len(dst)) {
+				return nil, fmt.Errorf("blockcomp: lz distance %d out of range (have %d)", dist, len(dst))
+			}
+			// Byte-by-byte copy: overlapping copies are the RLE case.
+			start := len(dst) - int(dist)
+			for k := 0; k < int(length); k++ {
+				dst = append(dst, dst[start+k])
+			}
+		default:
+			return nil, fmt.Errorf("blockcomp: lz unknown token 0x%02x at %d", tok, p-1)
+		}
+		if len(dst) > dstSize {
+			return nil, fmt.Errorf("blockcomp: lz output exceeds expected %d", dstSize)
+		}
+	}
+	if len(dst) != dstSize {
+		return nil, fmt.Errorf("blockcomp: lz output %d bytes, expected %d", len(dst), dstSize)
+	}
+	return dst, nil
+}

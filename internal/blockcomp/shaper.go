@@ -1,0 +1,82 @@
+package blockcomp
+
+import "encoding/binary"
+
+// Shaper synthesizes deterministic chunk payloads with a controllable
+// compression ratio. The paper builds its workloads the same way
+// (§7.1 factor 4): each request carries unique content plus a compressible
+// filler sized so the overall block compresses to the target ratio.
+//
+// A payload is a function of (seed, size, ratio) only: two calls with the
+// same arguments produce identical bytes, which is how the workload
+// generator manufactures exact duplicates for the dedup ratio targets.
+type Shaper struct {
+	// TargetRatio is the desired compressed/original ratio in (0, 1].
+	TargetRatio float64
+}
+
+// NewShaper returns a Shaper with the given target compression ratio.
+// Ratio is clamped to [0.05, 1.0].
+func NewShaper(ratio float64) *Shaper {
+	if ratio < 0.05 {
+		ratio = 0.05
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	return &Shaper{TargetRatio: ratio}
+}
+
+// splitmix64 advances and hashes a 64-bit state; used as the deterministic
+// byte source for the incompressible region.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Block fills dst with a payload derived from seed whose compressed size
+// under an LZ-class compressor is close to TargetRatio*len(dst). The first
+// part of the block is pseudo-random (incompressible, carries the seed's
+// identity), the rest is a short repeating pattern (compresses away).
+func (s *Shaper) Block(seed uint64, dst []byte) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	randLen := int(float64(n) * s.TargetRatio)
+	if randLen > n {
+		randLen = n
+	}
+	// Incompressible region: seeded splitmix64 stream.
+	state := seed ^ 0xD6E8FEB86659FD93
+	i := 0
+	for ; i+8 <= randLen; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], splitmix64(&state))
+	}
+	if i < randLen {
+		w := splitmix64(&state)
+		for ; i < randLen; i++ {
+			dst[i] = byte(w)
+			w >>= 8
+		}
+	}
+	// Compressible tail: a 16-byte pattern derived from the seed so two
+	// blocks with different seeds differ everywhere, but each block's
+	// tail is trivially compressible.
+	var pat [16]byte
+	binary.LittleEndian.PutUint64(pat[:8], seed)
+	binary.LittleEndian.PutUint64(pat[8:], seed^0xA5A5A5A5A5A5A5A5)
+	for j := randLen; j < n; j++ {
+		dst[j] = pat[(j-randLen)%16]
+	}
+}
+
+// Make allocates and fills a block of the given size.
+func (s *Shaper) Make(seed uint64, size int) []byte {
+	b := make([]byte, size)
+	s.Block(seed, b)
+	return b
+}

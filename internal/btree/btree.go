@@ -1,0 +1,453 @@
+// Package btree implements an in-memory B+ tree keyed by uint64, used as
+// the baseline's software table-cache index (the paper's baseline uses an
+// open-source PALM-style B+ tree to map bucket indexes to cache lines).
+//
+// The tree stores uint64 values at uint64 keys, supports insert, delete,
+// point lookup and in-order iteration, and exposes structural statistics
+// (height, node count) that the CPU cost model uses: a software lookup
+// costs O(height) cache-missing node visits, which is exactly the
+// "small data structure with high CPU cost" behaviour Observation #4
+// identifies.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Degree choices. MaxLeaf/MaxInternal are entry/child capacities.
+const (
+	defaultLeafCap  = 32
+	defaultChildCap = 32
+)
+
+// Tree is a B+ tree. Not safe for concurrent use; the baseline serializes
+// index access on the table-management thread, which is the bottleneck
+// the paper measures.
+type Tree struct {
+	root     node
+	leafCap  int
+	childCap int
+	size     int
+	height   int
+
+	// visits counts node traversals since the last ResetStats; the cost
+	// model charges CPU per visited node.
+	visits uint64
+}
+
+type node interface{ isNode() }
+
+type leaf struct {
+	keys []uint64
+	vals []uint64
+	next *leaf
+}
+
+type internal struct {
+	keys     []uint64 // separators: children[i] holds keys < keys[i] <= children[i+1]
+	children []node
+}
+
+func (*leaf) isNode()     {}
+func (*internal) isNode() {}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithLeafCap sets the max entries per leaf (min 4, even).
+func WithLeafCap(n int) Option {
+	return func(t *Tree) { t.leafCap = n }
+}
+
+// WithChildCap sets the max children per internal node (min 4, even).
+func WithChildCap(n int) Option {
+	return func(t *Tree) { t.childCap = n }
+}
+
+// New creates an empty tree.
+func New(opts ...Option) *Tree {
+	t := &Tree{leafCap: defaultLeafCap, childCap: defaultChildCap}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.leafCap < 4 {
+		t.leafCap = 4
+	}
+	if t.childCap < 4 {
+		t.childCap = 4
+	}
+	t.root = &leaf{}
+	t.height = 1
+	return t
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the current tree height (leaf-only tree has height 1).
+func (t *Tree) Height() int { return t.height }
+
+// Visits returns node traversals since ResetStats.
+func (t *Tree) Visits() uint64 { return t.visits }
+
+// ResetStats clears the traversal counter.
+func (t *Tree) ResetStats() { t.visits = 0 }
+
+// Get returns the value at key.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for {
+		t.visits++
+		switch x := n.(type) {
+		case *leaf:
+			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+			if i < len(x.keys) && x.keys[i] == key {
+				return x.vals[i], true
+			}
+			return 0, false
+		case *internal:
+			n = x.children[x.route(key)]
+		}
+	}
+}
+
+// route returns the child index for key.
+func (in *internal) route(key uint64) int {
+	return sort.Search(len(in.keys), func(i int) bool { return in.keys[i] > key })
+}
+
+// Put inserts or updates key.
+func (t *Tree) Put(key, val uint64) {
+	newChild, sep, grew := t.insert(t.root, key, val)
+	if newChild != nil {
+		t.root = &internal{keys: []uint64{sep}, children: []node{t.root, newChild}}
+		t.height++
+	}
+	if grew {
+		t.size++
+	}
+}
+
+// insert descends into n; if n splits, returns the new right sibling and
+// the separator key to add in the parent. grew reports a new key (vs
+// update).
+func (t *Tree) insert(n node, key, val uint64) (right node, sep uint64, grew bool) {
+	t.visits++
+	switch x := n.(type) {
+	case *leaf:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i < len(x.keys) && x.keys[i] == key {
+			x.vals[i] = val
+			return nil, 0, false
+		}
+		x.keys = append(x.keys, 0)
+		x.vals = append(x.vals, 0)
+		copy(x.keys[i+1:], x.keys[i:])
+		copy(x.vals[i+1:], x.vals[i:])
+		x.keys[i], x.vals[i] = key, val
+		if len(x.keys) <= t.leafCap {
+			return nil, 0, true
+		}
+		// Split.
+		mid := len(x.keys) / 2
+		r := &leaf{
+			keys: append([]uint64(nil), x.keys[mid:]...),
+			vals: append([]uint64(nil), x.vals[mid:]...),
+			next: x.next,
+		}
+		x.keys = x.keys[:mid]
+		x.vals = x.vals[:mid]
+		x.next = r
+		return r, r.keys[0], true
+	case *internal:
+		ci := x.route(key)
+		childRight, childSep, g := t.insert(x.children[ci], key, val)
+		if childRight == nil {
+			return nil, 0, g
+		}
+		x.keys = append(x.keys, 0)
+		copy(x.keys[ci+1:], x.keys[ci:])
+		x.keys[ci] = childSep
+		x.children = append(x.children, nil)
+		copy(x.children[ci+2:], x.children[ci+1:])
+		x.children[ci+1] = childRight
+		if len(x.children) <= t.childCap {
+			return nil, 0, g
+		}
+		// Split internal: middle key moves up.
+		midK := len(x.keys) / 2
+		upKey := x.keys[midK]
+		r := &internal{
+			keys:     append([]uint64(nil), x.keys[midK+1:]...),
+			children: append([]node(nil), x.children[midK+1:]...),
+		}
+		x.keys = x.keys[:midK]
+		x.children = x.children[:midK+1]
+		return r, upKey, g
+	}
+	panic("btree: unknown node type")
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key uint64) bool {
+	removed := t.remove(t.root, key)
+	if removed {
+		t.size--
+	}
+	// Collapse a root with one child.
+	if in, ok := t.root.(*internal); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+		t.height--
+	}
+	return removed
+}
+
+func (t *Tree) minLeaf() int  { return t.leafCap / 2 }
+func (t *Tree) minChild() int { return (t.childCap + 1) / 2 }
+
+// remove deletes key under n. Underflow in n's children is repaired here
+// so n only ever sees balanced children.
+func (t *Tree) remove(n node, key uint64) bool {
+	t.visits++
+	switch x := n.(type) {
+	case *leaf:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i >= len(x.keys) || x.keys[i] != key {
+			return false
+		}
+		x.keys = append(x.keys[:i], x.keys[i+1:]...)
+		x.vals = append(x.vals[:i], x.vals[i+1:]...)
+		return true
+	case *internal:
+		ci := x.route(key)
+		removed := t.remove(x.children[ci], key)
+		if removed {
+			t.rebalance(x, ci)
+		}
+		return removed
+	}
+	panic("btree: unknown node type")
+}
+
+// rebalance repairs a possible underflow of x.children[ci].
+func (t *Tree) rebalance(x *internal, ci int) {
+	child := x.children[ci]
+	if !t.underflow(child) {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if ci > 0 && t.canLend(x.children[ci-1]) {
+		t.borrowLeft(x, ci)
+		return
+	}
+	// Try the right sibling.
+	if ci < len(x.children)-1 && t.canLend(x.children[ci+1]) {
+		t.borrowRight(x, ci)
+		return
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.merge(x, ci-1)
+	} else {
+		t.merge(x, ci)
+	}
+}
+
+func (t *Tree) underflow(n node) bool {
+	switch x := n.(type) {
+	case *leaf:
+		return len(x.keys) < t.minLeaf()
+	case *internal:
+		return len(x.children) < t.minChild()
+	}
+	return false
+}
+
+func (t *Tree) canLend(n node) bool {
+	switch x := n.(type) {
+	case *leaf:
+		return len(x.keys) > t.minLeaf()
+	case *internal:
+		return len(x.children) > t.minChild()
+	}
+	return false
+}
+
+// borrowLeft moves the left sibling's last entry/child into children[ci].
+func (t *Tree) borrowLeft(x *internal, ci int) {
+	switch child := x.children[ci].(type) {
+	case *leaf:
+		l := x.children[ci-1].(*leaf)
+		k := l.keys[len(l.keys)-1]
+		v := l.vals[len(l.vals)-1]
+		l.keys = l.keys[:len(l.keys)-1]
+		l.vals = l.vals[:len(l.vals)-1]
+		child.keys = append([]uint64{k}, child.keys...)
+		child.vals = append([]uint64{v}, child.vals...)
+		x.keys[ci-1] = child.keys[0]
+	case *internal:
+		l := x.children[ci-1].(*internal)
+		// Rotate through the parent separator.
+		child.keys = append([]uint64{x.keys[ci-1]}, child.keys...)
+		x.keys[ci-1] = l.keys[len(l.keys)-1]
+		l.keys = l.keys[:len(l.keys)-1]
+		child.children = append([]node{l.children[len(l.children)-1]}, child.children...)
+		l.children = l.children[:len(l.children)-1]
+	}
+}
+
+// borrowRight moves the right sibling's first entry/child into children[ci].
+func (t *Tree) borrowRight(x *internal, ci int) {
+	switch child := x.children[ci].(type) {
+	case *leaf:
+		r := x.children[ci+1].(*leaf)
+		child.keys = append(child.keys, r.keys[0])
+		child.vals = append(child.vals, r.vals[0])
+		r.keys = r.keys[1:]
+		r.vals = r.vals[1:]
+		x.keys[ci] = r.keys[0]
+	case *internal:
+		r := x.children[ci+1].(*internal)
+		child.keys = append(child.keys, x.keys[ci])
+		x.keys[ci] = r.keys[0]
+		r.keys = r.keys[1:]
+		child.children = append(child.children, r.children[0])
+		r.children = r.children[1:]
+	}
+}
+
+// merge folds children[ci+1] into children[ci] and drops separator ci.
+func (t *Tree) merge(x *internal, ci int) {
+	switch left := x.children[ci].(type) {
+	case *leaf:
+		right := x.children[ci+1].(*leaf)
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	case *internal:
+		right := x.children[ci+1].(*internal)
+		left.keys = append(left.keys, x.keys[ci])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	x.keys = append(x.keys[:ci], x.keys[ci+1:]...)
+	x.children = append(x.children[:ci+1], x.children[ci+2:]...)
+}
+
+// Ascend calls fn for each key/value in ascending key order until fn
+// returns false.
+func (t *Tree) Ascend(fn func(key, val uint64) bool) {
+	n := t.root
+	for {
+		in, ok := n.(*internal)
+		if !ok {
+			break
+		}
+		n = in.children[0]
+	}
+	for l := n.(*leaf); l != nil; l = l.next {
+		for i := range l.keys {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Check validates structural invariants, returning an error describing the
+// first violation. Used by tests and available for debugging.
+func (t *Tree) Check() error {
+	depth := -1
+	var prevKey uint64
+	first := true
+	count := 0
+
+	var walk func(n node, d int, lo, hi uint64, hasLo, hasHi bool) error
+	walk = func(n node, d int, lo, hi uint64, hasLo, hasHi bool) error {
+		switch x := n.(type) {
+		case *leaf:
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
+			}
+			if len(x.keys) != len(x.vals) {
+				return fmt.Errorf("btree: leaf key/val length mismatch")
+			}
+			if d > 0 && len(x.keys) < t.minLeaf() && t.size > t.leafCap {
+				return fmt.Errorf("btree: leaf underflow: %d < %d", len(x.keys), t.minLeaf())
+			}
+			for i, k := range x.keys {
+				if hasLo && k < lo {
+					return fmt.Errorf("btree: key %d below bound %d", k, lo)
+				}
+				if hasHi && k >= hi {
+					return fmt.Errorf("btree: key %d not below bound %d", k, hi)
+				}
+				if !first && k <= prevKey {
+					return fmt.Errorf("btree: keys not strictly ascending: %d after %d", k, prevKey)
+				}
+				prevKey, first = k, false
+				count++
+				_ = i
+			}
+			return nil
+		case *internal:
+			if len(x.children) != len(x.keys)+1 {
+				return fmt.Errorf("btree: internal has %d children, %d keys", len(x.children), len(x.keys))
+			}
+			if d > 0 && len(x.children) < t.minChild() {
+				return fmt.Errorf("btree: internal underflow")
+			}
+			for i := 1; i < len(x.keys); i++ {
+				if x.keys[i] <= x.keys[i-1] {
+					return fmt.Errorf("btree: separators not ascending")
+				}
+			}
+			for i, c := range x.children {
+				clo, chi := lo, hi
+				cHasLo, cHasHi := hasLo, hasHi
+				if i > 0 {
+					clo, cHasLo = x.keys[i-1], true
+				}
+				if i < len(x.keys) {
+					chi, cHasHi = x.keys[i], true
+				}
+				if err := walk(c, d+1, clo, chi, cHasLo, cHasHi); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("btree: unknown node type %T", n)
+	}
+	if err := walk(t.root, 0, 0, 0, false, false); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d keys found", t.size, count)
+	}
+	if depth != -1 && depth+1 != t.height {
+		return fmt.Errorf("btree: height %d but leaf depth %d", t.height, depth)
+	}
+	return nil
+}
+
+// NodeCount returns the number of nodes (for memory-footprint modeling).
+func (t *Tree) NodeCount() (leaves, internals int) {
+	var walk func(n node)
+	walk = func(n node) {
+		switch x := n.(type) {
+		case *leaf:
+			leaves++
+		case *internal:
+			internals++
+			for _, c := range x.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return
+}

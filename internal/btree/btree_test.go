@@ -1,0 +1,291 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("found key in empty tree")
+	}
+	if tr.Delete(1) {
+		t.Fatal("deleted from empty tree")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Put(i*7%1000, i)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		want := i // last writer for key i*7%1000... recompute below
+		_ = want
+	}
+	// Spot-check several keys: key k was written by the i with i*7%1000==k;
+	// since 7 and 1000 are coprime each key written exactly once.
+	for k := uint64(0); k < 1000; k++ {
+		v, ok := tr.Get(k)
+		if !ok {
+			t.Fatalf("key %d missing", k)
+		}
+		if v*7%1000 != k {
+			t.Fatalf("key %d has value %d", k, v)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr := New()
+	tr.Put(5, 1)
+	tr.Put(5, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d after overwrite", tr.Len())
+	}
+	if v, _ := tr.Get(5); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := New(WithLeafCap(4), WithChildCap(4))
+	for i := uint64(0); i < 1000; i++ {
+		tr.Put(i, i)
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("height = %d for 1000 keys with tiny nodes", tr.Height())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	leaves, internals := tr.NodeCount()
+	if leaves < 250 || internals == 0 {
+		t.Fatalf("nodes: %d leaves %d internals", leaves, internals)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New(WithLeafCap(4), WithChildCap(4))
+	const n = 500
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	for _, i := range perm {
+		tr.Put(uint64(i), uint64(i)*2)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	perm2 := rand.New(rand.NewSource(10)).Perm(n)
+	for step, i := range perm2 {
+		if !tr.Delete(uint64(i)) {
+			t.Fatalf("step %d: key %d missing", step, i)
+		}
+		if step%50 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d after deleting all", tr.Height())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New()
+	tr.Put(1, 1)
+	if tr.Delete(2) {
+		t.Fatal("deleted absent key")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("len changed")
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New(WithLeafCap(6), WithChildCap(6))
+	perm := rand.New(rand.NewSource(3)).Perm(2000)
+	for _, i := range perm {
+		tr.Put(uint64(i), uint64(i))
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Ascend(func(k, v uint64) bool {
+		if !first && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if k != v {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != 2000 {
+		t.Fatalf("iterated %d keys", count)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, i)
+	}
+	count := 0
+	tr.Ascend(func(k, v uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop iterated %d", count)
+	}
+}
+
+func TestVisitsAccumulate(t *testing.T) {
+	tr := New(WithLeafCap(4), WithChildCap(4))
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, i)
+	}
+	tr.ResetStats()
+	tr.Get(50)
+	if v := tr.Visits(); v == 0 || int(v) != tr.Height() {
+		t.Fatalf("visits = %d, height = %d", v, tr.Height())
+	}
+}
+
+// opSequence drives the tree against a map reference model.
+func TestMatchesMapModel(t *testing.T) {
+	type op struct {
+		Key uint16
+		Val uint16
+		Del bool
+	}
+	prop := func(ops []op) bool {
+		tr := New(WithLeafCap(4), WithChildCap(4))
+		ref := make(map[uint64]uint64)
+		for _, o := range ops {
+			k := uint64(o.Key % 512)
+			if o.Del {
+				_, want := ref[k]
+				delete(ref, k)
+				if tr.Delete(k) != want {
+					return false
+				}
+			} else {
+				ref[k] = uint64(o.Val)
+				tr.Put(k, uint64(o.Val))
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.Check(); err != nil {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeRandomWorkload(t *testing.T) {
+	tr := New()
+	ref := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(20000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			tr.Put(k, v)
+			ref[k] = v
+		case 2:
+			_, want := ref[k]
+			delete(ref, k)
+			if tr.Delete(k) != want {
+				t.Fatalf("iteration %d: delete disagreement at %d", i, k)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len %d vs ref %d", tr.Len(), len(ref))
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("key %d: got %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestMinimumCapsApplied(t *testing.T) {
+	tr := New(WithLeafCap(1), WithChildCap(1))
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, i)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := uint64(0); i < 1<<20; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) & (1<<20 - 1))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkPutDelete(b *testing.B) {
+	tr := New()
+	for i := uint64(0); i < 1<<16; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)&(1<<16-1) + 1<<20
+		tr.Put(k, k)
+		tr.Delete(k)
+	}
+}

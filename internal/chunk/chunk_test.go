@@ -1,0 +1,319 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFixedValidation(t *testing.T) {
+	for _, size := range []int{0, -1, 100, 513} {
+		if _, err := NewFixed(size); err == nil {
+			t.Errorf("NewFixed(%d) accepted invalid size", size)
+		}
+	}
+	for _, size := range []int{512, 4096, 32768} {
+		c, err := NewFixed(size)
+		if err != nil {
+			t.Fatalf("NewFixed(%d): %v", size, err)
+		}
+		if c.Size() != size {
+			t.Errorf("Size() = %d want %d", c.Size(), size)
+		}
+	}
+}
+
+func TestSplitBasic(t *testing.T) {
+	c := MustFixed(4096)
+	data := make([]byte, 3*4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	chunks, err := c.Split(8192, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	for i, ch := range chunks {
+		if ch.LBA != uint64(2+i) {
+			t.Errorf("chunk %d LBA = %d, want %d", i, ch.LBA, 2+i)
+		}
+		if !bytes.Equal(ch.Data, data[i*4096:(i+1)*4096]) {
+			t.Errorf("chunk %d data mismatch", i)
+		}
+	}
+}
+
+func TestSplitUnaligned(t *testing.T) {
+	c := MustFixed(4096)
+	if _, err := c.Split(100, make([]byte, 4096)); err != ErrUnaligned {
+		t.Errorf("unaligned offset: err = %v, want ErrUnaligned", err)
+	}
+	if _, err := c.Split(0, make([]byte, 100)); err != ErrUnaligned {
+		t.Errorf("unaligned length: err = %v, want ErrUnaligned", err)
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	c := MustFixed(4096)
+	chunks, err := c.Split(0, nil)
+	if err != nil || len(chunks) != 0 {
+		t.Fatalf("empty split: %v chunks, err %v", len(chunks), err)
+	}
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	c := MustFixed(512)
+	prop := func(nChunks uint8, seed int64) bool {
+		n := int(nChunks%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, n*512)
+		rng.Read(data)
+		chunks, err := c.Split(0, data)
+		if err != nil || len(chunks) != n {
+			return false
+		}
+		var re []byte
+		for _, ch := range chunks {
+			re = append(re, ch.Data...)
+		}
+		return bytes.Equal(re, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	c := MustFixed(4096)
+	tests := []struct {
+		off  uint64
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4096, 1},
+		{0, 4097, 2},
+		{4095, 2, 2},
+		{4096, 4096, 1},
+		{100, 8192, 3},
+	}
+	for _, tt := range tests {
+		if got := c.Covers(tt.off, tt.n); got != tt.want {
+			t.Errorf("Covers(%d,%d) = %d want %d", tt.off, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRMWConfigValidate(t *testing.T) {
+	bad := []RMWConfig{
+		{BlockSize: 0, ChunkSize: 4096, BufferBytes: 4096},
+		{BlockSize: 4096, ChunkSize: 2048, BufferBytes: 4096},
+		{BlockSize: 4096, ChunkSize: 6000, BufferBytes: 4096},
+		{BlockSize: 4096, ChunkSize: 4096, BufferBytes: 100},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := RMWConfig{BlockSize: 4096, ChunkSize: 32768, BufferBytes: 4 << 20}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRMWSmallChunkingNoReads(t *testing.T) {
+	cfg := RMWConfig{BlockSize: 4096, ChunkSize: 4096, BufferBytes: 4 << 20}
+	writes := []BlockWrite{{0, 1}, {1, 2}, {2, 3}, {0, 1}}
+	res, err := SimulateRMW(cfg, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeviceReadBytes != 0 {
+		t.Errorf("small chunking issued %d read bytes, want 0", res.DeviceReadBytes)
+	}
+	// {0,1} repeats with identical content -> 3 unique chunk writes.
+	if res.DeviceWriteBytes != 3*4096 {
+		t.Errorf("write bytes = %d, want %d", res.DeviceWriteBytes, 3*4096)
+	}
+	if res.ClientBytes != 4*4096 {
+		t.Errorf("client bytes = %d, want %d", res.ClientBytes, 4*4096)
+	}
+}
+
+func TestRMWLargeChunkingFetchesMissing(t *testing.T) {
+	// Write all 8 blocks of large chunk 0, flush, then rewrite a single
+	// block with new content: the second flush must fetch the 7 missing
+	// blocks and write back a whole 32-KB chunk.
+	cfg := RMWConfig{BlockSize: 4096, ChunkSize: 32768, BufferBytes: 8 * 4096}
+	var writes []BlockWrite
+	for i := uint64(0); i < 8; i++ {
+		writes = append(writes, BlockWrite{i, 100 + i})
+	}
+	res1, err := SimulateRMW(cfg, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.DeviceReadBytes != 0 || res1.DeviceWriteBytes != 32768 {
+		t.Fatalf("full-chunk write: reads=%d writes=%d", res1.DeviceReadBytes, res1.DeviceWriteBytes)
+	}
+
+	writes = append(writes, BlockWrite{3, 999})
+	res2, err := SimulateRMW(cfg, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReads := uint64(7 * 4096)
+	if res2.DeviceReadBytes != wantReads {
+		t.Errorf("reads = %d, want %d", res2.DeviceReadBytes, wantReads)
+	}
+	if res2.DeviceWriteBytes != 2*32768 {
+		t.Errorf("writes = %d, want %d", res2.DeviceWriteBytes, 2*32768)
+	}
+}
+
+func TestRMWLargeDuplicateDetected(t *testing.T) {
+	cfg := RMWConfig{BlockSize: 4096, ChunkSize: 32768, BufferBytes: 16 * 4096}
+	var writes []BlockWrite
+	// Two large chunks with identical content vectors.
+	for i := uint64(0); i < 8; i++ {
+		writes = append(writes, BlockWrite{i, 7})
+	}
+	for i := uint64(8); i < 16; i++ {
+		writes = append(writes, BlockWrite{i, 7})
+	}
+	res, err := SimulateRMW(cfg, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicateChunks != 1 {
+		t.Errorf("duplicates = %d, want 1", res.DuplicateChunks)
+	}
+	if res.DeviceWriteBytes != 32768 {
+		t.Errorf("writes = %d, want one chunk", res.DeviceWriteBytes)
+	}
+}
+
+func TestRMWAmplificationGrowsWithRandomness(t *testing.T) {
+	// Random single-block writes over a pre-populated address space must
+	// amplify far more under 32-KB chunking than 4-KB chunking.
+	rng := rand.New(rand.NewSource(42))
+	const space = 1 << 14 // 16K blocks = 64 MB
+	var warm []BlockWrite
+	for i := uint64(0); i < space; i++ {
+		warm = append(warm, BlockWrite{i, rng.Uint64()})
+	}
+	var rand4k []BlockWrite
+	for i := 0; i < 4096; i++ {
+		rand4k = append(rand4k, BlockWrite{uint64(rng.Intn(space)), rng.Uint64()})
+	}
+	trace := append(append([]BlockWrite{}, warm...), rand4k...)
+
+	small, err := SimulateRMW(RMWConfig{4096, 4096, 4 << 20}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SimulateRMW(RMWConfig{4096, 32768, 4 << 20}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Amplification() < 2*small.Amplification() {
+		t.Errorf("large-chunk amplification %.2f not clearly above small-chunk %.2f",
+			large.Amplification(), small.Amplification())
+	}
+	if large.FetchedBlocks == 0 {
+		t.Error("random rewrite phase fetched no blocks under large chunking")
+	}
+}
+
+func TestCDCBoundariesCoverInput(t *testing.T) {
+	c := NewCDC(2048, 8192, 65536)
+	data := make([]byte, 300000)
+	rand.New(rand.NewSource(1)).Read(data)
+	bounds := c.Boundaries(data)
+	if len(bounds) == 0 || bounds[len(bounds)-1] != len(data) {
+		t.Fatalf("boundaries do not cover input: %v", bounds)
+	}
+	prev := 0
+	for _, b := range bounds {
+		sz := b - prev
+		if sz <= 0 || sz > c.Max {
+			t.Fatalf("chunk size %d outside (0,%d]", sz, c.Max)
+		}
+		prev = b
+	}
+}
+
+func TestCDCStableUnderShift(t *testing.T) {
+	// Content-defined chunking should resynchronize after an insertion:
+	// most boundaries in the tail should be preserved (shifted).
+	c := NewCDC(1024, 4096, 16384)
+	base := make([]byte, 200000)
+	rand.New(rand.NewSource(7)).Read(base)
+	shifted := append(append([]byte{0xAA, 0xBB, 0xCC}, base[:100]...), base[100:]...)
+
+	b1 := c.Boundaries(base)
+	b2 := c.Boundaries(shifted)
+
+	set := make(map[int]bool, len(b1))
+	for _, b := range b1 {
+		if b > 110 {
+			set[b+3] = true // expected shifted position
+		}
+	}
+	match := 0
+	for _, b := range b2 {
+		if set[b] {
+			match++
+		}
+	}
+	if match < len(set)/2 {
+		t.Errorf("only %d/%d tail boundaries resynchronized", match, len(set))
+	}
+}
+
+func TestCDCSplitRoundTrip(t *testing.T) {
+	c := NewCDC(512, 2048, 8192)
+	data := make([]byte, 50000)
+	rand.New(rand.NewSource(3)).Read(data)
+	var re []byte
+	for _, ch := range c.Split(data) {
+		re = append(re, ch.Data...)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("CDC split does not reassemble input")
+	}
+}
+
+func TestCDCEmptyInput(t *testing.T) {
+	c := NewCDC(512, 2048, 8192)
+	if got := c.Boundaries(nil); len(got) != 0 {
+		t.Fatalf("Boundaries(nil) = %v, want empty", got)
+	}
+}
+
+func BenchmarkFixedSplit(b *testing.B) {
+	c := MustFixed(4096)
+	data := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Split(0, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDCSplit(b *testing.B) {
+	c := NewCDC(2048, 8192, 65536)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		c.Boundaries(data)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/ssd"
+)
+
+var errMedia = errors.New("simulated media error")
+
+// faultServer builds a FIDR server with injectable devices.
+func faultServer(t *testing.T) (*Server, *ssd.SSD, *ssd.SSD) {
+	t.Helper()
+	cfg := DefaultConfig(FIDRFull)
+	cfg.ContainerSize = 64 << 10
+	tssd := ssd.MustNew(ssd.Config{Name: "tssd", CapacityBytes: 1 << 32, PageSize: 4096,
+		ReadLatency: 0, WriteLatency: 0, ReadBW: 3.5e9, WriteBW: 2.7e9})
+	dssd := ssd.MustNew(ssd.Config{Name: "dssd", CapacityBytes: 1 << 32, PageSize: 4096,
+		ReadLatency: 0, WriteLatency: 0, ReadBW: 3.5e9, WriteBW: 2.7e9})
+	cfg.TableSSD = tssd
+	cfg.DataSSD = dssd
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tssd, dssd
+}
+
+func TestDataSSDReadFaultSurfaces(t *testing.T) {
+	s, _, dssd := faultServer(t)
+	sh := blockcomp.NewShaper(0.5)
+	for i := uint64(0); i < 100; i++ {
+		if err := s.Write(i, sh.Make(i, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	dssd.InjectFaults(1, 0, errMedia)
+	// Find a read that actually hits the SSD (not the open container).
+	var sawError bool
+	for i := uint64(0); i < 100; i++ {
+		if _, err := s.Read(i); err != nil {
+			if !errors.Is(err, errMedia) {
+				t.Fatalf("wrong error surfaced: %v", err)
+			}
+			sawError = true
+			break
+		}
+	}
+	if !sawError {
+		t.Fatal("injected data-SSD read fault never surfaced")
+	}
+	// Subsequent reads recover (the fault was transient).
+	got, err := s.Read(50)
+	if err != nil || !bytes.Equal(got, sh.Make(50, 4096)) {
+		t.Fatalf("server did not recover after transient fault: %v", err)
+	}
+}
+
+func TestTableSSDFaultSurfacesOnMiss(t *testing.T) {
+	s, tssd, _ := faultServer(t)
+	sh := blockcomp.NewShaper(0.5)
+	// Enough distinct chunks to overflow the bucket cache and force
+	// table-SSD traffic later.
+	for i := uint64(0); i < 2000; i++ {
+		if err := s.Write(i, sh.Make(i, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	tssd.InjectFaults(5, 5, errMedia)
+	var sawError bool
+	for i := uint64(5000); i < 5300; i++ {
+		if err := s.Write(i, sh.Make(100000+i, 4096)); err != nil {
+			if !errors.Is(err, errMedia) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			sawError = true
+			break
+		}
+	}
+	if !sawError {
+		t.Skip("cache absorbed all table traffic at this scale")
+	}
+}
+
+func TestWriteFaultOnContainerFlush(t *testing.T) {
+	s, _, dssd := faultServer(t)
+	sh := blockcomp.NewShaper(0.5)
+	dssd.InjectFaults(0, 1, errMedia)
+	var sawError bool
+	// Write until a container seals and flushes (64 KiB container, ~30
+	// compressed chunks).
+	for i := uint64(0); i < 200; i++ {
+		if err := s.Write(i, sh.Make(i, 4096)); err != nil {
+			if !errors.Is(err, errMedia) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			sawError = true
+			break
+		}
+	}
+	if !sawError {
+		if err := s.Flush(); err == nil || !errors.Is(err, errMedia) {
+			t.Fatalf("container-write fault never surfaced: %v", err)
+		}
+	}
+}

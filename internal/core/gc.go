@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fidr/internal/fingerprint"
+	"fidr/internal/hostmodel"
+	"fidr/internal/pcie"
+)
+
+// Garbage collection (extension). Overwrites and re-deduplication drop
+// references to stored chunks, stranding dead compressed bytes inside
+// sealed containers. Compact picks containers whose dead fraction exceeds
+// a threshold, copies their live chunks into the open container (data SSD
+// -> Compression Engine peer-to-peer in FIDR; through host memory in the
+// baseline), retires the dead chunks' fingerprints from the Hash-PBN
+// table, and reclaims the container.
+
+// GarbageStats summarizes reclaimable space.
+type GarbageStats struct {
+	// DeadBytesByContainer maps container index -> dead compressed bytes.
+	DeadBytesByContainer map[uint64]uint64
+	// TotalDeadBytes sums the above.
+	TotalDeadBytes uint64
+}
+
+// Garbage reports current dead-space accounting.
+func (s *Server) Garbage() GarbageStats {
+	g := GarbageStats{DeadBytesByContainer: s.lba.DeadBytes()}
+	for _, b := range g.DeadBytesByContainer {
+		g.TotalDeadBytes += b
+	}
+	return g
+}
+
+// CompactResult reports one compaction pass.
+type CompactResult struct {
+	ContainersCompacted int
+	ChunksMoved         int
+	ChunksDropped       int
+	// BytesReclaimed counts retired container capacity.
+	BytesReclaimed uint64
+	// BytesMoved counts live compressed bytes rewritten.
+	BytesMoved uint64
+}
+
+// Compact garbage-collects sealed containers whose dead fraction is at
+// least minDeadFraction (0 compacts anything with any dead bytes). The
+// open container is never a candidate. Returns what was reclaimed.
+func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
+	var res CompactResult
+	dead := s.lba.DeadBytes()
+	open := s.comp.OpenContainer()
+	// Deterministic candidate order.
+	var candidates []uint64
+	for c, b := range dead {
+		if c == open {
+			continue
+		}
+		if float64(b)/float64(s.cfg.ContainerSize) >= minDeadFraction && b > 0 {
+			candidates = append(candidates, c)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	for _, c := range candidates {
+		if err := s.compactOne(c, &res); err != nil {
+			return res, err
+		}
+	}
+	// Containers sealed during compaction go to the SSDs as usual.
+	if err := s.writeSealed(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// compactOne moves container c's live chunks out and retires it.
+func (s *Server) compactOne(c uint64, res *CompactResult) error {
+	// Drop dead fingerprints first so their table entries cannot match
+	// new writes mid-compaction.
+	for _, pbn := range s.lba.DeadChunks(c) {
+		fp, ok := s.fpOf(pbn)
+		if !ok {
+			return fmt.Errorf("core: no fingerprint recorded for PBN %d", pbn)
+		}
+		if _, err := s.cache.Delete(fp); err != nil {
+			return err
+		}
+		res.ChunksDropped++
+	}
+	// Move live chunks into the open container.
+	for _, pbn := range s.lba.LiveChunks(c) {
+		pba, err := s.lba.Resolve(pbn)
+		if err != nil {
+			return err
+		}
+		cdata, fromSSD, err := s.fetchCompressed(pba)
+		if err != nil {
+			return err
+		}
+		if fromSSD {
+			if s.cfg.Arch == Baseline {
+				// SSD -> host -> (host-side packer).
+				s.transfer(devDataSSD, pcie.HostMemory, uint64(len(cdata)))
+				s.ledger.Mem(hostmodel.PathHostSSD, uint64(len(cdata)))
+			} else {
+				// SSD -> Compression Engine, peer-to-peer.
+				s.transfer(devDataSSD, devComp, uint64(len(cdata)))
+			}
+			s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
+		}
+		fp, _ := s.fpOf(pbn)
+		meta, err := s.comp.Pack(0, fp, cdata, len(cdata))
+		if err != nil {
+			return err
+		}
+		if err := s.lba.Relocate(pbn, meta.Container, meta.Offset); err != nil {
+			return err
+		}
+		s.ledger.CPU(hostmodel.CompDeviceMgr, s.costs.DeviceMgrPerChunkNs)
+		res.ChunksMoved++
+		res.BytesMoved += uint64(len(cdata))
+	}
+	s.lba.RetireContainer(c)
+	s.reclaimed = append(s.reclaimed, c)
+	res.ContainersCompacted++
+	res.BytesReclaimed += uint64(s.cfg.ContainerSize)
+	return nil
+}
+
+// fpOf returns the fingerprint recorded for a PBN.
+func (s *Server) fpOf(pbn uint64) (fingerprint.FP, bool) {
+	if pbn >= uint64(len(s.pbnFP)) {
+		return fingerprint.FP{}, false
+	}
+	return s.pbnFP[pbn], true
+}
+
+// ReclaimedContainers lists container indexes retired by compaction.
+func (s *Server) ReclaimedContainers() []uint64 {
+	out := make([]uint64, len(s.reclaimed))
+	copy(out, s.reclaimed)
+	return out
+}

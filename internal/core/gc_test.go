@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"fidr/internal/blockcomp"
+)
+
+// gcServer builds a server with small containers so compaction scenarios
+// fit in a few hundred writes.
+func gcServer(t *testing.T, arch Arch) *Server {
+	t.Helper()
+	cfg := DefaultConfig(arch)
+	cfg.ContainerSize = 64 << 10 // 64 KiB: ~30 compressed chunks each
+	cfg.BatchChunks = 16
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGarbageAccumulatesOnOverwrite(t *testing.T) {
+	s := gcServer(t, FIDRFull)
+	sh := blockcomp.NewShaper(0.5)
+	// Fill several containers with unique content.
+	for i := uint64(0); i < 128; i++ {
+		if err := s.Write(i, sh.Make(i, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if g := s.Garbage(); g.TotalDeadBytes != 0 {
+		t.Fatalf("garbage before overwrites: %d", g.TotalDeadBytes)
+	}
+	// Overwrite half the LBAs with new content: old chunks die.
+	for i := uint64(0); i < 64; i++ {
+		if err := s.Write(i, sh.Make(10000+i, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	g := s.Garbage()
+	if g.TotalDeadBytes == 0 {
+		t.Fatal("no garbage after overwriting 64 unique chunks")
+	}
+	if len(g.DeadBytesByContainer) == 0 {
+		t.Fatal("no per-container accounting")
+	}
+}
+
+func TestCompactReclaimsAndPreservesData(t *testing.T) {
+	for _, arch := range []Arch{Baseline, FIDRFull} {
+		s := gcServer(t, arch)
+		sh := blockcomp.NewShaper(0.5)
+		// Write unique chunks, then overwrite most of them.
+		for i := uint64(0); i < 128; i++ {
+			if err := s.Write(i, sh.Make(i, 4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Flush()
+		for i := uint64(0); i < 128; i++ {
+			if i%4 != 0 { // keep every 4th chunk live
+				if err := s.Write(i, sh.Make(20000+i, 4096)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s.Flush()
+
+		before := s.Garbage().TotalDeadBytes
+		if before == 0 {
+			t.Fatalf("%v: no garbage to collect", arch)
+		}
+		res, err := s.Compact(0.25)
+		if err != nil {
+			t.Fatalf("%v: compact: %v", arch, err)
+		}
+		if res.ContainersCompacted == 0 || res.BytesReclaimed == 0 {
+			t.Fatalf("%v: nothing compacted: %+v", arch, res)
+		}
+		if res.ChunksMoved == 0 || res.ChunksDropped == 0 {
+			t.Fatalf("%v: expected moves and drops: %+v", arch, res)
+		}
+		if after := s.Garbage().TotalDeadBytes; after >= before {
+			t.Fatalf("%v: garbage not reduced: %d -> %d", arch, before, after)
+		}
+		// Every LBA still reads back its freshest content.
+		for i := uint64(0); i < 128; i++ {
+			want := sh.Make(i, 4096)
+			if i%4 != 0 {
+				want = sh.Make(20000+i, 4096)
+			}
+			got, err := s.Read(i)
+			if err != nil {
+				t.Fatalf("%v: read %d after compaction: %v", arch, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v: LBA %d corrupted by compaction", arch, i)
+			}
+		}
+		if len(s.ReclaimedContainers()) != res.ContainersCompacted {
+			t.Fatalf("%v: reclaimed list mismatch", arch)
+		}
+	}
+}
+
+func TestCompactThreshold(t *testing.T) {
+	s := gcServer(t, FIDRFull)
+	sh := blockcomp.NewShaper(0.5)
+	for i := uint64(0); i < 64; i++ {
+		s.Write(i, sh.Make(i, 4096))
+	}
+	s.Flush()
+	// Kill just one chunk: dead fraction tiny.
+	s.Write(0, sh.Make(9999, 4096))
+	s.Flush()
+	res, err := s.Compact(0.5) // high threshold: nothing qualifies
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCompacted != 0 {
+		t.Fatalf("compacted despite threshold: %+v", res)
+	}
+}
+
+func TestDedupAfterCompaction(t *testing.T) {
+	// After a dead chunk's fingerprint is dropped, rewriting the same
+	// content must be treated as unique again — and round-trip.
+	s := gcServer(t, FIDRFull)
+	sh := blockcomp.NewShaper(0.5)
+	content := sh.Make(777, 4096)
+	if err := s.Write(1, content); err != nil {
+		t.Fatal(err)
+	}
+	// Fill out the container so it seals, then kill the chunk.
+	for i := uint64(10); i < 60; i++ {
+		s.Write(i, sh.Make(i, 4096))
+	}
+	s.Flush()
+	s.Write(1, sh.Make(888, 4096))
+	s.Flush()
+	if _, err := s.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the dead content at a new LBA.
+	if err := s.Write(2, content); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	got, err := s.Read(2)
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("content lost after GC + rewrite: %v", err)
+	}
+}
+
+func TestLiveChunkRevivedByDedup(t *testing.T) {
+	// A chunk whose refcount drops to zero but whose content is written
+	// again *before* compaction must be revived, not re-stored.
+	s := gcServer(t, FIDRFull)
+	sh := blockcomp.NewShaper(0.5)
+	content := sh.Make(42, 4096)
+	s.Write(1, content)
+	for i := uint64(10); i < 40; i++ {
+		s.Write(i, sh.Make(i, 4096))
+	}
+	s.Flush()
+	s.Write(1, sh.Make(43, 4096)) // kill
+	s.Flush()
+	uniqueBefore := s.Stats().UniqueChunks
+	s.Write(5, content) // revive via dedup
+	s.Flush()
+	if got := s.Stats().UniqueChunks; got != uniqueBefore {
+		t.Fatalf("revived chunk re-stored as unique (%d -> %d)", uniqueBefore, got)
+	}
+	got, err := s.Read(5)
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatal("revived chunk unreadable")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"time"
+
+	"fidr/internal/metrics"
+)
+
+// Per-request latency sampling. Unlike the §7.6 budget model (latency.go),
+// which prices the *architecture*, the tracker prices each request from
+// what actually happened to it: an in-NIC buffer hit costs a NIC
+// turnaround; a read served from the open container skips flash; an SSD
+// read pays the device's size-dependent access time plus the
+// architecture's hop count. The distributions expose tail behaviour the
+// single-point model cannot.
+
+// LatencyKind buckets request outcomes.
+type LatencyKind int
+
+const (
+	// LatWriteAck is the client-visible write commit.
+	LatWriteAck LatencyKind = iota
+	// LatReadNICHit is a read served from the in-NIC write buffer.
+	LatReadNICHit
+	// LatReadCacheHit is a read served from the hot-block read cache.
+	LatReadCacheHit
+	// LatReadPending is a read served from the engine's open container.
+	LatReadPending
+	// LatReadSSD is a read that reached the data SSDs.
+	LatReadSSD
+
+	numLatencyKinds
+)
+
+// String implements fmt.Stringer.
+func (k LatencyKind) String() string {
+	switch k {
+	case LatWriteAck:
+		return "write ack"
+	case LatReadNICHit:
+		return "read (NIC buffer hit)"
+	case LatReadCacheHit:
+		return "read (host cache hit)"
+	case LatReadPending:
+		return "read (open container)"
+	case LatReadSSD:
+		return "read (SSD)"
+	default:
+		return "unknown"
+	}
+}
+
+// latencyTracker accumulates per-kind distributions.
+type latencyTracker struct {
+	params    LatencyParams
+	summaries [numLatencyKinds]metrics.Summary
+}
+
+// observe records one request of the given kind with an extra
+// device-dependent component (e.g. measured SSD access time).
+func (lt *latencyTracker) observe(kind LatencyKind, arch Arch, device time.Duration) {
+	p := lt.params
+	var d time.Duration
+	switch kind {
+	case LatWriteAck:
+		d = p.BufferAck
+	case LatReadNICHit:
+		d = p.NICSend
+	case LatReadCacheHit:
+		d = p.NICSend + p.PerHop // host memory -> NIC -> client
+	case LatReadPending:
+		// No flash access; the engine already holds the data.
+		d = p.HostSoftware + p.Decompress + p.NICSend + p.PerHop
+	case LatReadSSD:
+		hops := 2 * p.PerHop
+		wait := p.BatchWait
+		if arch == Baseline {
+			hops = 4 * p.PerHop
+			wait = 2 * p.BatchWait
+		}
+		d = p.HostSoftware + hops + p.Decompress + p.NICSend + wait + device
+	}
+	lt.summaries[kind].Observe(float64(d.Nanoseconds()))
+}
+
+// LatencyStats exposes one kind's distribution.
+type LatencyStats struct {
+	Kind  LatencyKind
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// LatencyReport returns the distributions observed so far, one entry per
+// kind with at least one sample.
+func (s *Server) LatencyReport() []LatencyStats {
+	var out []LatencyStats
+	for k := LatencyKind(0); k < numLatencyKinds; k++ {
+		sum := &s.latency.summaries[k]
+		if sum.Count() == 0 {
+			continue
+		}
+		out = append(out, LatencyStats{
+			Kind:  k,
+			Count: sum.Count(),
+			Mean:  time.Duration(sum.Mean()),
+			P50:   time.Duration(sum.Percentile(50)),
+			P99:   time.Duration(sum.Percentile(99)),
+			Max:   time.Duration(sum.Max()),
+		})
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"fidr/internal/engine"
+	"fidr/internal/fingerprint"
+	"fidr/internal/lbatable"
+)
+
+// Metadata durability (extension). The Hash-PBN table is durable by
+// construction (write-back bucket cache over the table SSDs); the
+// LBA-PBA mapping, reference counts and per-PBN fingerprints live in
+// memory. Checkpoint persists them to a reserved table-SSD region after
+// flushing all data, and Recover rebuilds a server over the same devices.
+//
+// Checkpoint region layout at tableSSD[geometry.TableBytes():]:
+//
+//	magic "FIDRCKP1"
+//	u64 lba-snapshot length, snapshot bytes (lbatable format)
+//	u64 fingerprint count, 32 B each (PBN order)
+
+var ckpMagic = [8]byte{'F', 'I', 'D', 'R', 'C', 'K', 'P', '1'}
+
+// checkpointOffset is where the checkpoint region begins on the table SSD.
+func (s *Server) checkpointOffset() uint64 { return s.geom.TableBytes() }
+
+// Checkpoint flushes all in-flight data (open batches, open containers,
+// dirty table-cache lines) and persists the volatile metadata. After a
+// successful Checkpoint, RecoverServer over the same SSDs reproduces the
+// server's full state.
+func (s *Server) Checkpoint() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if err := s.cache.FlushAll(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Write(ckpMagic[:])
+	snap := s.lba.Snapshot()
+	binary.Write(&buf, binary.LittleEndian, uint64(len(snap)))
+	buf.Write(snap)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(s.pbnFP)))
+	for i := range s.pbnFP {
+		buf.Write(s.pbnFP[i][:])
+	}
+	if err := s.tableSSD.Write(s.checkpointOffset(), buf.Bytes()); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// RecoverServer rebuilds a server from a Checkpoint. cfg must carry the
+// original TableSSD and DataSSD and the original UniqueChunkCapacity /
+// ContainerSize (the on-SSD geometry is derived from them).
+func RecoverServer(cfg Config) (*Server, error) {
+	if cfg.TableSSD == nil || cfg.DataSSD == nil {
+		return nil, fmt.Errorf("core: recovery requires the original TableSSD and DataSSD")
+	}
+	// Normalize first so defaults (e.g. the compressor) are available
+	// to the recovery path itself.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	off := s.checkpointOffset()
+	hdr, err := s.tableSSD.Read(off, 16)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	var magic [8]byte
+	copy(magic[:], hdr[:8])
+	if magic != ckpMagic {
+		return nil, fmt.Errorf("core: no checkpoint found on table SSD")
+	}
+	snapLen := binary.LittleEndian.Uint64(hdr[8:])
+	if snapLen > s.tableSSD.Config().CapacityBytes {
+		return nil, fmt.Errorf("core: implausible checkpoint size %d", snapLen)
+	}
+	snap, err := s.tableSSD.Read(off+16, int(snapLen))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint body: %w", err)
+	}
+	lba, err := lbatable.RestoreTable(snap)
+	if err != nil {
+		return nil, err
+	}
+	if lba.ContainerSize() != cfg.ContainerSize {
+		return nil, fmt.Errorf("core: checkpoint container size %d != config %d",
+			lba.ContainerSize(), cfg.ContainerSize)
+	}
+	fpHdr, err := s.tableSSD.Read(off+16+snapLen, 8)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint fingerprints: %w", err)
+	}
+	nFP := binary.LittleEndian.Uint64(fpHdr)
+	if nFP != lba.Chunks() {
+		return nil, fmt.Errorf("core: checkpoint has %d fingerprints for %d chunks", nFP, lba.Chunks())
+	}
+	fpBytes, err := s.tableSSD.Read(off+24+snapLen, int(nFP)*fingerprint.Size)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint fingerprints: %w", err)
+	}
+	pbnFP := make([]fingerprint.FP, nFP)
+	for i := range pbnFP {
+		copy(pbnFP[i][:], fpBytes[i*fingerprint.Size:])
+	}
+	// Swap in the recovered metadata and resume container allocation
+	// where the checkpointed server stopped.
+	comp, err := engine.NewCompressionAt(cfg.Compressor, cfg.ContainerSize, lba.NextContainer())
+	if err != nil {
+		return nil, err
+	}
+	s.lba = lba
+	s.pbnFP = pbnFP
+	s.comp = comp
+	return s, nil
+}

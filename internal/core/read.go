@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"fidr/internal/hostmodel"
+	"fidr/internal/lbatable"
+	"fidr/internal/pcie"
+)
+
+// ErrNotFound is returned for reads of never-written LBAs.
+var ErrNotFound = fmt.Errorf("core: LBA not found")
+
+// Read returns the chunk most recently written at lba (§2.2 / §5.3 read
+// flows). Data is served, in priority order, from: the write buffer (NIC
+// buffer in FIDR, host batch buffer in the baseline), the engine's open
+// container, or the data SSDs with decompression.
+func (s *Server) Read(lba uint64) ([]byte, error) {
+	s.stats.ClientReads++
+	s.stats.ClientBytes += uint64(s.cfg.ChunkSize)
+	s.ledger.Client(uint64(s.cfg.ChunkSize))
+	s.ledger.CPU(hostmodel.CompProtocol, s.costs.ProtocolReadNs)
+	s.chargeTenant(false)
+
+	if s.cfg.Arch == Baseline {
+		return s.baselineRead(lba)
+	}
+	return s.fidrRead(lba)
+}
+
+// ReadRange returns n consecutive chunks starting at lba, concatenated.
+// Requests larger than one chunk are common at the client (the paper's
+// storage protocol carries block ranges); the server resolves each chunk
+// independently because compressed placements are unrelated.
+func (s *Server) ReadRange(lba uint64, n int) ([]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: read of %d chunks", n)
+	}
+	out := make([]byte, 0, n*s.cfg.ChunkSize)
+	for i := 0; i < n; i++ {
+		chunk, err := s.Read(lba + uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: range chunk %d: %w", i, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// --- Baseline read (§2.3, Figure 2b) ---
+
+func (s *Server) baselineRead(lba uint64) ([]byte, error) {
+	// Freshest data may still sit in the host request buffer.
+	for i := len(s.batch) - 1; i >= 0; i-- {
+		if s.batch[i].lba == lba {
+			out := make([]byte, len(s.batch[i].data))
+			copy(out, s.batch[i].data)
+			// Buffer scan plus NIC send of the hit.
+			s.ledger.Mem(hostmodel.PathNICHost, uint64(len(out)))
+			s.transfer(pcie.HostMemory, devNIC, uint64(len(out)))
+			s.latency.observe(LatReadCacheHit, s.cfg.Arch, 0)
+			return out, nil
+		}
+	}
+	pba, err := s.resolve(lba)
+	if err != nil {
+		return nil, err
+	}
+	cdata, fromSSD, err := s.fetchCompressed(pba)
+	if err != nil {
+		return nil, err
+	}
+	csize := uint64(pba.CSize)
+	raw := uint64(s.cfg.ChunkSize)
+	if fromSSD {
+		// SSD -> host memory.
+		s.transfer(devDataSSD, pcie.HostMemory, csize)
+		s.ledger.Mem(hostmodel.PathHostSSD, csize)
+		s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
+		s.latency.observe(LatReadSSD, s.cfg.Arch, s.dataSSD.AccessTime(false, int(csize)))
+	} else {
+		s.latency.observe(LatReadPending, s.cfg.Arch, 0)
+	}
+	// Host -> decompression FPGA, decompress, FPGA -> host.
+	s.transfer(pcie.HostMemory, devDecomp, csize)
+	s.ledger.Mem(hostmodel.PathHostFPGA, csize)
+	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	s.transfer(devDecomp, pcie.HostMemory, raw)
+	s.ledger.Mem(hostmodel.PathHostFPGA, raw)
+	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
+	// Host -> NIC -> client.
+	s.transfer(pcie.HostMemory, devNIC, raw)
+	s.ledger.Mem(hostmodel.PathNICHost, raw)
+	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
+	return out, nil
+}
+
+// --- FIDR read (§5.3, Figure 6b) ---
+
+func (s *Server) fidrRead(lba uint64) ([]byte, error) {
+	// Step 2: the NIC searches its in-NIC write buffer first.
+	if data, ok := s.fnic.LookupRead(lba); ok {
+		s.stats.NICReadHits++
+		out := make([]byte, len(data))
+		copy(out, data)
+		s.latency.observe(LatReadNICHit, s.cfg.Arch, 0)
+		return out, nil
+	}
+	// §8 extension: hot-block read cache in host memory.
+	if data, ok := s.rcache.get(lba); ok {
+		s.stats.ReadCacheHits++
+		s.ledger.Mem(hostmodel.PathNICHost, uint64(len(data)))
+		s.transfer(pcie.HostMemory, devNIC, uint64(len(data)))
+		s.latency.observe(LatReadCacheHit, s.cfg.Arch, 0)
+		return data, nil
+	}
+	// Steps 3-4: LBA goes to the host, which resolves the PBA.
+	s.transfer(devNIC, pcie.HostMemory, 8)
+	pba, err := s.resolve(lba)
+	if err != nil {
+		return nil, err
+	}
+	// The device manager orchestrates two P2P hops per read (SSD ->
+	// engine, engine -> NIC), each a doorbell/completion round.
+	s.ledger.CPU(hostmodel.CompDeviceMgr, 2*s.costs.DeviceMgrPerChunkNs)
+
+	cdata, fromSSD, err := s.fetchCompressed(pba)
+	if err != nil {
+		return nil, err
+	}
+	csize := uint64(pba.CSize)
+	raw := uint64(s.cfg.ChunkSize)
+	// Steps 5-7: device manager orchestrates SSD -> Decompression
+	// Engine -> NIC, all peer-to-peer; host memory never sees the data.
+	if fromSSD {
+		s.transfer(devDataSSD, devDecomp, csize)
+		// §7.5 future-work extension: with the data-SSD queues
+		// offloaded to the FPGA, reads cost no host IO-stack time.
+		if !s.cfg.OffloadDataSSDQueues {
+			s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
+		}
+		s.latency.observe(LatReadSSD, s.cfg.Arch, s.dataSSD.AccessTime(false, int(csize)))
+	} else {
+		s.transfer(devComp, devDecomp, csize)
+		s.latency.observe(LatReadPending, s.cfg.Arch, 0)
+	}
+	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	// Step 8: the host tells the NIC to fetch the decompressed chunk
+	// from the engine (doorbell only; no host-memory data traffic).
+	s.transfer(devDecomp, devNIC, raw)
+	s.rcache.put(lba, out)
+	return out, nil
+}
+
+// resolve maps an LBA to its physical address, charging the LBA-PBA
+// table work.
+func (s *Server) resolve(lba uint64) (lbatable.PBA, error) {
+	s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
+	pba, err := s.lba.ResolveLBA(lba)
+	if err == lbatable.ErrUnmapped {
+		return lbatable.PBA{}, ErrNotFound
+	}
+	return pba, err
+}
+
+// fetchCompressed returns the chunk's compressed bytes, either from the
+// engine's open container (not yet on an SSD) or from the data SSD.
+func (s *Server) fetchCompressed(pba lbatable.PBA) (data []byte, fromSSD bool, err error) {
+	if data, ok := s.comp.ReadPending(pba.Container, pba.Offset, pba.CSize); ok {
+		s.stats.PendingReads++
+		return data, false, nil
+	}
+	off := pba.ByteOffset(s.cfg.ContainerSize)
+	data, err = s.dataSSD.Read(off, int(pba.CSize))
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}

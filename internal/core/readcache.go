@@ -1,0 +1,90 @@
+package core
+
+import "container/list"
+
+// readCache is the §8 hot-block extension: an LRU of decompressed chunks
+// in host memory, consulted before the backend on FIDR reads. It absorbs
+// skewed read traffic that would otherwise hammer one data SSD, at the
+// price of host DRAM capacity (cheap) and a host-memory copy per hit.
+type readCache struct {
+	capacity int
+	order    *list.List
+	index    map[uint64]*list.Element
+
+	hits, misses uint64
+}
+
+type readCacheEntry struct {
+	lba  uint64
+	data []byte
+}
+
+func newReadCache(capacity int) *readCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &readCache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// get returns a copy of the cached chunk, if present.
+func (c *readCache) get(lba uint64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.index[lba]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	src := el.Value.(*readCacheEntry).data
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, true
+}
+
+// put caches a chunk (copied), evicting the LRU entry when full.
+func (c *readCache) put(lba uint64, data []byte) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.index[lba]; ok {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		el.Value.(*readCacheEntry).data = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.index[lba] = c.order.PushFront(&readCacheEntry{lba: lba, data: cp})
+	if c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(*readCacheEntry).lba)
+	}
+}
+
+// invalidate drops a stale entry after an overwrite.
+func (c *readCache) invalidate(lba uint64) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.index[lba]; ok {
+		c.order.Remove(el)
+		delete(c.index, lba)
+	}
+}
+
+// hitRate returns hits/(hits+misses).
+func (c *readCache) hitRate() float64 {
+	if c == nil || c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}

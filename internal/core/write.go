@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+
+	"fidr/internal/engine"
+	"fidr/internal/fingerprint"
+	"fidr/internal/hostmodel"
+	"fidr/internal/nic"
+	"fidr/internal/pcie"
+)
+
+// Write ingests one chunk-sized client write. Data is buffered (host
+// memory for the baseline, NIC memory for FIDR) and processed when a full
+// accelerator batch accumulates.
+func (s *Server) Write(lba uint64, data []byte) error {
+	if len(data) != s.cfg.ChunkSize {
+		return fmt.Errorf("core: write of %d bytes, chunk size is %d", len(data), s.cfg.ChunkSize)
+	}
+	s.stats.ClientWrites++
+	s.stats.ClientBytes += uint64(len(data))
+	s.ledger.Client(uint64(len(data)))
+	s.ledger.CPU(hostmodel.CompProtocol, s.costs.ProtocolWriteNs)
+	s.rcache.invalidate(lba)
+	s.latency.observe(LatWriteAck, s.cfg.Arch, 0)
+	s.chargeTenant(true)
+
+	if s.cfg.Arch == Baseline {
+		return s.baselineWrite(lba, data)
+	}
+	return s.fidrWrite(lba, data)
+}
+
+// Flush processes any partial batch and pushes sealed containers to the
+// data SSDs. Call at end of workload (and before relying on SSD-resident
+// state).
+func (s *Server) Flush() error {
+	var err error
+	switch s.cfg.Arch {
+	case Baseline:
+		err = s.processBaselineBatch()
+	default:
+		err = s.processFIDRBatch()
+	}
+	if err != nil {
+		return err
+	}
+	s.comp.Flush()
+	return s.writeSealed()
+}
+
+// --- Baseline (extended CIDR, §2.3) ---
+
+func (s *Server) baselineWrite(lba uint64, data []byte) error {
+	// NIC DMA-writes the client data into the host request buffer.
+	s.pnic.ReceiveWrite(data)
+	s.transfer(devNIC, pcie.HostMemory, uint64(len(data)))
+	s.ledger.Mem(hostmodel.PathNICHost, uint64(len(data)))
+	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.batch = append(s.batch, pending{lba: lba, data: cp, tenant: s.tenant})
+	if len(s.batch) >= s.cfg.BatchChunks {
+		return s.processBaselineBatch()
+	}
+	return nil
+}
+
+// processBaselineBatch runs the §2.3 write flow over the buffered batch.
+func (s *Server) processBaselineBatch() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	batch := s.batch
+	s.batch = nil
+	s.stats.BatchesProcessed++
+
+	// 1. The unique-chunk predictor reads the buffered data and guesses
+	// which chunks are unique; the batch scheduler groups accordingly.
+	for i := range batch {
+		batch[i].predictedUnique = s.pred.Predict(batch[i].data)
+		s.ledger.CPU(hostmodel.CompBatchSched, s.costs.BatchSchedPerChunkNs)
+	}
+
+	// 2. One-time transfer of the whole batch to the FPGA array.
+	var total uint64
+	for i := range batch {
+		total += uint64(len(batch[i].data))
+	}
+	s.transfer(pcie.HostMemory, devFPGA, total)
+	s.ledger.Mem(hostmodel.PathHostFPGA, total)
+	for range batch {
+		s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
+	}
+
+	// 3. FPGA: hash cores fingerprint every chunk; compression cores
+	// simultaneously compress the predicted-unique chunks.
+	type result struct {
+		fp    fingerprint.FP
+		cdata []byte
+	}
+	results := make([]result, len(batch))
+	var backBytes uint64
+	for i := range batch {
+		results[i].fp = fingerprint.Of(batch[i].data)
+		backBytes += fingerprint.Size
+		if batch[i].predictedUnique {
+			cdata, _, err := s.comp.Compress(batch[i].data)
+			if err != nil {
+				return err
+			}
+			results[i].cdata = cdata
+			backBytes += uint64(len(cdata))
+		}
+	}
+	// 4. Hashes and compressed predicted-uniques return to host memory.
+	s.transfer(devFPGA, pcie.HostMemory, backBytes)
+	s.ledger.Mem(hostmodel.PathHostFPGA, backBytes)
+
+	// 5. Software table management validates predictions against the
+	// Hash-PBN table cache.
+	for i := range batch {
+		p := &batch[i]
+		r := &results[i]
+		s.cache.SetTenant(p.tenant)
+		pbn, found, err := s.cache.Lookup(r.fp)
+		if err != nil {
+			return err
+		}
+		s.pred.Confirm(p.predictedUnique, !found)
+		if found {
+			// Duplicate: only the LBA-PBA table is updated. A
+			// wastefully compressed copy (false unique) is dropped.
+			s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
+			if err := s.lba.MapLBA(p.lba, pbn); err != nil {
+				return err
+			}
+			s.stats.DuplicateChunks++
+			continue
+		}
+		if r.cdata == nil {
+			// Misprediction: a unique chunk was predicted duplicate
+			// and skipped compression; it takes another round trip
+			// through the FPGA array.
+			s.stats.Mispredictions++
+			s.transfer(pcie.HostMemory, devFPGA, uint64(len(p.data)))
+			s.ledger.Mem(hostmodel.PathHostFPGA, uint64(len(p.data)))
+			cdata, _, err := s.comp.Compress(p.data)
+			if err != nil {
+				return err
+			}
+			r.cdata = cdata
+			s.transfer(devFPGA, pcie.HostMemory, uint64(len(cdata)))
+			s.ledger.Mem(hostmodel.PathHostFPGA, uint64(len(cdata)))
+			s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
+		}
+		if err := s.admitUnique(p.lba, r.fp, r.cdata, len(p.data)); err != nil {
+			return err
+		}
+	}
+	return s.writeSealed()
+}
+
+// --- FIDR (§5.3) ---
+
+func (s *Server) fidrWrite(lba uint64, data []byte) error {
+	// Step 1: buffer in the NIC's battery-backed memory; the client is
+	// acked immediately. No host resources are touched.
+	if err := s.fnic.BufferWrite(lba, data); err == nic.ErrBufferFull {
+		if perr := s.processFIDRBatch(); perr != nil {
+			return perr
+		}
+		err = s.fnic.BufferWrite(lba, data)
+		if err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	s.fidrTenants = append(s.fidrTenants, s.tenant)
+	if s.fnic.Buffered() >= s.cfg.BatchChunks {
+		return s.processFIDRBatch()
+	}
+	return nil
+}
+
+// processFIDRBatch runs the §5.3 write flow (steps 2-10).
+func (s *Server) processFIDRBatch() error {
+	if s.fnic.Buffered() == 0 {
+		return nil
+	}
+	s.stats.BatchesProcessed++
+
+	// Step 2: NIC hash cores fingerprint the batch; only the hash
+	// values cross PCIe into host memory.
+	entries := s.fnic.HashAll()
+	hashBytes := uint64(len(entries)) * fingerprint.Size
+	s.transfer(devNIC, pcie.HostMemory, hashBytes)
+	s.ledger.Mem(hostmodel.PathNICHost, hashBytes)
+	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerBatchNs)
+	for range entries {
+		s.ledger.CPU(hostmodel.CompDeviceMgr, s.costs.DeviceMgrPerChunkNs)
+	}
+
+	// Step 3: the device manager sends bucket indexes to the Cache
+	// HW-Engine (full FIDR only; with software caching this stays on
+	// the host).
+	if s.cfg.Arch == FIDRFull {
+		s.transfer(pcie.HostMemory, devCacheHW, uint64(len(entries))*8)
+		s.transfer(devCacheHW, pcie.HostMemory, uint64(len(entries))*8)
+	}
+
+	// Steps 4-5: host software scans the cached buckets and determines
+	// uniqueness; duplicates update only the LBA-PBA table.
+	tenants := s.fidrTenants
+	s.fidrTenants = nil
+	tenantAt := func(i int) string {
+		if i < len(tenants) {
+			return tenants[i]
+		}
+		return ""
+	}
+	flags := make([]bool, len(entries))
+	dupPBN := make([]uint64, len(entries))
+	for i, e := range entries {
+		s.cache.SetTenant(tenantAt(i))
+		pbn, found, err := s.cache.Lookup(e.FP)
+		if err != nil {
+			return err
+		}
+		if found {
+			dupPBN[i] = pbn
+		} else {
+			flags[i] = true
+			// Within-batch duplicates: the first occurrence claims
+			// uniqueness; later identical chunks must see it. Insert
+			// a provisional mapping after admission (below), so here
+			// check prior entries of this batch.
+			for j := 0; j < i; j++ {
+				if flags[j] && entries[j].FP == e.FP {
+					flags[i] = false
+					dupPBN[i] = provisionalPBN
+					break
+				}
+			}
+		}
+	}
+
+	// Step 6: uniqueness flags return to the NIC.
+	s.transfer(pcie.HostMemory, devNIC, uint64(len(entries)))
+	s.ledger.Mem(hostmodel.PathNICHost, uint64(len(entries)))
+
+	// Step 7: the NIC's compression scheduler builds a batch of unique
+	// chunks and sends it peer-to-peer to the Compression Engine.
+	unique, err := s.fnic.ScheduleBatch(flags)
+	if err != nil {
+		return err
+	}
+	var uniqueBytes uint64
+	for i := range unique {
+		uniqueBytes += uint64(len(unique[i].Data))
+	}
+	s.transfer(devNIC, devComp, uniqueBytes)
+
+	// Step 8: the engine compresses and packs; only metadata reaches
+	// the host. uniqueTenants aligns with unique (ScheduleBatch
+	// preserves buffer order).
+	var uniqueTenants []string
+	for i, isUnique := range flags {
+		if isUnique {
+			uniqueTenants = append(uniqueTenants, tenantAt(i))
+		}
+	}
+	fpToPBN := make(map[fingerprint.FP]uint64, len(unique))
+	for ui, u := range unique {
+		s.cache.SetTenant(uniqueTenants[ui])
+		cdata, _, err := s.comp.Compress(u.Data)
+		if err != nil {
+			return err
+		}
+		meta, err := s.comp.Pack(u.LBA, u.FP, cdata, len(u.Data))
+		if err != nil {
+			return err
+		}
+		pbn, err := s.recordUnique(meta)
+		if err != nil {
+			return err
+		}
+		fpToPBN[u.FP] = pbn
+	}
+	metaBytes := uint64(len(unique)) * 16
+	s.transfer(devComp, pcie.HostMemory, metaBytes)
+	s.ledger.Mem(hostmodel.PathHostFPGA, metaBytes)
+
+	// Apply LBA mappings strictly in request order so that a later
+	// write to an LBA (unique or duplicate) wins over an earlier one in
+	// the same batch.
+	for i, e := range entries {
+		var pbn uint64
+		switch {
+		case flags[i]:
+			p, ok := fpToPBN[e.FP]
+			if !ok {
+				return fmt.Errorf("core: unique chunk %v was not admitted", e.FP)
+			}
+			pbn = p
+		case dupPBN[i] == provisionalPBN:
+			p, ok := fpToPBN[e.FP]
+			if !ok {
+				return fmt.Errorf("core: within-batch duplicate of %v lost its unique twin", e.FP)
+			}
+			pbn = p
+			s.stats.DuplicateChunks++
+		default:
+			pbn = dupPBN[i]
+			s.stats.DuplicateChunks++
+		}
+		s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
+		if err := s.lba.MapLBA(e.LBA, pbn); err != nil {
+			return err
+		}
+	}
+
+	// Steps 9-10: sealed containers go engine -> data SSD peer-to-peer.
+	return s.writeSealed()
+}
+
+// provisionalPBN marks a within-batch duplicate whose unique twin has not
+// been admitted yet.
+const provisionalPBN = ^uint64(0)
+
+// admitUnique packs an already-compressed unique chunk (baseline path:
+// compressed data sits in host memory) and records its metadata.
+func (s *Server) admitUnique(lba uint64, fp fingerprint.FP, cdata []byte, rawSize int) error {
+	meta, err := s.comp.Pack(lba, fp, cdata, rawSize)
+	if err != nil {
+		return err
+	}
+	_, err = s.recordUnique(meta)
+	return err
+}
+
+// recordUnique updates the LBA-PBA table and the Hash-PBN cache for a
+// newly packed unique chunk, returning its PBN.
+func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
+	s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
+	pbn, err := s.lba.AppendChunk(meta.LBA, meta.Container, meta.Offset, meta.CSize)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.cache.Insert(meta.FP, pbn); err != nil {
+		return 0, err
+	}
+	for uint64(len(s.pbnFP)) <= pbn {
+		s.pbnFP = append(s.pbnFP, fingerprint.FP{})
+	}
+	s.pbnFP[pbn] = meta.FP
+	s.stats.UniqueChunks++
+	s.stats.StoredBytes += uint64(meta.CSize)
+	return pbn, nil
+}
+
+// writeSealed pushes sealed containers to the data SSDs. The baseline
+// holds container data in host memory (the SSD DMA-reads it out); FIDR
+// transfers engine -> SSD peer-to-peer under the switch.
+func (s *Server) writeSealed() error {
+	for _, sc := range s.comp.TakeSealed() {
+		off := sc.Index * uint64(len(sc.Data))
+		if err := s.dataSSD.Write(off, sc.Data); err != nil {
+			return err
+		}
+		n := uint64(len(sc.Data))
+		if s.cfg.Arch == Baseline {
+			s.transfer(pcie.HostMemory, devDataSSD, n)
+			s.ledger.Mem(hostmodel.PathHostSSD, n)
+		} else {
+			s.transfer(devComp, devDataSSD, n)
+		}
+		// Data-SSD queues live in host memory in both architectures;
+		// container writes are sequential and batched, so the stack
+		// cost is per container, not per chunk.
+		s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
+	}
+	return nil
+}

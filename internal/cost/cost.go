@@ -1,0 +1,219 @@
+// Package cost implements the paper's cost analysis (§7.8, Figures 15
+// and 16): the dollar cost of a storage server as the sum of the data
+// SSDs that survive data reduction plus the added reduction hardware
+// (CPU, FPGAs, DRAM, table SSDs), compared against a no-reduction server
+// and against the baseline — which cannot scale past its per-socket
+// bottleneck and must fall back to *partial* reduction, inflating its
+// SSD bill.
+package cost
+
+import "math"
+
+// Prices follow §7.8 (2019 street prices).
+type Prices struct {
+	// SSDPerGB is flash cost ($0.5/GB).
+	SSDPerGB float64
+	// DRAMPerGB is memory cost ($5.5/GB).
+	DRAMPerGB float64
+	// CPU is one 22-core Xeon E5-4669 v4 ($7000).
+	CPU float64
+	// FPGA is one high-end FPGA board (VCU9P class, $7000).
+	FPGA float64
+	// FPGAUsable derates FPGA capacity: only 70% of resources are
+	// practically usable.
+	FPGAUsable float64
+}
+
+// PaperPrices returns the §7.8 price list.
+func PaperPrices() Prices {
+	return Prices{SSDPerGB: 0.5, DRAMPerGB: 5.5, CPU: 7000, FPGA: 7000, FPGAUsable: 0.7}
+}
+
+// Platform captures the per-device capability/utilization constants the
+// scaling model needs. Utilizations come from the area models (Tables 4
+// and 5); throughputs from the evaluation.
+type Platform struct {
+	// NICLineRate is one FIDR NIC's throughput (64 Gbps).
+	NICLineRate float64
+	// NICSupportUtil is the data-reduction share of one NIC FPGA
+	// (Table 4: ~10.7% LUTs; the basic NIC is a fixed ASIC cost any
+	// server pays).
+	NICSupportUtil float64
+	// CompEngineRate is one Compression Engine FPGA's throughput.
+	CompEngineRate float64
+	// CompEngineUtil is its FPGA utilization.
+	CompEngineUtil float64
+	// CacheEngineRate is one Cache HW-Engine's throughput (Table 5).
+	CacheEngineRate float64
+	// CacheEngineUtil is its FPGA utilization (Table 5: ~27% LUTs).
+	CacheEngineUtil float64
+	// BaselineFPGARate is the baseline's integrated hash+compression
+	// FPGA throughput (CIDR: >20 GB/s per two FPGAs).
+	BaselineFPGARate float64
+	// BaselineFPGAUtil is its utilization.
+	BaselineFPGAUtil float64
+	// CoresPerSocket matches the cost of one CPU.
+	CoresPerSocket float64
+	// TableCacheFraction is the cached share of the reduction tables
+	// (2.8% in the paper's workload setup).
+	TableCacheFraction float64
+	// TableLoadFactor derates Hash-PBN table occupancy.
+	TableLoadFactor float64
+	// ChunkBytes is the dedup granularity.
+	ChunkBytes float64
+}
+
+// PaperPlatform returns the constants used for Figures 15-16.
+func PaperPlatform() Platform {
+	return Platform{
+		NICLineRate:        8e9,
+		NICSupportUtil:     0.107,
+		CompEngineRate:     25e9,
+		CompEngineUtil:     0.35,
+		CacheEngineRate:    64e9,
+		CacheEngineUtil:    0.271,
+		BaselineFPGARate:   10e9,
+		BaselineFPGAUtil:   0.50,
+		CoresPerSocket:     22,
+		TableCacheFraction: 0.028,
+		TableLoadFactor:    0.5,
+		ChunkBytes:         4096,
+	}
+}
+
+// Workload holds reduction ratios and measured host intensities.
+type Workload struct {
+	// DedupRatio is the duplicate fraction (0.5 in §7.8).
+	DedupRatio float64
+	// CompRatio is compressed/original size (0.5 in §7.8).
+	CompRatio float64
+	// CPUNsPerByte is the architecture's measured host-CPU intensity
+	// (from hostmodel snapshots).
+	CPUNsPerByte float64
+	// MemPerByte is the architecture's measured host-memory intensity,
+	// used to find the baseline's per-socket throughput wall.
+	MemPerByte float64
+}
+
+// StoredFraction is bytes stored per client byte under full reduction.
+func (w Workload) StoredFraction() float64 {
+	return (1 - w.DedupRatio) * w.CompRatio
+}
+
+// Breakdown itemizes a configuration's cost in dollars.
+type Breakdown struct {
+	DataSSD  float64
+	TableSSD float64
+	DRAM     float64
+	CPU      float64
+	FPGA     float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.DataSSD + b.TableSSD + b.DRAM + b.CPU + b.FPGA
+}
+
+// Model evaluates configurations.
+type Model struct {
+	Prices   Prices
+	Platform Platform
+}
+
+// NewModel builds a model from the paper's constants.
+func NewModel() Model {
+	return Model{Prices: PaperPrices(), Platform: PaperPlatform()}
+}
+
+// NoReduction returns the cost of storing capacityBytes raw.
+func (m Model) NoReduction(capacityBytes float64) Breakdown {
+	return Breakdown{DataSSD: capacityBytes / 1e9 * m.Prices.SSDPerGB}
+}
+
+// fpgaCost prices n FPGAs at the given per-board utilization.
+func (m Model) fpgaCost(n float64, util float64) float64 {
+	return n * m.Prices.FPGA * math.Min(1, util/m.Prices.FPGAUsable)
+}
+
+// tableCosts returns (table SSD, DRAM) cost for reducing uniqueBytes of
+// stored unique data.
+func (m Model) tableCosts(uniqueBytes float64) (tableSSD, dram float64) {
+	entries := uniqueBytes / m.Platform.ChunkBytes
+	tableBytes := entries * 38 / m.Platform.TableLoadFactor
+	tableSSD = tableBytes / 1e9 * m.Prices.SSDPerGB
+	// DRAM: the cached table share plus an equal allowance for the
+	// LBA-PBA cache and buffers.
+	dramBytes := tableBytes*m.Platform.TableCacheFraction*2 + 8e9
+	dram = dramBytes / 1e9 * m.Prices.DRAMPerGB
+	return tableSSD, dram
+}
+
+// FIDR returns the cost of a FIDR server with effective (client-visible)
+// capacity capacityBytes at throughput bps.
+func (m Model) FIDR(capacityBytes, bps float64, w Workload) Breakdown {
+	var b Breakdown
+	stored := capacityBytes * w.StoredFraction()
+	b.DataSSD = stored / 1e9 * m.Prices.SSDPerGB
+
+	unique := capacityBytes * (1 - w.DedupRatio)
+	b.TableSSD, b.DRAM = m.tableCosts(unique)
+
+	// CPU: measured FIDR host intensity, in socket fractions.
+	cores := w.CPUNsPerByte * bps / 1e9
+	b.CPU = cores / m.Platform.CoresPerSocket * m.Prices.CPU
+
+	// FPGAs: NIC support logic + Compression Engines + Cache HW-Engines.
+	p := m.Platform
+	b.FPGA = m.fpgaCost(math.Ceil(bps/p.NICLineRate), p.NICSupportUtil) +
+		m.fpgaCost(math.Ceil(bps/p.CompEngineRate), p.CompEngineUtil) +
+		m.fpgaCost(math.Ceil(bps/p.CacheEngineRate), p.CacheEngineUtil)
+	return b
+}
+
+// BaselineMaxThroughput returns the baseline's per-socket throughput
+// wall: the point where projected cores exceed the socket or projected
+// memory bandwidth exceeds the socket's 170 GB/s.
+func (m Model) BaselineMaxThroughput(w Workload) float64 {
+	limit := math.Inf(1)
+	if w.CPUNsPerByte > 0 {
+		limit = math.Min(limit, m.Platform.CoresPerSocket*1e9/w.CPUNsPerByte)
+	}
+	if w.MemPerByte > 0 {
+		limit = math.Min(limit, 170e9/w.MemPerByte)
+	}
+	return limit
+}
+
+// Baseline returns the cost of the baseline server at throughput bps.
+// Beyond its per-socket wall it reduces only the fraction of traffic it
+// can keep up with (partial reduction, §7.8), storing the rest raw.
+func (m Model) Baseline(capacityBytes, bps float64, w Workload) Breakdown {
+	var b Breakdown
+	maxT := m.BaselineMaxThroughput(w)
+	frac := 1.0
+	if bps > maxT {
+		frac = maxT / bps
+	}
+	stored := capacityBytes * (frac*w.StoredFraction() + (1 - frac))
+	b.DataSSD = stored / 1e9 * m.Prices.SSDPerGB
+
+	unique := capacityBytes * frac * (1 - w.DedupRatio)
+	b.TableSSD, b.DRAM = m.tableCosts(unique)
+
+	reduced := math.Min(bps, maxT)
+	cores := w.CPUNsPerByte * reduced / 1e9
+	b.CPU = cores / m.Platform.CoresPerSocket * m.Prices.CPU
+
+	b.FPGA = m.fpgaCost(math.Ceil(reduced/m.Platform.BaselineFPGARate), m.Platform.BaselineFPGAUtil)
+	return b
+}
+
+// Saving returns the fractional cost saving of a configuration versus
+// the no-reduction server of the same effective capacity.
+func (m Model) Saving(b Breakdown, capacityBytes float64) float64 {
+	base := m.NoReduction(capacityBytes).Total()
+	if base == 0 {
+		return 0
+	}
+	return 1 - b.Total()/base
+}

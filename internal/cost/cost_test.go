@@ -1,0 +1,131 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// paperWorkload uses the §7.8 ratios with host intensities near the
+// measured values (baseline ~0.89 ns/B and 4.2 B/B; FIDR ~0.28 ns/B).
+func fidrWorkload() Workload {
+	return Workload{DedupRatio: 0.5, CompRatio: 0.5, CPUNsPerByte: 0.28, MemPerByte: 0.9}
+}
+
+func baselineWorkload() Workload {
+	return Workload{DedupRatio: 0.5, CompRatio: 0.5, CPUNsPerByte: 0.893, MemPerByte: 4.23}
+}
+
+func TestStoredFraction(t *testing.T) {
+	w := fidrWorkload()
+	if got := w.StoredFraction(); got != 0.25 {
+		t.Fatalf("stored fraction = %v, want 0.25", got)
+	}
+}
+
+func TestNoReduction(t *testing.T) {
+	m := NewModel()
+	b := m.NoReduction(500e12)
+	if b.Total() != 250000 {
+		t.Fatalf("500 TB raw = $%.0f, want $250000", b.Total())
+	}
+}
+
+func TestFIDRSavingAnchors(t *testing.T) {
+	// Paper: at 500 TB effective capacity, FIDR saves 67% at 25 GB/s
+	// and 58% at 75 GB/s.
+	m := NewModel()
+	w := fidrWorkload()
+	const cap500 = 500e12
+	s25 := m.Saving(m.FIDR(cap500, 25e9, w), cap500)
+	s75 := m.Saving(m.FIDR(cap500, 75e9, w), cap500)
+	if s25 < 0.62 || s25 > 0.72 {
+		t.Errorf("saving at 25 GB/s = %.3f, paper 0.67", s25)
+	}
+	if s75 < 0.53 || s75 > 0.63 {
+		t.Errorf("saving at 75 GB/s = %.3f, paper 0.58", s75)
+	}
+	if s75 >= s25 {
+		t.Error("saving should shrink with throughput (more reduction HW)")
+	}
+}
+
+func TestBaselineWallAndPartialReduction(t *testing.T) {
+	m := NewModel()
+	bw := baselineWorkload()
+	wall := m.BaselineMaxThroughput(bw)
+	// CPU wall: 22/0.893 = 24.6 GB/s (the paper's "fails beyond
+	// ~25 GB/s per socket").
+	if wall < 22e9 || wall > 28e9 {
+		t.Fatalf("baseline wall = %.1f GB/s, want ~24.6", wall/1e9)
+	}
+	const cap500 = 500e12
+	// Below the wall, the baseline does full reduction and costs about
+	// the same as FIDR.
+	low := m.Baseline(cap500, 20e9, bw)
+	fidrLow := m.FIDR(cap500, 20e9, fidrWorkload())
+	if ratio := low.Total() / fidrLow.Total(); ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("low-throughput cost ratio baseline/FIDR = %.2f, paper ~1", ratio)
+	}
+	// At 75 GB/s the baseline reduces only ~1/3 of traffic and its SSD
+	// bill balloons: Figure 16 shows roughly 2x FIDR's cost.
+	high := m.Baseline(cap500, 75e9, bw)
+	fidrHigh := m.FIDR(cap500, 75e9, fidrWorkload())
+	if ratio := high.Total() / fidrHigh.Total(); ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("75 GB/s cost ratio baseline/FIDR = %.2f, paper ~2", ratio)
+	}
+	if high.DataSSD <= fidrHigh.DataSSD {
+		t.Error("partial reduction should inflate baseline SSD cost")
+	}
+}
+
+func TestSavingScalesWithCapacity(t *testing.T) {
+	// Reduction HW is amortized better at higher capacity: saving at
+	// 500 TB must beat saving at 100 TB for the same throughput.
+	m := NewModel()
+	w := fidrWorkload()
+	s100 := m.Saving(m.FIDR(100e12, 75e9, w), 100e12)
+	s500 := m.Saving(m.FIDR(500e12, 75e9, w), 500e12)
+	if s500 <= s100 {
+		t.Errorf("saving at 500 TB (%.3f) not above 100 TB (%.3f)", s500, s100)
+	}
+}
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	m := NewModel()
+	b := m.FIDR(500e12, 75e9, fidrWorkload())
+	for name, v := range map[string]float64{
+		"DataSSD": b.DataSSD, "TableSSD": b.TableSSD,
+		"DRAM": b.DRAM, "CPU": b.CPU, "FPGA": b.FPGA,
+	} {
+		if v <= 0 {
+			t.Errorf("%s cost = %v", name, v)
+		}
+	}
+	if math.Abs(b.Total()-(b.DataSSD+b.TableSSD+b.DRAM+b.CPU+b.FPGA)) > 1e-9 {
+		t.Error("total != sum of parts")
+	}
+	// Data SSDs dominate at PB scale (Figure 16's shape).
+	if b.DataSSD < b.Total()/2 {
+		t.Errorf("data SSDs are %.0f of %.0f; should dominate", b.DataSSD, b.Total())
+	}
+}
+
+func TestBaselineUnboundedWorkload(t *testing.T) {
+	m := NewModel()
+	w := Workload{DedupRatio: 0.5, CompRatio: 0.5}
+	if wall := m.BaselineMaxThroughput(w); !math.IsInf(wall, 1) {
+		t.Fatalf("zero intensities should mean no wall, got %v", wall)
+	}
+	// Full reduction then.
+	b := m.Baseline(100e12, 75e9, w)
+	if b.DataSSD != 100e12/1e9*0.5*0.25 {
+		t.Fatalf("full reduction SSD cost = %v", b.DataSSD)
+	}
+}
+
+func TestSavingZeroCapacity(t *testing.T) {
+	m := NewModel()
+	if s := m.Saving(Breakdown{}, 0); s != 0 {
+		t.Fatalf("saving on zero capacity = %v", s)
+	}
+}

@@ -1,0 +1,230 @@
+// Package engine models the FIDR Compression and Decompression Engines:
+// dedicated FPGA accelerators that compress batches of unique chunks into
+// 4-MiB containers (write path) and decompress chunk batches (read path).
+//
+// Two architectural differences from the baseline's integrated FPGA array
+// matter here (§6.1):
+//
+//  1. no hashing cores — hashing moved to the NIC, and
+//  2. compressed data stays in engine memory for direct P2P transfer to
+//     the data SSDs; only per-chunk metadata (compressed sizes, LBAs)
+//     goes to the host.
+//
+// The engine is functional: it runs a real compressor and packs real
+// containers. Incompressible chunks are stored raw (CSize == chunk size
+// signals "raw" to the read path).
+package engine
+
+import (
+	"fmt"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/fingerprint"
+	"fidr/internal/lbatable"
+)
+
+// ChunkMeta is the per-chunk metadata an engine reports to the host after
+// compression (§5.3 step 8).
+type ChunkMeta struct {
+	LBA       uint64
+	FP        fingerprint.FP
+	Container uint64
+	Offset    uint32
+	CSize     uint32
+	RawSize   uint32
+}
+
+// IsRaw reports whether the chunk was stored uncompressed.
+func (m ChunkMeta) IsRaw() bool { return m.CSize == m.RawSize }
+
+// SealedContainer is a full container ready for one sequential SSD write.
+type SealedContainer struct {
+	Index uint64
+	Data  []byte
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	ChunksIn         uint64
+	BytesIn          uint64
+	BytesCompressed  uint64
+	RawStored        uint64
+	ContainersSealed uint64
+}
+
+// CompressionRatio returns compressed-out/bytes-in.
+func (s Stats) CompressionRatio() float64 {
+	if s.BytesIn == 0 {
+		return 1
+	}
+	return float64(s.BytesCompressed) / float64(s.BytesIn)
+}
+
+// Compression is one Compression Engine.
+type Compression struct {
+	comp    blockcomp.Compressor
+	builder *lbatable.Builder
+	// sealed containers wait in engine memory for P2P pickup.
+	sealed []SealedContainer
+	stats  Stats
+}
+
+// NewCompression creates an engine producing containers of containerSize
+// bytes using comp.
+func NewCompression(comp blockcomp.Compressor, containerSize int) (*Compression, error) {
+	return NewCompressionAt(comp, containerSize, 0)
+}
+
+// NewCompressionAt creates an engine whose first container has the given
+// index — used when recovering a server whose earlier containers are
+// already on the data SSDs.
+func NewCompressionAt(comp blockcomp.Compressor, containerSize int, firstContainer uint64) (*Compression, error) {
+	b, err := lbatable.NewBuilder(containerSize, firstContainer)
+	if err != nil {
+		return nil, err
+	}
+	return &Compression{comp: comp, builder: b}, nil
+}
+
+// In is one chunk entering the engine.
+type In struct {
+	LBA  uint64
+	FP   fingerprint.FP
+	Data []byte
+}
+
+// Compress runs the compression cores over one chunk without packing it.
+// Incompressible chunks fall back to their raw bytes. The baseline needs
+// this split: it compresses *predicted*-unique chunks speculatively but
+// packs only chunks that dedup validates as unique.
+func (e *Compression) Compress(data []byte) (cdata []byte, raw bool, err error) {
+	if len(data) == 0 {
+		return nil, false, fmt.Errorf("engine: empty chunk")
+	}
+	cdata, err = e.comp.Compress(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: compress: %w", err)
+	}
+	e.stats.ChunksIn++
+	e.stats.BytesIn += uint64(len(data))
+	if len(cdata) >= len(data) {
+		e.stats.RawStored++
+		e.stats.BytesCompressed += uint64(len(data))
+		return data, true, nil
+	}
+	e.stats.BytesCompressed += uint64(len(cdata))
+	return cdata, false, nil
+}
+
+// Pack places an already-compressed chunk into the open container,
+// sealing full containers as needed, and returns its metadata.
+func (e *Compression) Pack(lba uint64, fp fingerprint.FP, cdata []byte, rawSize int) (ChunkMeta, error) {
+	if !e.builder.Fits(len(cdata)) {
+		e.seal()
+	}
+	container, off, err := e.builder.Append(cdata)
+	if err != nil {
+		return ChunkMeta{}, fmt.Errorf("engine: pack LBA %d: %w", lba, err)
+	}
+	return ChunkMeta{
+		LBA:       lba,
+		FP:        fp,
+		Container: container,
+		Offset:    off,
+		CSize:     uint32(len(cdata)),
+		RawSize:   uint32(rawSize),
+	}, nil
+}
+
+// CompressBatch compresses a batch of unique chunks, packing them into
+// containers. It returns per-chunk metadata; sealed containers accumulate
+// until TakeSealed.
+func (e *Compression) CompressBatch(batch []In) ([]ChunkMeta, error) {
+	metas := make([]ChunkMeta, 0, len(batch))
+	for _, in := range batch {
+		cdata, _, err := e.Compress(in.Data)
+		if err != nil {
+			return nil, fmt.Errorf("engine: LBA %d: %w", in.LBA, err)
+		}
+		m, err := e.Pack(in.LBA, in.FP, cdata, len(in.Data))
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// ReadPending serves a chunk that still sits in the engine's open
+// container (not yet sealed or written to an SSD). Returns false if the
+// requested container is not the open one.
+func (e *Compression) ReadPending(container uint64, off uint32, n uint32) ([]byte, bool) {
+	if container != e.builder.Container() {
+		return nil, false
+	}
+	data, ok := e.builder.Peek(int(off), int(n))
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out, true
+}
+
+// seal closes the open container into the sealed queue.
+func (e *Compression) seal() {
+	if idx, data, ok := e.builder.Seal(); ok {
+		e.sealed = append(e.sealed, SealedContainer{Index: idx, Data: data})
+		e.stats.ContainersSealed++
+	}
+}
+
+// Flush seals the open container even if below threshold (shutdown or
+// end-of-workload path).
+func (e *Compression) Flush() { e.seal() }
+
+// TakeSealed removes and returns all sealed containers (the data SSDs
+// fetch them straight from engine memory over PCIe P2P).
+func (e *Compression) TakeSealed() []SealedContainer {
+	out := e.sealed
+	e.sealed = nil
+	return out
+}
+
+// OpenContainer returns the index of the container currently being packed.
+func (e *Compression) OpenContainer() uint64 { return e.builder.Container() }
+
+// Stats returns a snapshot.
+func (e *Compression) Stats() Stats { return e.stats }
+
+// Decompression is one Decompression Engine.
+type Decompression struct {
+	comp   blockcomp.Compressor
+	chunks uint64
+	bytes  uint64
+}
+
+// NewDecompression creates a decompression engine using comp.
+func NewDecompression(comp blockcomp.Compressor) *Decompression {
+	return &Decompression{comp: comp}
+}
+
+// Decompress restores one chunk. Raw-stored chunks (csize == rawSize)
+// pass through.
+func (d *Decompression) Decompress(cdata []byte, rawSize int) ([]byte, error) {
+	d.chunks++
+	d.bytes += uint64(rawSize)
+	if len(cdata) == rawSize {
+		out := make([]byte, rawSize)
+		copy(out, cdata)
+		return out, nil
+	}
+	out, err := d.comp.Decompress(cdata, rawSize)
+	if err != nil {
+		return nil, fmt.Errorf("engine: decompress: %w", err)
+	}
+	return out, nil
+}
+
+// Decompressed returns (chunks, bytes) served.
+func (d *Decompression) Decompressed() (uint64, uint64) { return d.chunks, d.bytes }

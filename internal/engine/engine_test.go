@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/fingerprint"
+)
+
+func newEngine(t *testing.T, containerSize int) *Compression {
+	t.Helper()
+	e, err := NewCompression(blockcomp.NewLZ(), containerSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mkIn(seed uint64, ratio float64) In {
+	sh := blockcomp.NewShaper(ratio)
+	data := sh.Make(seed, 4096)
+	return In{LBA: seed, FP: fingerprint.Of(data), Data: data}
+}
+
+func TestCompressBatchMetadata(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	batch := []In{mkIn(1, 0.5), mkIn(2, 0.5), mkIn(3, 0.5)}
+	metas, err := e.CompressBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 3 {
+		t.Fatalf("%d metas", len(metas))
+	}
+	for i, m := range metas {
+		if m.LBA != batch[i].LBA || m.FP != batch[i].FP {
+			t.Fatalf("meta %d identity mismatch", i)
+		}
+		if m.RawSize != 4096 || m.CSize == 0 || m.CSize > 4096 {
+			t.Fatalf("meta %d sizes: %+v", i, m)
+		}
+		if m.IsRaw() {
+			t.Fatalf("50%%-compressible chunk stored raw")
+		}
+	}
+	st := e.Stats()
+	if st.ChunksIn != 3 || st.BytesIn != 3*4096 {
+		t.Fatalf("stats %+v", st)
+	}
+	if r := st.CompressionRatio(); r < 0.35 || r > 0.65 {
+		t.Fatalf("compression ratio %.3f for 50%% shaped data", r)
+	}
+}
+
+func TestRawFallbackForIncompressible(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	in := mkIn(7, 1.0) // fully random
+	metas, err := e.CompressBatch([]In{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metas[0].IsRaw() {
+		t.Fatal("incompressible chunk not stored raw")
+	}
+	if e.Stats().RawStored != 1 {
+		t.Fatal("raw counter not incremented")
+	}
+}
+
+func TestContainerSealAndRoundTrip(t *testing.T) {
+	// Small containers force seals mid-batch; every chunk must be
+	// recoverable from the sealed container bytes.
+	e := newEngine(t, 8192)
+	var ins []In
+	for i := uint64(0); i < 20; i++ {
+		ins = append(ins, mkIn(i, 0.5))
+	}
+	metas, err := e.CompressBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	sealed := e.TakeSealed()
+	if len(sealed) < 2 {
+		t.Fatalf("only %d sealed containers", len(sealed))
+	}
+	byIndex := make(map[uint64][]byte)
+	for _, s := range sealed {
+		if len(s.Data) != 8192 {
+			t.Fatalf("container %d size %d", s.Index, len(s.Data))
+		}
+		byIndex[s.Index] = s.Data
+	}
+	d := NewDecompression(blockcomp.NewLZ())
+	for i, m := range metas {
+		cont, ok := byIndex[m.Container]
+		if !ok {
+			t.Fatalf("chunk %d in missing container %d", i, m.Container)
+		}
+		cdata := cont[m.Offset : m.Offset+m.CSize]
+		out, err := d.Decompress(cdata, int(m.RawSize))
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(out, ins[i].Data) {
+			t.Fatalf("chunk %d corrupted through container", i)
+		}
+	}
+	if e.Stats().ContainersSealed != uint64(len(sealed)) {
+		t.Fatal("sealed counter mismatch")
+	}
+	chunks, bytesOut := d.Decompressed()
+	if chunks != uint64(len(metas)) || bytesOut != uint64(len(metas))*4096 {
+		t.Fatalf("decompression counters %d/%d", chunks, bytesOut)
+	}
+}
+
+func TestTakeSealedDrains(t *testing.T) {
+	e := newEngine(t, 8192)
+	e.CompressBatch([]In{mkIn(1, 0.5)})
+	e.Flush()
+	if got := e.TakeSealed(); len(got) != 1 {
+		t.Fatalf("first take: %d", len(got))
+	}
+	if got := e.TakeSealed(); len(got) != 0 {
+		t.Fatalf("second take: %d", len(got))
+	}
+}
+
+func TestEmptyChunkRejected(t *testing.T) {
+	e := newEngine(t, 8192)
+	if _, err := e.CompressBatch([]In{{LBA: 1}}); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+}
+
+func TestRawDecompressPassthrough(t *testing.T) {
+	d := NewDecompression(blockcomp.NewLZ())
+	raw := []byte("stored raw because incompressible")
+	out, err := d.Decompress(raw, len(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatal("raw passthrough mutated data")
+	}
+	// The returned slice must be a copy, not an alias.
+	out[0] = 'X'
+	if raw[0] == 'X' {
+		t.Fatal("passthrough aliased input")
+	}
+}
+
+func TestInvalidContainerSize(t *testing.T) {
+	if _, err := NewCompression(blockcomp.NewLZ(), 100); err == nil {
+		t.Fatal("bad container size accepted")
+	}
+}
+
+func BenchmarkCompressBatch(b *testing.B) {
+	e, err := NewCompression(blockcomp.NewLZ(), 4<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]In, 16)
+	for i := range ins {
+		sh := blockcomp.NewShaper(0.5)
+		data := sh.Make(uint64(i), 4096)
+		ins[i] = In{LBA: uint64(i), Data: data}
+	}
+	b.SetBytes(16 * 4096)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CompressBatch(ins); err != nil {
+			b.Fatal(err)
+		}
+		e.TakeSealed()
+	}
+}

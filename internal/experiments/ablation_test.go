@@ -1,0 +1,183 @@
+package experiments
+
+import "testing"
+
+func TestAblationChunkSizeShape(t *testing.T) {
+	rows, tab, err := AblationChunkSize(Scale{IOs: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Amplification grows with chunk size; dedup and table size shrink.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Amplification < rows[i-1].Amplification {
+			t.Errorf("amplification not increasing at %d KB", rows[i].ChunkKB)
+		}
+		if rows[i].DedupRatio > rows[i-1].DedupRatio+0.01 {
+			t.Errorf("dedup not degrading at %d KB", rows[i].ChunkKB)
+		}
+		if rows[i].TableGB >= rows[i-1].TableGB {
+			t.Errorf("table not shrinking at %d KB", rows[i].ChunkKB)
+		}
+	}
+	// 4-KB table for 1 PB is ~9.5 TB (paper §2.1.3).
+	if rows[0].TableGB < 8000 || rows[0].TableGB > 12000 {
+		t.Errorf("4-KB table = %.0f GB, want ~9500", rows[0].TableGB)
+	}
+	_ = tab.String()
+}
+
+func TestAblationBatchShape(t *testing.T) {
+	rows, _, err := AblationBatch(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// CPU per byte should not increase with batch size (doorbell
+	// amortization); memory per byte stays in a tight band.
+	if rows[2].CPUNsPerByte > rows[0].CPUNsPerByte*1.05 {
+		t.Errorf("larger batches raised CPU: %.3f -> %.3f",
+			rows[0].CPUNsPerByte, rows[2].CPUNsPerByte)
+	}
+}
+
+func TestAblationCacheShape(t *testing.T) {
+	rows, _, err := AblationCache(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HitRate+0.02 < rows[i-1].HitRate {
+			t.Errorf("hit rate fell with more cache: %.3f -> %.3f",
+				rows[i-1].HitRate, rows[i].HitRate)
+		}
+		if rows[i].ModelGBps+1 < rows[i-1].ModelGBps {
+			t.Errorf("throughput fell with more cache")
+		}
+	}
+}
+
+func TestAblationWidthShape(t *testing.T) {
+	rows, _, err := AblationWidth(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GBps+0.5 < rows[i-1].GBps {
+			t.Errorf("throughput decreased at width %d", rows[i].Width)
+		}
+		if rows[i].CrashRate+0.001 < rows[i-1].CrashRate {
+			t.Errorf("crash rate decreased at width %d", rows[i].Width)
+		}
+	}
+	// Diminishing returns: width 8 gains far less over 4 than 4 over 1.
+	gainLow := rows[2].GBps - rows[0].GBps
+	gainHigh := rows[4].GBps - rows[2].GBps
+	if gainHigh > gainLow/2 {
+		t.Errorf("no knee at width 4: gains %.1f then %.1f", gainLow, gainHigh)
+	}
+}
+
+func TestAblationReadOffloadShape(t *testing.T) {
+	rows, _, err := AblationReadOffload(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].CPUNsPerByte >= rows[0].CPUNsPerByte {
+		t.Error("offload did not cut CPU")
+	}
+	if rows[1].ProjectedGB <= rows[0].ProjectedGB {
+		t.Error("offload did not raise projected throughput")
+	}
+}
+
+func TestAblationReadCacheShape(t *testing.T) {
+	rows, _, err := AblationReadCache(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].SSDReadFrac >= rows[0].SSDReadFrac {
+		t.Errorf("read cache did not reduce SSD reads: %.3f -> %.3f",
+			rows[0].SSDReadFrac, rows[1].SSDReadFrac)
+	}
+}
+
+func TestAblationScaleoutShape(t *testing.T) {
+	rows, _, err := AblationScaleout(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Dedup-domain split: stored/client grows with group count.
+	if !(rows[0].StoredPerClient < rows[1].StoredPerClient &&
+		rows[1].StoredPerClient < rows[2].StoredPerClient) {
+		t.Errorf("stored fraction not increasing with groups: %+v", rows)
+	}
+	// Per-byte host intensity rises moderately with groups: re-stored
+	// cross-shard duplicates mean more unique-chunk work per client
+	// byte — but nowhere near linear in group count.
+	if d := rows[2].MemPerByte / rows[0].MemPerByte; d < 0.9 || d > 2.0 {
+		t.Errorf("per-byte intensity ratio %.2fx across 4 groups, expected mild growth", d)
+	}
+}
+
+func TestSelfPerfMeasures(t *testing.T) {
+	rows, tab, err := SelfPerf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BytesPerSec <= 0 || r.CoresAt75 <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Operation, r)
+		}
+	}
+	// The premise: software hashing alone needs many cores at 75 GB/s.
+	if rows[0].CoresAt75 < 4 {
+		t.Errorf("SHA-256 at %.1f GB/s per core seems implausibly fast", rows[0].BytesPerSec/1e9)
+	}
+	_ = tab.String()
+}
+
+func TestLifetimeShape(t *testing.T) {
+	rows, _, err := Lifetime(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.DataWAF <= 0 || r.DataWAF >= 1 {
+			t.Errorf("%s: data WAF %.3f outside (0,1)", r.Workload, r.DataWAF)
+		}
+		if r.LifetimeX <= 1 {
+			t.Errorf("%s: lifetime multiplier %.2f not above 1", r.Workload, r.LifetimeX)
+		}
+		if r.TableWAF < 0 || r.TableWAF > 1.0 {
+			t.Errorf("%s: table WAF %.3f implausible", r.Workload, r.TableWAF)
+		}
+	}
+	// Higher dedup -> lower WAF -> longer lifetime: H beats L.
+	if rows[0].LifetimeX <= rows[2].LifetimeX {
+		t.Errorf("Write-H lifetime %.2fx not above Write-L %.2fx",
+			rows[0].LifetimeX, rows[2].LifetimeX)
+	}
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fidr/internal/core"
+	"fidr/internal/hostmodel"
+)
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(core.Baseline, "nope", TestScale()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunProducesLedger(t *testing.T) {
+	r, err := Run(core.Baseline, "Write-H", TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot.ClientBytes == 0 || r.MemPerByte() <= 0 || r.CPUNsPerByte() <= 0 {
+		t.Fatalf("empty measurements: %+v", r.Snapshot)
+	}
+	if r.Server.UniqueChunks == 0 || r.Server.DuplicateChunks == 0 {
+		t.Fatal("workload produced no dedup activity")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, tab, err := Fig3(Scale{IOs: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Paper: up to 17.5x IO increase. At reduced scale expect clearly >3x.
+	if res.MaxIncrease < 3 {
+		t.Errorf("max IO increase %.1fx, expected large-chunking blowup", res.MaxIncrease)
+	}
+	if !strings.Contains(tab.String(), "Figure 3") {
+		t.Error("table title missing")
+	}
+}
+
+func TestFig4And5Shape(t *testing.T) {
+	sc := TestScale()
+	profiles, tab4, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	sockBW := 170e9
+	// Paper shape: write-only demand ~317 GB/s (1.9x socket); accept a
+	// generous band around it but demand a clear over-subscription.
+	w := profiles[0]
+	if w.MemBWAt75 < 1.2*sockBW || w.MemBWAt75 > 3.5*sockBW {
+		t.Errorf("write-only projected mem BW = %.0f GB/s, paper 317", w.MemBWAt75/1e9)
+	}
+	// Mixed demand is lower than write-only (paper: 269 < 317).
+	if profiles[1].MemBWAt75 >= w.MemBWAt75 {
+		t.Errorf("mixed (%v) not below write-only (%v)", profiles[1].MemBWAt75, w.MemBWAt75)
+	}
+	_ = tab4.String()
+
+	profiles5, tab5, err := Fig5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: up to 67 cores at 75 GB/s, far beyond a 22-core socket.
+	if c := profiles5[0].CoresAt75; c < 40 || c > 110 {
+		t.Errorf("write-only cores = %.1f, paper ~67", c)
+	}
+	if profiles5[0].CoresAt75 < 2*22 {
+		t.Error("CPU demand does not clearly exceed the socket")
+	}
+	// Fig 5b: most CPU is management overhead (85.2% write-only).
+	if f := profiles5[0].MgmtFraction; f < 0.7 || f > 0.95 {
+		t.Errorf("write-only management share = %.3f, paper 0.852", f)
+	}
+	if profiles5[1].MgmtFraction >= profiles5[0].MgmtFraction {
+		t.Error("mixed management share should be below write-only")
+	}
+	_ = tab5.String()
+}
+
+func TestTable1Shape(t *testing.T) {
+	profiles, tab, err := Table1(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := profiles[0].Snapshot
+	if snap.TotalMemBytes() == 0 {
+		t.Fatal("no memory traffic")
+	}
+	// Every Table 1 path must carry traffic in the baseline write run,
+	// and the data-plane paths (NIC, predictor, host<->FPGA) should each
+	// carry roughly a quarter of the total, as in the paper.
+	for _, p := range hostmodel.Paths() {
+		if snap.MemBytes[p] == 0 {
+			t.Errorf("path %v carried no traffic", p)
+		}
+	}
+	for _, p := range []hostmodel.Path{hostmodel.PathNICHost, hostmodel.PathPredictor, hostmodel.PathHostFPGA} {
+		if f := snap.MemFraction(p); f < 0.12 || f > 0.40 {
+			t.Errorf("path %v fraction %.3f, paper ~0.24-0.25", p, f)
+		}
+	}
+	_ = tab.String()
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"tree indexing", "table SSD IO stack", "content access", "LRU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3TargetsMet(t *testing.T) {
+	rows, tab, err := Table3(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if d := r.MeasuredDedup - r.TargetDedup; d < -0.08 || d > 0.08 {
+			t.Errorf("%s: dedup %.3f vs target %.3f", r.Name, r.MeasuredDedup, r.TargetDedup)
+		}
+		if d := r.MeasuredHit - r.TargetHit; d < -0.15 || d > 0.15 {
+			t.Errorf("%s: hit %.3f vs target %.3f", r.Name, r.MeasuredHit, r.TargetHit)
+		}
+		if r.MeasuredComp < 0.4 || r.MeasuredComp > 0.62 {
+			t.Errorf("%s: compression %.3f vs target 0.5", r.Name, r.MeasuredComp)
+		}
+	}
+	// Ordering: H > M > L hit rates.
+	if !(rows[0].MeasuredHit > rows[1].MeasuredHit && rows[1].MeasuredHit > rows[2].MeasuredHit) {
+		t.Errorf("hit-rate ordering violated: %.2f, %.2f, %.2f",
+			rows[0].MeasuredHit, rows[1].MeasuredHit, rows[2].MeasuredHit)
+	}
+	_ = tab.String()
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, _, err := Fig11(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Reduction < 0.5 {
+			t.Errorf("%s: memory reduction %.3f, paper 0.7-0.85", r.Workload, r.Reduction)
+		}
+		if r.Reduction > 0.95 {
+			t.Errorf("%s: reduction %.3f implausibly high", r.Workload, r.Reduction)
+		}
+	}
+	// Read-Mixed achieves the best reduction (paper: 84.9%).
+	var mixed, bestWrite float64
+	for _, r := range rows {
+		if r.Workload == "Read-Mixed" {
+			mixed = r.Reduction
+		} else if r.Reduction > bestWrite {
+			bestWrite = r.Reduction
+		}
+	}
+	if mixed < bestWrite-0.05 {
+		t.Errorf("Read-Mixed reduction %.3f well below best write-only %.3f", mixed, bestWrite)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, _, err := Fig12(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TotalReduction < 0.3 || r.TotalReduction > 0.95 {
+			t.Errorf("%s: CPU reduction %.3f outside plausible band", r.Workload, r.TotalReduction)
+		}
+		if r.FromNICHashing <= 0 {
+			t.Errorf("%s: NIC hashing saved nothing", r.Workload)
+		}
+		if r.FromHWCache <= 0 {
+			t.Errorf("%s: HW cache saved nothing", r.Workload)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, _, err := Fig13(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWl := map[string][]Fig13Row{}
+	for _, r := range rows {
+		byWl[r.Workload] = append(byWl[r.Workload], r)
+	}
+	for wl, series := range byWl {
+		if len(series) != 3 {
+			t.Fatalf("%s: %d points", wl, len(series))
+		}
+		if series[0].GBps > series[1].GBps || series[1].GBps > series[2].GBps {
+			t.Errorf("%s: throughput not monotonic in width: %+v", wl, series)
+		}
+	}
+	// Write-H tops Write-M tops Write-L at width 4.
+	h, m, l := byWl["Write-H"][2].GBps, byWl["Write-M"][2].GBps, byWl["Write-L"][2].GBps
+	if !(h > m && m > l) {
+		t.Errorf("width-4 ordering violated: H=%.1f M=%.1f L=%.1f", h, m, l)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows, _, err := Fig14(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NicP2P <= r.Baseline {
+			t.Errorf("%s: NIC/P2P (%.1f) not above baseline (%.1f)", r.Workload, r.NicP2P, r.Baseline)
+		}
+		if r.HWMulti < r.HWSingle {
+			t.Errorf("%s: multi-update below single-update", r.Workload)
+		}
+	}
+	// Headline: a write workload reaches ~3x; Read-Mixed less.
+	var bestWrite, mixed float64
+	for _, r := range rows {
+		if r.Workload == "Read-Mixed" {
+			mixed = r.Speedup
+		} else if r.Speedup > bestWrite {
+			bestWrite = r.Speedup
+		}
+	}
+	if bestWrite < 2.0 {
+		t.Errorf("best write speedup %.2fx, paper up to 3.3x", bestWrite)
+	}
+	if mixed >= bestWrite {
+		t.Errorf("Read-Mixed speedup %.2fx not below write-only %.2fx", mixed, bestWrite)
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	res, tab := Latency()
+	if res.FIDRRead >= res.BaselineRead {
+		t.Error("FIDR read latency not improved")
+	}
+	if !strings.Contains(tab.String(), "700us") {
+		t.Error("paper anchor missing from table")
+	}
+}
+
+func TestTable4Rendered(t *testing.T) {
+	out := Table4().String()
+	for _, want := range []string{"Write-only", "Mixed", "Data reduction support", "Basic NIC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q", want)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, _, err := Table5(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Paper: 10 / 80 / 64 GB/s ordering.
+	if !(rows[0].EstMaxGBps < rows[1].EstMaxGBps && rows[2].EstMaxGBps < rows[1].EstMaxGBps) {
+		t.Errorf("throughput ordering violated: %.1f / %.1f / %.1f",
+			rows[0].EstMaxGBps, rows[1].EstMaxGBps, rows[2].EstMaxGBps)
+	}
+	if rows[0].EstMaxGBps < 6 || rows[0].EstMaxGBps > 16 {
+		t.Errorf("with-SSD throughput %.1f GB/s, paper 10", rows[0].EstMaxGBps)
+	}
+	if rows[2].Resources.URAMs == 0 {
+		t.Error("large tree uses no URAM")
+	}
+}
+
+func TestFig15And16Shape(t *testing.T) {
+	sc := TestScale()
+	rows, _, err := Fig15(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FIDRNormCost <= 0 || r.FIDRNormCost >= 1 {
+			t.Errorf("FIDR normalized cost %.3f out of (0,1)", r.FIDRNormCost)
+		}
+	}
+	// At 75 GB/s and 500 TB: FIDR saves ~58%, baseline is far costlier.
+	last := rows[len(rows)-1]
+	if last.GBps != 75 || last.CapacityTB != 500 {
+		t.Fatalf("unexpected final row %+v", last)
+	}
+	if last.FIDRSaving < 0.45 || last.FIDRSaving > 0.7 {
+		t.Errorf("saving at 75/500 = %.3f, paper 0.58", last.FIDRSaving)
+	}
+	if last.BaselineNormCost < 1.5*last.FIDRNormCost {
+		t.Errorf("baseline cost %.3f not well above FIDR %.3f", last.BaselineNormCost, last.FIDRNormCost)
+	}
+
+	res, tab, err := Fig16(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FIDR.Total() >= res.Baseline.Total() {
+		t.Error("FIDR not cheaper at 75 GB/s")
+	}
+	if !strings.Contains(tab.String(), "data SSDs") {
+		t.Error("breakdown missing data SSDs row")
+	}
+}
+
+// TestIntensityScaleInvariance validates the paper's measurement
+// methodology: per-byte host intensities measured at one throughput
+// project linearly (§3.2 measures at 5 and 6.9 GB/s and extrapolates).
+// In our setting the analogue is scale-invariance: doubling the workload
+// must leave bytes-per-byte and ns-per-byte nearly unchanged.
+func TestIntensityScaleInvariance(t *testing.T) {
+	small, err := Run(core.Baseline, "Write-H", Scale{IOs: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(core.Baseline, "Write-H", Scale{IOs: 18000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := large.MemPerByte() / small.MemPerByte(); r < 0.85 || r > 1.15 {
+		t.Errorf("memory intensity not scale-invariant: ratio %.3f", r)
+	}
+	if r := large.CPUNsPerByte() / small.CPUNsPerByte(); r < 0.85 || r > 1.15 {
+		t.Errorf("CPU intensity not scale-invariant: ratio %.3f", r)
+	}
+}

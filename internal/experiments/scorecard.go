@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fidr/internal/core"
+	"fidr/internal/metrics"
+)
+
+// Scorecard runs the headline experiments and prints a one-page
+// paper-vs-measured summary — the compressed version of EXPERIMENTS.md,
+// regenerated live.
+func Scorecard(sc Scale) (*metrics.Table, error) {
+	tab := metrics.NewTable("Reproduction scorecard (paper vs measured)",
+		"claim", "paper", "measured")
+
+	f3, _, err := Fig3(sc)
+	if err != nil {
+		return nil, err
+	}
+	tab.Row("Fig 3: worst 32-KB/4-KB IO increase", "17.5x",
+		metrics.FormatFloat(f3.MaxIncrease)+"x")
+
+	profiles, _, err := Fig4(sc)
+	if err != nil {
+		return nil, err
+	}
+	tab.Row("Fig 4: baseline mem BW @75 GB/s (write-only)", "317 GB/s",
+		metrics.GBps(profiles[0].MemBWAt75))
+	tab.Row("Fig 5: baseline cores @75 GB/s (write-only)", "67",
+		metrics.FormatFloat(profiles[0].CoresAt75))
+	tab.Row("Fig 5b: management share (write-only)", "85.2%",
+		metrics.Pct(profiles[0].MgmtFraction))
+
+	t3, _, err := Table3(sc)
+	if err != nil {
+		return nil, err
+	}
+	tab.Row("Table 3: Write-H dedup / hit rate", "88% / 90%",
+		metrics.Pct(t3[0].MeasuredDedup)+" / "+metrics.Pct(t3[0].MeasuredHit))
+
+	f11, _, err := Fig11(sc)
+	if err != nil {
+		return nil, err
+	}
+	var bestMem, mixedMem float64
+	for _, r := range f11 {
+		if r.Workload == "Read-Mixed" {
+			mixedMem = r.Reduction
+		} else if r.Reduction > bestMem {
+			bestMem = r.Reduction
+		}
+	}
+	tab.Row("Fig 11: mem-BW cut (best write-only / mixed)", "79.1% / 84.9%",
+		metrics.Pct(bestMem)+" / "+metrics.Pct(mixedMem))
+
+	f12, _, err := Fig12(sc)
+	if err != nil {
+		return nil, err
+	}
+	var bestCPU, mixedCPU float64
+	for _, r := range f12 {
+		if r.Workload == "Read-Mixed" {
+			mixedCPU = r.TotalReduction
+		} else if r.TotalReduction > bestCPU {
+			bestCPU = r.TotalReduction
+		}
+	}
+	tab.Row("Fig 12: CPU cut (best write-only / mixed)", "68% / 39%",
+		metrics.Pct(bestCPU)+" / "+metrics.Pct(mixedCPU))
+
+	f13, _, err := Fig13(sc)
+	if err != nil {
+		return nil, err
+	}
+	var m1, m4 float64
+	for _, r := range f13 {
+		if r.Workload == "Write-M" && r.Width == 1 {
+			m1 = r.GBps
+		}
+		if r.Workload == "Write-M" && r.Width == 4 {
+			m4 = r.GBps
+		}
+	}
+	tab.Row("Fig 13: Write-M 1->4 updates", "27.1 -> 63.8 GB/s",
+		metrics.FormatFloat(m1)+" -> "+metrics.FormatFloat(m4)+" GB/s")
+
+	f14, _, err := Fig14(sc)
+	if err != nil {
+		return nil, err
+	}
+	var bestSpeed, mixedSpeed float64
+	for _, r := range f14 {
+		if r.Workload == "Read-Mixed" {
+			mixedSpeed = r.Speedup
+		} else if r.Speedup > bestSpeed {
+			bestSpeed = r.Speedup
+		}
+	}
+	tab.Row("Fig 14: speedup (best write-only / mixed)", "3.3x / 1.7x",
+		metrics.FormatFloat(bestSpeed)+"x / "+metrics.FormatFloat(mixedSpeed)+"x")
+
+	lat, _ := Latency()
+	tab.Row("7.6: read latency baseline -> FIDR", "700us -> 490us",
+		lat.BaselineRead.String()+" -> "+lat.FIDRRead.String())
+
+	f15, _, err := Fig15(sc)
+	if err != nil {
+		return nil, err
+	}
+	var s25, s75 float64
+	for _, r := range f15 {
+		if r.CapacityTB == 500 && r.GBps == 25 {
+			s25 = r.FIDRSaving
+		}
+		if r.CapacityTB == 500 && r.GBps == 75 {
+			s75 = r.FIDRSaving
+		}
+	}
+	tab.Row("Fig 15: cost saving @500 TB, 25 -> 75 GB/s", "67% -> 58%",
+		metrics.Pct(s25)+" -> "+metrics.Pct(s75))
+
+	tab.Note("workload scale: %d IOs per run; architectures: %v/%v/%v",
+		sc.IOs, core.Baseline, core.FIDRNicP2P, core.FIDRFull)
+	return tab, nil
+}

@@ -1,0 +1,65 @@
+// Package fingerprint computes and manipulates chunk fingerprints.
+//
+// A fingerprint is the SHA-256 digest of a chunk's content and serves as the
+// chunk's identity for deduplication: two chunks are considered identical if
+// and only if their fingerprints match (the paper, like CIDR and prior work,
+// assumes a strong hash has no practical collisions at PB scale).
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Size is the byte length of a fingerprint (SHA-256 digest).
+const Size = sha256.Size
+
+// FP is a chunk fingerprint.
+type FP [Size]byte
+
+// Of returns the fingerprint of data.
+func Of(data []byte) FP {
+	return FP(sha256.Sum256(data))
+}
+
+// Bucket maps the fingerprint to a bucket index in a table with nBuckets
+// buckets using the paper's "simple modular function". The low 8 bytes of
+// the digest are used; SHA-256 output is uniform, so any fixed slice works.
+func (f FP) Bucket(nBuckets uint64) uint64 {
+	if nBuckets == 0 {
+		panic("fingerprint: zero bucket count")
+	}
+	return binary.BigEndian.Uint64(f[24:]) % nBuckets
+}
+
+// Short returns a cheap 8-byte digest prefix, useful as a map key or for
+// sampled predictor structures that intentionally tolerate collisions.
+func (f FP) Short() uint64 {
+	return binary.BigEndian.Uint64(f[:8])
+}
+
+// String returns the hex encoding of the fingerprint.
+func (f FP) String() string {
+	return hex.EncodeToString(f[:])
+}
+
+// IsZero reports whether f is the all-zero fingerprint. The zero value is
+// reserved as "no fingerprint" in table entries.
+func (f FP) IsZero() bool {
+	return f == FP{}
+}
+
+// Compare lexicographically compares two fingerprints, returning
+// -1, 0 or +1. Fingerprints sort as unsigned big-endian integers.
+func (f FP) Compare(g FP) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case f[i] < g[i]:
+			return -1
+		case f[i] > g[i]:
+			return 1
+		}
+	}
+	return 0
+}

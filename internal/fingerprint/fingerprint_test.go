@@ -1,0 +1,127 @@
+package fingerprint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfMatchesSHA256(t *testing.T) {
+	data := []byte("fidr fine-grain inline data reduction")
+	want := sha256.Sum256(data)
+	if got := Of(data); got != FP(want) {
+		t.Fatalf("Of mismatch: got %v want %x", got, want)
+	}
+}
+
+func TestOfDistinguishesContent(t *testing.T) {
+	a := Of([]byte("chunk-a"))
+	b := Of([]byte("chunk-b"))
+	if a == b {
+		t.Fatal("different content produced identical fingerprints")
+	}
+}
+
+func TestBucketInRange(t *testing.T) {
+	f := Of([]byte("x"))
+	for _, n := range []uint64{1, 2, 7, 4096, 1 << 31} {
+		if b := f.Bucket(n); b >= n {
+			t.Errorf("Bucket(%d) = %d out of range", n, b)
+		}
+	}
+}
+
+func TestBucketZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bucket(0) did not panic")
+		}
+	}()
+	Of([]byte("x")).Bucket(0)
+}
+
+func TestBucketDeterministic(t *testing.T) {
+	f := Of([]byte("determinism"))
+	if f.Bucket(1024) != f.Bucket(1024) {
+		t.Fatal("Bucket not deterministic")
+	}
+}
+
+func TestBucketUniformity(t *testing.T) {
+	// With 4096 fingerprints over 16 buckets, each bucket should receive
+	// roughly 256; allow generous slack (binomial stddev ~15.5).
+	const n, buckets = 4096, 16
+	counts := make([]int, buckets)
+	var seed [8]byte
+	for i := 0; i < n; i++ {
+		seed[0], seed[1], seed[2] = byte(i), byte(i>>8), byte(i>>16)
+		counts[Of(seed[:]).Bucket(buckets)]++
+	}
+	for b, c := range counts {
+		if c < 256-100 || c > 256+100 {
+			t.Errorf("bucket %d has %d entries, expected about 256", b, c)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	f := Of([]byte("hex"))
+	s := f.String()
+	if len(s) != 64 {
+		t.Fatalf("hex length %d, want 64", len(s))
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var z FP
+	if !z.IsZero() {
+		t.Fatal("zero FP not reported as zero")
+	}
+	if Of([]byte("nonzero")).IsZero() {
+		t.Fatal("nonzero FP reported as zero")
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	cmpMatchesBytes := func(a, b []byte) bool {
+		fa, fb := Of(a), Of(b)
+		return fa.Compare(fb) == bytes.Compare(fa[:], fb[:])
+	}
+	if err := quick.Check(cmpMatchesBytes, nil); err != nil {
+		t.Error(err)
+	}
+	antisym := func(a, b []byte) bool {
+		fa, fb := Of(a), Of(b)
+		return fa.Compare(fb) == -fb.Compare(fa)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareEqual(t *testing.T) {
+	f := Of([]byte("same"))
+	if f.Compare(f) != 0 {
+		t.Fatal("Compare(self) != 0")
+	}
+}
+
+func TestShortStable(t *testing.T) {
+	f := Of([]byte("short"))
+	if f.Short() != f.Short() {
+		t.Fatal("Short not deterministic")
+	}
+	g := Of([]byte("other"))
+	if f.Short() == g.Short() {
+		t.Fatal("Short collided on trivially different inputs")
+	}
+}
+
+func BenchmarkOf4K(b *testing.B) {
+	data := bytes.Repeat([]byte{0xab}, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Of(data)
+	}
+}

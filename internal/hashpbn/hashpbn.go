@@ -1,0 +1,169 @@
+// Package hashpbn implements the Hash-PBN table: the deduplication
+// metadata key-value store mapping a chunk's fingerprint to its physical
+// block number (PBN).
+//
+// Layout follows §2.1.3 of the paper: the table is an array of fixed-size
+// buckets; a fingerprint selects its bucket with a simple modular
+// function; each 38-byte entry holds the 32-byte hash and a 6-byte PBN.
+// With 4-KB buckets a bucket holds 107 entries. At PB scale the full table
+// is multi-TB and lives on dedicated table SSDs, with only a cache of
+// buckets in host DRAM (package tablecache).
+package hashpbn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"fidr/internal/fingerprint"
+)
+
+const (
+	// HashSize is the stored fingerprint length.
+	HashSize = fingerprint.Size
+	// PBNSize is the stored physical block number length (48-bit).
+	PBNSize = 6
+	// EntrySize is one table entry: hash + PBN.
+	EntrySize = HashSize + PBNSize // 38 bytes
+	// BucketSize is the on-SSD and in-cache bucket size.
+	BucketSize = 4096
+	// EntriesPerBucket is how many entries fit in one bucket.
+	EntriesPerBucket = BucketSize / EntrySize // 107
+	// MaxPBN is the largest representable PBN.
+	MaxPBN = 1<<48 - 1
+)
+
+// ErrBucketFull is returned by Insert when the target bucket has no free
+// slot. Tables are sized for low load factors, so this signals a sizing
+// error rather than a runtime condition to paper over.
+var ErrBucketFull = errors.New("hashpbn: bucket full")
+
+// ErrBadPBN is returned for PBNs that do not fit in 48 bits.
+var ErrBadPBN = errors.New("hashpbn: PBN exceeds 48 bits")
+
+// Bucket is one fixed-size bucket's raw bytes. A zero hash marks a free
+// slot (the zero fingerprint is reserved).
+type Bucket []byte
+
+// NewBucket returns an empty bucket.
+func NewBucket() Bucket { return make(Bucket, BucketSize) }
+
+// entryAt returns the byte range of slot i.
+func entryAt(b Bucket, i int) []byte { return b[i*EntrySize : (i+1)*EntrySize] }
+
+// Lookup scans the bucket for fp. It returns the PBN, whether it was
+// found, and the number of entries examined (the scan cost, which the
+// resource model converts to memory traffic).
+func (b Bucket) Lookup(fp fingerprint.FP) (pbn uint64, found bool, scanned int) {
+	for i := 0; i < EntriesPerBucket; i++ {
+		e := entryAt(b, i)
+		scanned++
+		var h fingerprint.FP
+		copy(h[:], e[:HashSize])
+		if h.IsZero() {
+			// Buckets fill front-to-back; first free slot ends the scan.
+			return 0, false, scanned
+		}
+		if h == fp {
+			return pbnFromBytes(e[HashSize:]), true, scanned
+		}
+	}
+	return 0, false, scanned
+}
+
+// Insert adds (fp, pbn) to the bucket. Inserting an existing fingerprint
+// overwrites its PBN. Returns the number of entries examined.
+func (b Bucket) Insert(fp fingerprint.FP, pbn uint64) (scanned int, err error) {
+	if fp.IsZero() {
+		return 0, errors.New("hashpbn: cannot insert zero fingerprint")
+	}
+	if pbn > MaxPBN {
+		return 0, ErrBadPBN
+	}
+	for i := 0; i < EntriesPerBucket; i++ {
+		e := entryAt(b, i)
+		scanned++
+		var h fingerprint.FP
+		copy(h[:], e[:HashSize])
+		if h.IsZero() || h == fp {
+			copy(e[:HashSize], fp[:])
+			pbnToBytes(e[HashSize:], pbn)
+			return scanned, nil
+		}
+	}
+	return scanned, ErrBucketFull
+}
+
+// Delete removes fp from the bucket, compacting the tail so the
+// front-to-back fill invariant holds. Returns whether fp was present.
+func (b Bucket) Delete(fp fingerprint.FP) bool {
+	n := b.Count()
+	for i := 0; i < n; i++ {
+		e := entryAt(b, i)
+		var h fingerprint.FP
+		copy(h[:], e[:HashSize])
+		if h != fp {
+			continue
+		}
+		// Move the last occupied entry into the hole.
+		last := entryAt(b, n-1)
+		copy(e, last)
+		for j := range last {
+			last[j] = 0
+		}
+		return true
+	}
+	return false
+}
+
+// Count returns the number of occupied slots.
+func (b Bucket) Count() int {
+	for i := 0; i < EntriesPerBucket; i++ {
+		e := entryAt(b, i)
+		var h fingerprint.FP
+		copy(h[:], e[:HashSize])
+		if h.IsZero() {
+			return i
+		}
+	}
+	return EntriesPerBucket
+}
+
+func pbnToBytes(dst []byte, pbn uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], pbn)
+	copy(dst, buf[2:]) // low 6 bytes
+}
+
+func pbnFromBytes(src []byte) uint64 {
+	var buf [8]byte
+	copy(buf[2:], src[:PBNSize])
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// Geometry describes a sized Hash-PBN table.
+type Geometry struct {
+	// NumBuckets is the bucket count; fingerprints map to buckets via
+	// fp.Bucket(NumBuckets).
+	NumBuckets uint64
+}
+
+// GeometryFor sizes a table for the given number of unique chunks at the
+// given maximum load factor (fraction of entry slots occupied).
+func GeometryFor(uniqueChunks uint64, loadFactor float64) (Geometry, error) {
+	if uniqueChunks == 0 {
+		return Geometry{}, errors.New("hashpbn: zero chunk count")
+	}
+	if loadFactor <= 0 || loadFactor > 1 {
+		return Geometry{}, fmt.Errorf("hashpbn: invalid load factor %v", loadFactor)
+	}
+	slots := float64(uniqueChunks) / loadFactor
+	buckets := uint64(slots/EntriesPerBucket) + 1
+	return Geometry{NumBuckets: buckets}, nil
+}
+
+// TableBytes returns the full on-SSD table size.
+func (g Geometry) TableBytes() uint64 { return g.NumBuckets * BucketSize }
+
+// BucketOf returns fp's bucket index.
+func (g Geometry) BucketOf(fp fingerprint.FP) uint64 { return fp.Bucket(g.NumBuckets) }

@@ -1,0 +1,206 @@
+package hashpbn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fidr/internal/fingerprint"
+)
+
+func fp(s string) fingerprint.FP { return fingerprint.Of([]byte(s)) }
+
+func TestConstants(t *testing.T) {
+	if EntrySize != 38 {
+		t.Errorf("EntrySize = %d, paper says 38", EntrySize)
+	}
+	if EntriesPerBucket != 107 {
+		t.Errorf("EntriesPerBucket = %d, want 107", EntriesPerBucket)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	b := NewBucket()
+	if _, err := b.Insert(fp("a"), 42); err != nil {
+		t.Fatal(err)
+	}
+	pbn, found, scanned := b.Lookup(fp("a"))
+	if !found || pbn != 42 {
+		t.Fatalf("lookup: pbn=%d found=%v", pbn, found)
+	}
+	if scanned != 1 {
+		t.Errorf("scanned %d entries, want 1", scanned)
+	}
+	if _, found, _ := b.Lookup(fp("missing")); found {
+		t.Error("found absent key")
+	}
+}
+
+func TestInsertOverwrites(t *testing.T) {
+	b := NewBucket()
+	b.Insert(fp("k"), 1)
+	b.Insert(fp("k"), 2)
+	pbn, found, _ := b.Lookup(fp("k"))
+	if !found || pbn != 2 {
+		t.Fatalf("overwrite failed: pbn=%d", pbn)
+	}
+	if b.Count() != 1 {
+		t.Errorf("count = %d after overwrite", b.Count())
+	}
+}
+
+func TestPBNBoundary(t *testing.T) {
+	b := NewBucket()
+	if _, err := b.Insert(fp("max"), MaxPBN); err != nil {
+		t.Fatal(err)
+	}
+	pbn, found, _ := b.Lookup(fp("max"))
+	if !found || pbn != MaxPBN {
+		t.Fatalf("48-bit PBN round trip: %d", pbn)
+	}
+	if _, err := b.Insert(fp("over"), MaxPBN+1); err != ErrBadPBN {
+		t.Errorf("oversized PBN: err = %v", err)
+	}
+}
+
+func TestZeroFingerprintRejected(t *testing.T) {
+	b := NewBucket()
+	var z fingerprint.FP
+	if _, err := b.Insert(z, 1); err == nil {
+		t.Error("zero fingerprint accepted")
+	}
+}
+
+func TestBucketFull(t *testing.T) {
+	b := NewBucket()
+	for i := 0; i < EntriesPerBucket; i++ {
+		if _, err := b.Insert(fp(string(rune('A'+i%26))+string(rune(i))), uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if b.Count() != EntriesPerBucket {
+		t.Fatalf("count = %d", b.Count())
+	}
+	if _, err := b.Insert(fp("one-too-many"), 1); err != ErrBucketFull {
+		t.Fatalf("expected ErrBucketFull, got %v", err)
+	}
+}
+
+func TestDeleteCompacts(t *testing.T) {
+	b := NewBucket()
+	keys := []string{"a", "b", "c", "d"}
+	for i, k := range keys {
+		b.Insert(fp(k), uint64(i+1))
+	}
+	if !b.Delete(fp("b")) {
+		t.Fatal("delete returned false for present key")
+	}
+	if b.Delete(fp("b")) {
+		t.Fatal("double delete returned true")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("count = %d after delete", b.Count())
+	}
+	// All remaining keys still findable (compaction preserved them).
+	for _, k := range []string{"a", "c", "d"} {
+		if _, found, _ := b.Lookup(fp(k)); !found {
+			t.Errorf("key %q lost after delete", k)
+		}
+	}
+	// Scan still terminates at first free slot.
+	_, _, scanned := b.Lookup(fp("absent"))
+	if scanned != 4 {
+		t.Errorf("scan cost %d, want 4 (3 entries + free slot)", scanned)
+	}
+}
+
+func TestBucketMatchesMapProperty(t *testing.T) {
+	// A bucket behaves like a map for up to EntriesPerBucket keys.
+	prop := func(ops []struct {
+		Key uint8
+		PBN uint32
+		Del bool
+	}) bool {
+		b := NewBucket()
+		ref := make(map[fingerprint.FP]uint64)
+		for _, op := range ops {
+			k := fp(string(rune(op.Key % 50)))
+			if op.Del {
+				wantPresent := false
+				if _, ok := ref[k]; ok {
+					wantPresent = true
+					delete(ref, k)
+				}
+				if b.Delete(k) != wantPresent {
+					return false
+				}
+				continue
+			}
+			if _, err := b.Insert(k, uint64(op.PBN)); err != nil {
+				return false
+			}
+			ref[k] = uint64(op.PBN)
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			pbn, found, _ := b.Lookup(k)
+			if !found || pbn != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	// 1 PB / 4 KB unique chunks at 38 B each is ~9.5 TB of table,
+	// matching the paper's sizing example.
+	g, err := GeometryFor(1<<50/4096, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableTB := float64(g.TableBytes()) / 1e12
+	if tableTB < 9.0 || tableTB > 11.0 {
+		t.Errorf("1-PB table = %.2f TB, paper says ~9.5 TB", tableTB)
+	}
+	if _, err := GeometryFor(0, 0.5); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	if _, err := GeometryFor(100, 0); err == nil {
+		t.Error("zero load factor accepted")
+	}
+	if _, err := GeometryFor(100, 1.5); err == nil {
+		t.Error("load factor > 1 accepted")
+	}
+}
+
+func TestBucketOfStable(t *testing.T) {
+	g, _ := GeometryFor(1<<20, 0.5)
+	f := fp("stable")
+	if g.BucketOf(f) != g.BucketOf(f) {
+		t.Error("bucket assignment not deterministic")
+	}
+	if g.BucketOf(f) >= g.NumBuckets {
+		t.Error("bucket out of range")
+	}
+}
+
+func BenchmarkBucketLookupHit(b *testing.B) {
+	bk := NewBucket()
+	var last fingerprint.FP
+	for i := 0; i < EntriesPerBucket; i++ {
+		f := fingerprint.Of([]byte{byte(i), byte(i >> 8)})
+		bk.Insert(f, uint64(i))
+		last = f
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, _ := bk.Lookup(last); !found {
+			b.Fatal("lost key")
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package hostmodel accounts host-side resource consumption — memory
+// bandwidth by datapath and CPU time by software component — and projects
+// it onto a socket model.
+//
+// This is the measurement layer behind the paper's motivation and results:
+// Table 1 (memory-bandwidth breakdown), Table 2 / Figure 5b (CPU
+// breakdown), Figures 4-5 (projected socket limits) and Figures 11-12-14
+// (FIDR vs baseline). The functional servers charge the ledger with
+// *actual byte counts* from their datapaths and with modeled CPU costs per
+// operation (constants in params.go); the projection then normalizes per
+// client byte and scales to a target throughput, exactly as the paper
+// measures at 5 and 6.9 GB/s and projects linearly to 75 GB/s.
+package hostmodel
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Path labels host-memory traffic with its datapath (Table 1 rows).
+type Path int
+
+const (
+	// PathNICHost is NIC <-> host memory DMA (client data buffering).
+	PathNICHost Path = iota
+	// PathPredictor is the unique-chunk predictor's buffer reads.
+	PathPredictor
+	// PathHostFPGA is host memory <-> FPGA accelerator DMA.
+	PathHostFPGA
+	// PathTableCache is table-cache management traffic: bucket scans,
+	// miss fills from table SSDs, dirty-line flushes.
+	PathTableCache
+	// PathHostSSD is host memory <-> data SSD DMA.
+	PathHostSSD
+
+	numPaths
+)
+
+// String implements fmt.Stringer, matching Table 1's row labels.
+func (p Path) String() string {
+	switch p {
+	case PathNICHost:
+		return "NIC <-> host memory"
+	case PathPredictor:
+		return "Host memory (unique prediction)"
+	case PathHostFPGA:
+		return "Host memory <-> FPGAs"
+	case PathTableCache:
+		return "Table cache management"
+	case PathHostSSD:
+		return "Host memory <-> data SSD"
+	default:
+		return fmt.Sprintf("Path(%d)", int(p))
+	}
+}
+
+// Paths lists all datapaths in Table 1 order.
+func Paths() []Path {
+	return []Path{PathNICHost, PathPredictor, PathHostFPGA, PathTableCache, PathHostSSD}
+}
+
+// Component labels CPU time with its software component (Figure 5b and
+// Table 2 rows).
+type Component int
+
+const (
+	// CompPredictor is the unique-chunk predictor (baseline only).
+	CompPredictor Component = iota
+	// CompBatchSched is accelerator batch scheduling.
+	CompBatchSched
+	// CompDMAMgmt is DMA descriptor/completion handling for host-bounced
+	// device transfers.
+	CompDMAMgmt
+	// CompTreeIndex is software table-cache tree indexing.
+	CompTreeIndex
+	// CompTableSSDIO is the table-SSD software IO stack.
+	CompTableSSDIO
+	// CompTableContent is scanning cached bucket contents.
+	CompTableContent
+	// CompTableReplace is LRU/free-list replacement management.
+	CompTableReplace
+	// CompDataSSDIO is the data-SSD software IO stack.
+	CompDataSSDIO
+	// CompDeviceMgr is the FIDR device manager (inter-device
+	// orchestration; FIDR only).
+	CompDeviceMgr
+	// CompLBATable is LBA-PBA table lookups/updates.
+	CompLBATable
+	// CompProtocol is client request handling: block-layer routing,
+	// response assembly, checksum/copy work. Present in both
+	// architectures; classified as real work, not management overhead.
+	CompProtocol
+
+	numComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case CompPredictor:
+		return "unique-chunk predictor"
+	case CompBatchSched:
+		return "batch scheduling"
+	case CompDMAMgmt:
+		return "DMA management"
+	case CompTreeIndex:
+		return "table cache tree indexing"
+	case CompTableSSDIO:
+		return "table SSD IO stack"
+	case CompTableContent:
+		return "table cache content access"
+	case CompTableReplace:
+		return "cache replacement (LRU/free lists)"
+	case CompDataSSDIO:
+		return "data SSD IO stack"
+	case CompDeviceMgr:
+		return "FIDR device manager"
+	case CompLBATable:
+		return "LBA-PBA table"
+	case CompProtocol:
+		return "request handling (protocol/block layer)"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Components lists all CPU components.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// MemClass groups components for Figure 5b's two-bar breakdown: memory/IO
+// management + accelerator scheduling vs everything else.
+func (c Component) IsManagementOverhead() bool {
+	switch c {
+	case CompPredictor, CompBatchSched, CompDMAMgmt, CompTreeIndex,
+		CompTableSSDIO, CompTableReplace, CompDataSSDIO, CompDeviceMgr:
+		return true
+	default:
+		// Content access, LBA mapping and request handling are the
+		// "real work" the server must do regardless of architecture.
+		return false
+	}
+}
+
+// Ledger accumulates charges. Safe for concurrent use.
+type Ledger struct {
+	mem         [numPaths]atomic.Uint64
+	cpu         [numComponents]atomic.Uint64
+	clientBytes atomic.Uint64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Mem charges n bytes of host-memory traffic to path p.
+func (l *Ledger) Mem(p Path, n uint64) { l.mem[p].Add(n) }
+
+// CPU charges ns nanoseconds of CPU time to component c.
+func (l *Ledger) CPU(c Component, ns uint64) { l.cpu[c].Add(ns) }
+
+// Client records n bytes of client-visible IO (the normalization base).
+func (l *Ledger) Client(n uint64) { l.clientBytes.Add(n) }
+
+// Reset zeroes the ledger.
+func (l *Ledger) Reset() {
+	for i := range l.mem {
+		l.mem[i].Store(0)
+	}
+	for i := range l.cpu {
+		l.cpu[i].Store(0)
+	}
+	l.clientBytes.Store(0)
+}
+
+// Snapshot is an immutable copy of ledger totals.
+type Snapshot struct {
+	MemBytes    [numPaths]uint64
+	CPUNanos    [numComponents]uint64
+	ClientBytes uint64
+}
+
+// Snapshot copies the current totals.
+func (l *Ledger) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range l.mem {
+		s.MemBytes[i] = l.mem[i].Load()
+	}
+	for i := range l.cpu {
+		s.CPUNanos[i] = l.cpu[i].Load()
+	}
+	s.ClientBytes = l.clientBytes.Load()
+	return s
+}
+
+// TotalMemBytes sums memory traffic over all paths.
+func (s Snapshot) TotalMemBytes() uint64 {
+	var t uint64
+	for _, b := range s.MemBytes {
+		t += b
+	}
+	return t
+}
+
+// TotalCPUNanos sums CPU time over all components.
+func (s Snapshot) TotalCPUNanos() uint64 {
+	var t uint64
+	for _, n := range s.CPUNanos {
+		t += n
+	}
+	return t
+}
+
+// MemPerClientByte is bytes of host-memory traffic per client byte.
+func (s Snapshot) MemPerClientByte() float64 {
+	if s.ClientBytes == 0 {
+		return 0
+	}
+	return float64(s.TotalMemBytes()) / float64(s.ClientBytes)
+}
+
+// CPUNanosPerClientByte is CPU-nanoseconds per client byte.
+func (s Snapshot) CPUNanosPerClientByte() float64 {
+	if s.ClientBytes == 0 {
+		return 0
+	}
+	return float64(s.TotalCPUNanos()) / float64(s.ClientBytes)
+}
+
+// MemBWAt projects required host memory bandwidth (bytes/s) at a client
+// throughput (bytes/s), assuming the measured per-byte intensity scales
+// linearly — the paper's two-point linear projection.
+func (s Snapshot) MemBWAt(throughput float64) float64 {
+	return s.MemPerClientByte() * throughput
+}
+
+// CoresAt projects required CPU cores at a client throughput: one core
+// provides 1e9 ns of CPU time per second.
+func (s Snapshot) CoresAt(throughput float64) float64 {
+	return s.CPUNanosPerClientByte() * throughput / 1e9
+}
+
+// MemFraction returns path p's share of total memory traffic.
+func (s Snapshot) MemFraction(p Path) float64 {
+	t := s.TotalMemBytes()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.MemBytes[p]) / float64(t)
+}
+
+// CPUFraction returns component c's share of total CPU time.
+func (s Snapshot) CPUFraction(c Component) float64 {
+	t := s.TotalCPUNanos()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.CPUNanos[c]) / float64(t)
+}
+
+// ManagementCPUFraction returns the share of CPU spent on memory/IO
+// management and accelerator scheduling (Figure 5b's headline).
+func (s Snapshot) ManagementCPUFraction() float64 {
+	t := s.TotalCPUNanos()
+	if t == 0 {
+		return 0
+	}
+	var m uint64
+	for i := Component(0); i < numComponents; i++ {
+		if i.IsManagementOverhead() {
+			m += s.CPUNanos[i]
+		}
+	}
+	return float64(m) / float64(t)
+}

@@ -1,0 +1,126 @@
+package hwtree
+
+import "math"
+
+// FPGA area model for the Cache HW-Engine (Table 5). Block costs are
+// calibrated so the three configurations the paper synthesizes (full
+// engine with table-SSD controllers; tree-only with the 410-MB medium
+// tree; tree-only with the ~100-GB large tree) land on the reported
+// LUT/FF/BRAM/URAM utilizations of a VCU1525 (XCVU9P) board.
+
+// Resources is an FPGA resource vector.
+type Resources struct {
+	LUTs  int
+	FFs   int
+	BRAMs int
+	URAMs int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUTs + o.LUTs, r.FFs + o.FFs, r.BRAMs + o.BRAMs, r.URAMs + o.URAMs}
+}
+
+// VCU1525 capacity (Xilinx XCVU9P).
+var VCU1525 = Resources{LUTs: 1182240, FFs: 2364480, BRAMs: 2160, URAMs: 960}
+
+// Utilization returns per-resource fractions of the device.
+func (r Resources) Utilization(device Resources) (lut, ff, bram, uram float64) {
+	return float64(r.LUTs) / float64(device.LUTs),
+		float64(r.FFs) / float64(device.FFs),
+		float64(r.BRAMs) / float64(device.BRAMs),
+		float64(r.URAMs) / float64(device.URAMs)
+}
+
+const (
+	// bramBytes is usable bytes per 36-Kb BRAM tile.
+	bramBytes = 4608
+	// uramBytes is usable bytes per 288-Kb URAM tile.
+	uramBytes = 36864
+	// nodeBytes is the packed on-chip node image (2 keys + 3 child
+	// pointers at URAM-word alignment).
+	nodeBytes = 24
+	// avgFanout is the average internal fan-out used for node-count
+	// estimates (max 3 children, ~5/6 full in steady state).
+	avgFanout = 2.5
+	// leafFill is the assumed average leaf occupancy out of LeafKeys.
+	leafFill = 16
+
+	// Calibrated block costs (see Table 5 reproduction in
+	// EXPERIMENTS.md for paper-vs-model).
+	baseLUTs       = 258400 // DDR4+PCIe controllers, command generator, crash/replay, free list
+	baseFFs        = 134200
+	baseBRAMs      = 160
+	stageLUTs      = 6400 // one search+update pipeline stage pair
+	stageFFs       = 2200
+	nvmeLUTs       = 4000 // in-engine table-SSD NVMe controllers
+	nvmeFFs        = 6000
+	nvmeBRAMs      = 16
+	uramFFSavings  = 28000   // node registers migrated into URAM macros
+	largeLeafCache = 1 << 20 // on-chip leaf cache for DRAM-leaf trees (bytes)
+)
+
+// HeightFor returns the tree height needed to index the given number of
+// cache lines: one leaf level (16 keys) plus ceil(log3) internal levels.
+func HeightFor(cacheLines uint64) int {
+	if cacheLines <= LeafKeys {
+		return 1
+	}
+	leaves := float64(cacheLines) / leafFill
+	return 1 + int(math.Ceil(math.Log(leaves)/math.Log(3)))
+}
+
+// EngineConfig describes a Cache HW-Engine build.
+type EngineConfig struct {
+	// CacheLines is the number of 4-KB table cache lines indexed.
+	CacheLines uint64
+	// WithTableSSD includes the in-engine NVMe controllers.
+	WithTableSSD bool
+}
+
+// onChipNodeBytes estimates total bytes of non-leaf node storage.
+func onChipNodeBytes(cacheLines uint64) int {
+	leaves := float64(cacheLines) / leafFill
+	// Sum of internal level sizes: leaves/f + leaves/f^2 + ...
+	nodes := 0.0
+	level := leaves / avgFanout
+	for level >= 1 {
+		nodes += level
+		level /= avgFanout
+	}
+	nodes += 1 // root
+	return int(nodes * nodeBytes)
+}
+
+// CacheEngineResources returns the modeled FPGA resources for cfg.
+func CacheEngineResources(cfg EngineConfig) Resources {
+	h := HeightFor(cfg.CacheLines)
+	r := Resources{
+		LUTs: baseLUTs + stageLUTs*h,
+		FFs:  baseFFs + stageFFs*h,
+	}
+	nodeStore := onChipNodeBytes(cfg.CacheLines)
+	// Node storage fits BRAM up to ~1 MB; beyond that it migrates to
+	// URAM and a leaf cache is added in BRAM (the paper's large-tree
+	// build: 13 on-chip levels in URAM).
+	const bramNodeBudget = 1 << 20
+	if nodeStore <= bramNodeBudget {
+		r.BRAMs = baseBRAMs + (nodeStore+bramBytes-1)/bramBytes
+	} else {
+		r.BRAMs = baseBRAMs + (largeLeafCache+bramBytes-1)/bramBytes
+		r.URAMs = (nodeStore+uramBytes-1)/uramBytes + 60 // +free-list staging
+		r.FFs -= uramFFSavings
+	}
+	if cfg.WithTableSSD {
+		r.LUTs += nvmeLUTs
+		r.FFs += nvmeFFs
+		r.BRAMs += nvmeBRAMs
+	}
+	return r
+}
+
+// MediumCacheLines is the prototype's 410-MB table cache in 4-KB lines.
+const MediumCacheLines = 410 << 20 / 4096
+
+// LargeCacheLines is the PB-scale ~100-GB (99,645 MB) cache in 4-KB lines.
+const LargeCacheLines = 99645 << 20 / 4096

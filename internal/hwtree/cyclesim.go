@@ -1,0 +1,117 @@
+package hwtree
+
+import "math/rand"
+
+// Cycle-level validation of the analytic throughput model (perf.go).
+//
+// CycleSim replays the engine's steady state one clock cycle at a time:
+// lookups issue into the search pipeline (one per cycle when no hazard),
+// each lookup's leaf access occupies the shared DRAM port unless it hits
+// the on-chip leaf cache, misses spawn insert+delete updates that need a
+// free update slot (W slots = speculation width) and DRAM port time, and
+// a crash/replay probability re-queues updates. The analytic model in
+// perf.go collapses exactly these mechanisms into per-resource caps; the
+// simulator exists to check that collapse (see TestCycleSimMatchesModel).
+type CycleSim struct {
+	p  PerfParams
+	wl WorkloadPoint
+	// width is the number of concurrent update slots.
+	width int
+	rng   *rand.Rand
+}
+
+// NewCycleSim builds a simulator for one configuration.
+func NewCycleSim(p PerfParams, wl WorkloadPoint, width int, seed int64) *CycleSim {
+	return &CycleSim{p: p, wl: wl, width: width, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Result summarizes a simulation run.
+type CycleSimResult struct {
+	Cycles      uint64
+	OpsDone     uint64
+	UpdatesDone uint64
+	Crashes     uint64
+	// Throughput is bytes/s of data reduction at the simulated op rate.
+	Throughput float64
+	// DRAMBusyFrac is the DRAM port's utilization.
+	DRAMBusyFrac float64
+}
+
+// Run simulates ops lookups and returns the achieved rates.
+func (s *CycleSim) Run(ops int) CycleSimResult {
+	cycleNs := 1e9 / s.p.ClockHz
+	lookupPort := s.p.LookupPortNs * s.p.RowMissFactor
+	updatePort := s.p.UpdatePortNs * s.p.RowMissFactor
+	updateLatNs := s.p.UpdateLatency() * 1e9
+
+	var res CycleSimResult
+	var dramFreeAt float64 // ns when the DRAM port frees up
+	var dramBusy float64
+	// Update slots: completion times in ns.
+	slots := make([]float64, s.width)
+	pendingUpdates := 0.0
+
+	now := 0.0
+	for done := 0; done < ops; {
+		// Issue one lookup per cycle.
+		now += cycleNs
+		res.Cycles++
+
+		// Leaf access: DRAM port serialization unless leaf-cache hit.
+		if s.rng.Float64() >= s.wl.LeafCacheHit {
+			start := now
+			if dramFreeAt > start {
+				start = dramFreeAt
+			}
+			dramFreeAt = start + lookupPort
+			dramBusy += lookupPort
+			now = start // pipeline stalls behind the port
+		}
+		done++
+		res.OpsDone++
+
+		// Miss -> one insert + one delete update.
+		if s.rng.Float64() < s.wl.MissRate {
+			pendingUpdates += 2
+		}
+		// Drain pending updates into free slots.
+		for pendingUpdates >= 1 {
+			slot := -1
+			for i := range slots {
+				if slots[i] <= now {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				// All slots busy: the lookup stream stalls until one
+				// frees (the hardware backpressures the command queue).
+				minFree := slots[0]
+				for _, t := range slots[1:] {
+					if t < minFree {
+						minFree = t
+					}
+				}
+				now = minFree
+				continue
+			}
+			// The update needs DRAM port time plus pipeline residency.
+			start := now
+			if dramFreeAt > start {
+				start = dramFreeAt
+			}
+			dramFreeAt = start + updatePort
+			dramBusy += updatePort
+			if s.rng.Float64() < s.wl.CrashRate {
+				res.Crashes++
+				pendingUpdates++ // replay
+			}
+			slots[slot] = start + updateLatNs
+			pendingUpdates--
+			res.UpdatesDone++
+		}
+	}
+	res.Throughput = float64(res.OpsDone) * float64(s.p.ChunkBytes) / (now * 1e-9)
+	res.DRAMBusyFrac = dramBusy / now
+	return res
+}

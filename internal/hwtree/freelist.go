@@ -1,0 +1,84 @@
+package hwtree
+
+import "fmt"
+
+// FreeList is the Cache HW-Engine's cache-line free list (§6.3): a
+// circular buffer kept in FPGA-board DRAM because it must hold an entry
+// per cache line. Accesses are strictly sequential, so one 512-bit DDR
+// burst fetches many entries — the structure is sized for capacity, not
+// bandwidth. The engine refills it in the background (batched deletions
+// of top-LRU items arrive from the host, §5.5) so a free line is always
+// available when a miss needs one.
+type FreeList struct {
+	buf  []uint64
+	head int // next free entry to pop
+	tail int // next slot to push
+	n    int
+
+	// dramReads counts simulated 512-bit burst fetches.
+	dramReads uint64
+	burstLeft int
+}
+
+// entriesPerBurst is how many 8-byte free-list entries one 512-bit DDR
+// access returns.
+const entriesPerBurst = 8
+
+// NewFreeList creates a circular free list holding up to capacity lines,
+// initially filled with lines [0, capacity).
+func NewFreeList(capacity int) (*FreeList, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("hwtree: free list capacity %d", capacity)
+	}
+	f := &FreeList{buf: make([]uint64, capacity)}
+	for i := 0; i < capacity; i++ {
+		f.buf[i] = uint64(i)
+	}
+	f.n = capacity
+	return f, nil
+}
+
+// Len returns the number of free lines available.
+func (f *FreeList) Len() int { return f.n }
+
+// Pop takes a free line. The DRAM burst model charges one read per
+// entriesPerBurst pops (sequential access amortization, §6.3).
+func (f *FreeList) Pop() (uint64, bool) {
+	if f.n == 0 {
+		return 0, false
+	}
+	if f.burstLeft == 0 {
+		f.dramReads++
+		f.burstLeft = entriesPerBurst
+	}
+	f.burstLeft--
+	line := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return line, true
+}
+
+// Push returns a line to the free list (after eviction + flush).
+func (f *FreeList) Push(line uint64) error {
+	if f.n == len(f.buf) {
+		return fmt.Errorf("hwtree: free list full")
+	}
+	f.buf[f.tail] = line
+	f.tail = (f.tail + 1) % len(f.buf)
+	f.n++
+	return nil
+}
+
+// PushBatch returns many lines at once (the host sends top-LRU deletions
+// in batches to minimize interactions, §5.5).
+func (f *FreeList) PushBatch(lines []uint64) error {
+	for _, l := range lines {
+		if err := f.Push(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DRAMReads returns the simulated DDR burst count.
+func (f *FreeList) DRAMReads() uint64 { return f.dramReads }

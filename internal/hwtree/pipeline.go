@@ -1,0 +1,205 @@
+package hwtree
+
+import "fmt"
+
+// PipelinedExecutor is the stage-accurate model of Figure 9: each update
+// request flows through the search pipeline (one tree level per cycle,
+// recording visited nodes) and then the update pipeline (reverse
+// traversal, leaf to root), with up to `width` requests in flight whose
+// lifetimes genuinely overlap — unlike SpecExecutor's issue windows.
+//
+// Conflict detection follows Algorithm 1 at per-stage granularity: a
+// request entering its update phase checks, node by node, whether another
+// in-flight request has speculatively marked the node (or a neighbor) it
+// is about to modify; if so its is_crash bit is set and the crash/replay
+// controller re-queues it at commit (Algorithm 2). The modified-node set
+// is predicted from node occupancy observed during the search descent —
+// exactly the information the hardware has — so only nodes that will
+// actually change are marked, keeping the conflict footprint (and crash
+// rate) small.
+type PipelinedExecutor struct {
+	t     *Tree
+	width int
+
+	queue    []Update
+	inflight []*flight
+
+	// specUpdated maps node -> in-flight request marking it.
+	specUpdated map[NodeID]*flight
+
+	cycle uint64
+	stats ExecStats
+}
+
+type flight struct {
+	req Update
+	// stage counts cycles in the pipeline: [0,h) search, [h,...) update.
+	stage   int
+	height  int // pipeline depth at issue time
+	path    []NodeID
+	mod     []NodeID // predicted modified set (marked during update phase)
+	marked  []NodeID // nodes this flight has marked so far
+	crashed bool
+}
+
+// NewPipelinedExecutor wraps t with a width-way pipelined update engine.
+func NewPipelinedExecutor(t *Tree, width int) (*PipelinedExecutor, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("hwtree: width %d < 1", width)
+	}
+	return &PipelinedExecutor{
+		t:           t,
+		width:       width,
+		specUpdated: make(map[NodeID]*flight),
+	}, nil
+}
+
+// Tree returns the underlying tree.
+func (e *PipelinedExecutor) Tree() *Tree { return e.t }
+
+// Stats returns executor statistics.
+func (e *PipelinedExecutor) Stats() ExecStats { return e.stats }
+
+// Cycles returns the simulated cycle count.
+func (e *PipelinedExecutor) Cycles() uint64 { return e.cycle }
+
+// Enqueue adds update requests.
+func (e *PipelinedExecutor) Enqueue(ups ...Update) { e.queue = append(e.queue, ups...) }
+
+// Pending reports queued plus in-flight requests.
+func (e *PipelinedExecutor) Pending() int { return len(e.queue) + len(e.inflight) }
+
+// Drain steps the pipeline until every request has committed.
+func (e *PipelinedExecutor) Drain() {
+	for e.Pending() > 0 {
+		e.Step()
+	}
+}
+
+// Step advances the pipeline by one cycle: issues a request if a slot is
+// free, moves every flight one stage, and commits/replays finished ones.
+func (e *PipelinedExecutor) Step() {
+	e.cycle++
+	// Issue one request per cycle into a free slot. A request whose key
+	// matches an in-flight request stalls at the queue head (the
+	// hardware compares keys in a small CAM), preserving program order
+	// for same-key updates even across crashes.
+	if len(e.inflight) < e.width && len(e.queue) > 0 {
+		req := e.queue[0]
+		stall := false
+		for _, g := range e.inflight {
+			if g.req.Key == req.Key {
+				stall = true
+				break
+			}
+		}
+		if !stall {
+			e.queue = e.queue[1:]
+			e.issue(req)
+		}
+	}
+	// Advance flights; collect finished ones (commits mutate the set).
+	var finished []*flight
+	for _, f := range e.inflight {
+		f.stage++
+		if f.stage >= f.height && !f.crashed {
+			// Update phase: mark the predicted-modified node for this
+			// stage, bottom-up. Stage height+k visits mod[k].
+			k := f.stage - f.height
+			if k < len(f.mod) {
+				e.markOrCrash(f, f.mod[k])
+			}
+		}
+		if f.stage >= f.height+len(f.mod) || (f.crashed && f.stage >= f.height) {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		e.commit(f)
+	}
+}
+
+// issue computes the search-phase state for a request.
+func (e *PipelinedExecutor) issue(req Update) {
+	e.stats.Issued++
+	path, neighbors := e.t.PathTo(req.Key)
+	f := &flight{req: req, path: path, height: len(path)}
+	// Predict the modified set from occupancy along the path — what the
+	// hardware learns during the descent. Conservative inclusion of
+	// neighbors when a borrow/merge is possible.
+	f.mod = e.predictModified(req, path, neighbors)
+	e.inflight = append(e.inflight, f)
+}
+
+// predictModified returns, leaf first, the nodes an update will write.
+func (e *PipelinedExecutor) predictModified(req Update, path, neighbors []NodeID) []NodeID {
+	mod := []NodeID{path[len(path)-1]} // the leaf always changes
+	leaf := e.t.nd(path[len(path)-1])
+	cascade := false
+	switch req.Kind {
+	case UpdateInsert:
+		// A full leaf splits and writes the parent; parent splits
+		// cascade while internal nodes are full.
+		if leaf.n >= leaf.capKeys() {
+			cascade = true
+		}
+	case UpdateDelete:
+		// A minimal leaf borrows or merges: neighbor and parent change.
+		if leaf.n <= LeafKeys/2 {
+			mod = append(mod, neighbors...)
+			cascade = true
+		}
+	}
+	if cascade {
+		for i := len(path) - 2; i >= 0; i-- {
+			mod = append(mod, path[i])
+			nd := e.t.nd(path[i])
+			full := req.Kind == UpdateInsert && nd.n >= InternalKeys
+			thin := req.Kind == UpdateDelete && nd.n <= 1
+			if !full && !thin {
+				break
+			}
+		}
+	}
+	return mod
+}
+
+// markOrCrash implements Algorithm 1 for one node of the update phase.
+func (e *PipelinedExecutor) markOrCrash(f *flight, node NodeID) {
+	if owner, ok := e.specUpdated[node]; ok && owner != f {
+		f.crashed = true
+		return
+	}
+	e.specUpdated[node] = f
+	f.marked = append(f.marked, node)
+}
+
+// commit implements Algorithm 2: apply or replay, then release marks.
+func (e *PipelinedExecutor) commit(f *flight) {
+	// Remove from inflight.
+	for i, g := range e.inflight {
+		if g == f {
+			e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
+			break
+		}
+	}
+	for _, n := range f.marked {
+		if e.specUpdated[n] == f {
+			delete(e.specUpdated, n)
+		}
+	}
+	if f.crashed {
+		e.stats.Crashes++
+		// Replay preserves program order relative to later same-key
+		// requests by re-queuing at the front.
+		e.queue = append([]Update{f.req}, e.queue...)
+		return
+	}
+	switch f.req.Kind {
+	case UpdateInsert:
+		e.t.Put(f.req.Key, f.req.Val)
+	case UpdateDelete:
+		e.t.Delete(f.req.Key)
+	}
+	e.stats.Committed++
+}

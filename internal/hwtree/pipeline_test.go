@@ -1,0 +1,170 @@
+package hwtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPipelinedValidation(t *testing.T) {
+	if _, err := NewPipelinedExecutor(NewTree(), 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+}
+
+func TestPipelinedMatchesSequential(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(w) * 31))
+		var ups []Update
+		for i := 0; i < 4000; i++ {
+			k := uint64(rng.Intn(1500))
+			if rng.Intn(4) == 0 {
+				ups = append(ups, Update{Kind: UpdateDelete, Key: k})
+			} else {
+				ups = append(ups, Update{Kind: UpdateInsert, Key: k, Val: uint64(i)})
+			}
+		}
+		ref := make(map[uint64]uint64)
+		for _, u := range ups {
+			if u.Kind == UpdateInsert {
+				ref[u.Key] = u.Val
+			} else {
+				delete(ref, u.Key)
+			}
+		}
+		exec, err := NewPipelinedExecutor(NewTree(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec.Enqueue(ups...)
+		exec.Drain()
+		tr := exec.Tree()
+		if err := tr.Check(); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("w=%d: len %d vs %d", w, tr.Len(), len(ref))
+		}
+		for k, v := range ref {
+			got, ok, _ := tr.Get(k)
+			if !ok || got != v {
+				t.Fatalf("w=%d: key %d = %d,%v want %d", w, k, got, ok, v)
+			}
+		}
+		st := exec.Stats()
+		if st.Committed != uint64(len(ups)) {
+			t.Fatalf("w=%d: committed %d/%d", w, st.Committed, len(ups))
+		}
+	}
+}
+
+func TestPipelinedWidth1NoCrashes(t *testing.T) {
+	exec, _ := NewPipelinedExecutor(NewTree(), 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+	}
+	exec.Drain()
+	if exec.Stats().Crashes != 0 {
+		t.Fatalf("width-1 pipeline crashed %d times", exec.Stats().Crashes)
+	}
+}
+
+func TestPipelinedOverlapSpeedsUp(t *testing.T) {
+	// The point of speculation: W=4 must finish the same update stream
+	// in materially fewer cycles than W=1.
+	run := func(w int) uint64 {
+		tr := NewTree()
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 50000; i++ {
+			tr.Put(rng.Uint64(), 1)
+		}
+		exec, _ := NewPipelinedExecutor(tr, w)
+		for i := 0; i < 10000; i++ {
+			exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+		}
+		exec.Drain()
+		return exec.Cycles()
+	}
+	c1 := run(1)
+	c4 := run(4)
+	if float64(c4) > 0.5*float64(c1) {
+		t.Fatalf("width 4 took %d cycles vs width 1's %d; overlap ineffective", c4, c1)
+	}
+}
+
+func TestPipelinedCrashRateLowOnLargeTree(t *testing.T) {
+	tr := NewTree()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 150000; i++ {
+		tr.Put(rng.Uint64(), 1)
+	}
+	exec, _ := NewPipelinedExecutor(tr, 4)
+	for i := 0; i < 30000; i++ {
+		if i%2 == 0 {
+			exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+		} else {
+			exec.Enqueue(Update{Kind: UpdateDelete, Key: rng.Uint64()})
+		}
+	}
+	exec.Drain()
+	if rate := exec.Stats().CrashRate(); rate > 0.005 {
+		t.Fatalf("crash rate %.4f on a 150K-key tree, paper <0.1%%", rate)
+	}
+}
+
+func TestPipelinedSameKeyOrderPreserved(t *testing.T) {
+	// Same-key updates stall at issue, so the later write always wins
+	// regardless of crashes.
+	exec, _ := NewPipelinedExecutor(NewTree(), 4)
+	for i := uint64(0); i < 64; i++ {
+		exec.Enqueue(Update{Kind: UpdateInsert, Key: 42, Val: i})
+	}
+	exec.Drain()
+	v, ok, _ := exec.Tree().Get(42)
+	if !ok || v != 63 {
+		t.Fatalf("final value %d,%v; want last write 63", v, ok)
+	}
+}
+
+func TestPipelinedAgainstWindowExecutor(t *testing.T) {
+	// Both executors must land on identical final state for the same
+	// distinct-key update stream.
+	rng := rand.New(rand.NewSource(77))
+	var ups []Update
+	for i := 0; i < 3000; i++ {
+		ups = append(ups, Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: uint64(i)})
+	}
+	we, _ := NewSpecExecutor(NewTree(), 4)
+	we.Enqueue(ups...)
+	we.Drain()
+	pe, _ := NewPipelinedExecutor(NewTree(), 4)
+	pe.Enqueue(ups...)
+	pe.Drain()
+	if we.Tree().Len() != pe.Tree().Len() {
+		t.Fatalf("lengths differ: %d vs %d", we.Tree().Len(), pe.Tree().Len())
+	}
+	for _, u := range ups {
+		a, okA, _ := we.Tree().Get(u.Key)
+		b, okB, _ := pe.Tree().Get(u.Key)
+		if okA != okB || a != b {
+			t.Fatalf("key %d: window (%d,%v) vs pipelined (%d,%v)", u.Key, a, okA, b, okB)
+		}
+	}
+}
+
+func BenchmarkPipelinedExecutorW4(b *testing.B) {
+	tr := NewTree()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		tr.Put(rng.Uint64(), 1)
+	}
+	exec, _ := NewPipelinedExecutor(tr, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+		if exec.Pending() >= 16 {
+			exec.Drain()
+		}
+	}
+	exec.Drain()
+}

@@ -1,0 +1,157 @@
+package hwtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpecExecutorValidation(t *testing.T) {
+	if _, err := NewSpecExecutor(NewTree(), 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	e, err := NewSpecExecutor(NewTree(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tree() == nil {
+		t.Fatal("tree not exposed")
+	}
+}
+
+func TestSpecMatchesSequential(t *testing.T) {
+	// The speculative executor must reach the same final state as
+	// sequential application, for every width.
+	for _, w := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(w)))
+		var ups []Update
+		for i := 0; i < 5000; i++ {
+			k := uint64(rng.Intn(2000))
+			if rng.Intn(4) == 0 {
+				ups = append(ups, Update{Kind: UpdateDelete, Key: k})
+			} else {
+				ups = append(ups, Update{Kind: UpdateInsert, Key: k, Val: uint64(i)})
+			}
+		}
+		// Sequential reference.
+		ref := make(map[uint64]uint64)
+		for _, u := range ups {
+			if u.Kind == UpdateInsert {
+				ref[u.Key] = u.Val
+			} else {
+				delete(ref, u.Key)
+			}
+		}
+		exec, _ := NewSpecExecutor(NewTree(), w)
+		exec.Enqueue(ups...)
+		exec.Drain()
+		tr := exec.Tree()
+		if err := tr.Check(); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("w=%d: len %d vs ref %d", w, tr.Len(), len(ref))
+		}
+		for k, v := range ref {
+			got, ok, _ := tr.Get(k)
+			if !ok || got != v {
+				t.Fatalf("w=%d: key %d = %d,%v want %d", w, k, got, ok, v)
+			}
+		}
+		st := exec.Stats()
+		if st.Committed != uint64(len(ups)) {
+			t.Fatalf("w=%d: committed %d of %d", w, st.Committed, len(ups))
+		}
+		if st.Issued != st.Committed+st.Crashes {
+			t.Fatalf("w=%d: issued %d != committed %d + crashes %d", w, st.Issued, st.Committed, st.Crashes)
+		}
+	}
+}
+
+func TestSpecWidth1NeverCrashes(t *testing.T) {
+	exec, _ := NewSpecExecutor(NewTree(), 1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+	}
+	exec.Drain()
+	if exec.Stats().Crashes != 0 {
+		t.Fatalf("single-issue pipeline crashed %d times", exec.Stats().Crashes)
+	}
+}
+
+func TestSpecConflictDetected(t *testing.T) {
+	// Two updates to the same leaf in one window must crash the second.
+	tr := NewTree()
+	for i := uint64(0); i < 500; i++ {
+		tr.Put(i*10, i)
+	}
+	exec, _ := NewSpecExecutor(tr, 2)
+	// Same key twice: identical path, guaranteed conflict.
+	exec.Enqueue(Update{Kind: UpdateInsert, Key: 42, Val: 1},
+		Update{Kind: UpdateInsert, Key: 42, Val: 2})
+	exec.Drain()
+	st := exec.Stats()
+	if st.Crashes == 0 {
+		t.Fatal("same-leaf concurrent updates did not crash")
+	}
+	// Replay preserves order: final value is the later request's.
+	v, ok, _ := tr.Get(42)
+	if !ok || v != 2 {
+		t.Fatalf("final value %d,%v; replay broke ordering", v, ok)
+	}
+}
+
+func TestSpecCrashRateLowForRandomKeys(t *testing.T) {
+	// The paper relies on <0.1% crash rate for random hash keys over a
+	// large tree. Build a large tree and stream random updates.
+	tr := NewTree()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		tr.Put(rng.Uint64(), 1)
+	}
+	exec, _ := NewSpecExecutor(tr, 4)
+	for i := 0; i < 50000; i++ {
+		exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+	}
+	exec.Drain()
+	rate := exec.Stats().CrashRate()
+	if rate > 0.002 {
+		t.Fatalf("crash rate %.4f, expected ~<0.1%% for random keys", rate)
+	}
+}
+
+func TestSpecStatsZero(t *testing.T) {
+	var st ExecStats
+	if st.CrashRate() != 0 {
+		t.Fatal("zero stats crash rate nonzero")
+	}
+}
+
+func TestSpecPending(t *testing.T) {
+	exec, _ := NewSpecExecutor(NewTree(), 2)
+	exec.Enqueue(Update{Kind: UpdateInsert, Key: 1, Val: 1})
+	if exec.Pending() != 1 {
+		t.Fatal("pending wrong")
+	}
+	exec.Drain()
+	if exec.Pending() != 0 {
+		t.Fatal("drain left work")
+	}
+}
+
+func BenchmarkSpecExecutorW4(b *testing.B) {
+	tr := NewTree()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		tr.Put(rng.Uint64(), 1)
+	}
+	exec, _ := NewSpecExecutor(tr, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Enqueue(Update{Kind: UpdateInsert, Key: rng.Uint64(), Val: 1})
+		if exec.Pending() >= 4 {
+			exec.Drain()
+		}
+	}
+	exec.Drain()
+}

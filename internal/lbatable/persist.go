@@ -1,0 +1,168 @@
+package lbatable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of the LBA-PBA metadata for checkpointing. The
+// Hash-PBN table is already durable on the table SSDs (write-back cache);
+// the LBA-PBA mapping is the volatile half of the metadata, so servers
+// checkpoint it to a reserved table-SSD region (core.Checkpoint).
+//
+// Format (little endian, versioned):
+//
+//	magic "FIDRLBA1"
+//	u32 containerSize
+//	u64 #entries, then per entry: u16 offsetUnits, u16 csize, u32 refs
+//	u64 #containers, then u64 startPBN each
+//	u64 #lbaMappings, then u64 lba, u64 pbn each
+//	u64 #relocations, then u64 pbn, u64 container, u16 offsetUnits each
+//	u64 #deadContainers, then u64 container, u64 deadBytes each
+
+var lbaMagic = [8]byte{'F', 'I', 'D', 'R', 'L', 'B', 'A', '1'}
+
+// Snapshot serializes the table.
+func (t *Table) Snapshot() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.refsInit()
+	var buf bytes.Buffer
+	buf.Write(lbaMagic[:])
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(t.containerSize))
+	w(uint64(len(t.entries)))
+	for i, e := range t.entries {
+		w(e.offsetUnits)
+		w(e.csize)
+		w(t.refs[i])
+	}
+	w(uint64(len(t.startPBN)))
+	for _, s := range t.startPBN {
+		w(s)
+	}
+	w(uint64(len(t.lbaToPBN)))
+	for lba, pbn := range t.lbaToPBN {
+		w(lba)
+		w(pbn)
+	}
+	w(uint64(len(t.relocated)))
+	for pbn, loc := range t.relocated {
+		w(pbn)
+		w(loc.container)
+		w(loc.offsetUnits)
+	}
+	w(uint64(len(t.deadBytes)))
+	for c, b := range t.deadBytes {
+		w(c)
+		w(b)
+	}
+	return buf.Bytes()
+}
+
+// RestoreTable deserializes a Snapshot into a fresh table.
+func RestoreTable(data []byte) (*Table, error) {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != lbaMagic {
+		return nil, fmt.Errorf("lbatable: bad snapshot magic")
+	}
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var csize uint32
+	if err := rd(&csize); err != nil {
+		return nil, fmt.Errorf("lbatable: snapshot truncated: %w", err)
+	}
+	t, err := New(int(csize))
+	if err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := rd(&n); err != nil {
+		return nil, fmt.Errorf("lbatable: snapshot truncated: %w", err)
+	}
+	const sanity = 1 << 40
+	if n > sanity {
+		return nil, fmt.Errorf("lbatable: implausible entry count %d", n)
+	}
+	t.entries = make([]pbnEntry, n)
+	t.refs = make([]uint32, n)
+	for i := range t.entries {
+		if err := rd(&t.entries[i].offsetUnits); err != nil {
+			return nil, fmt.Errorf("lbatable: entries truncated: %w", err)
+		}
+		if err := rd(&t.entries[i].csize); err != nil {
+			return nil, fmt.Errorf("lbatable: entries truncated: %w", err)
+		}
+		if err := rd(&t.refs[i]); err != nil {
+			return nil, fmt.Errorf("lbatable: refs truncated: %w", err)
+		}
+	}
+	if err := rd(&n); err != nil || n > sanity {
+		return nil, fmt.Errorf("lbatable: container list invalid")
+	}
+	t.startPBN = make([]uint64, n)
+	for i := range t.startPBN {
+		if err := rd(&t.startPBN[i]); err != nil {
+			return nil, fmt.Errorf("lbatable: containers truncated: %w", err)
+		}
+	}
+	if err := rd(&n); err != nil || n > sanity {
+		return nil, fmt.Errorf("lbatable: mapping list invalid")
+	}
+	for i := uint64(0); i < n; i++ {
+		var lba, pbn uint64
+		if err := rd(&lba); err != nil {
+			return nil, fmt.Errorf("lbatable: mappings truncated: %w", err)
+		}
+		if err := rd(&pbn); err != nil {
+			return nil, fmt.Errorf("lbatable: mappings truncated: %w", err)
+		}
+		t.lbaToPBN[lba] = pbn
+	}
+	if err := rd(&n); err != nil || n > sanity {
+		return nil, fmt.Errorf("lbatable: relocation list invalid")
+	}
+	if n > 0 {
+		t.relocated = make(map[uint64]pbnLoc, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var pbn, container uint64
+		var off uint16
+		if err := rd(&pbn); err != nil {
+			return nil, fmt.Errorf("lbatable: relocations truncated: %w", err)
+		}
+		if err := rd(&container); err != nil {
+			return nil, fmt.Errorf("lbatable: relocations truncated: %w", err)
+		}
+		if err := rd(&off); err != nil {
+			return nil, fmt.Errorf("lbatable: relocations truncated: %w", err)
+		}
+		t.relocated[pbn] = pbnLoc{container: container, offsetUnits: off}
+	}
+	if err := rd(&n); err != nil || n > sanity {
+		return nil, fmt.Errorf("lbatable: dead list invalid")
+	}
+	if n > 0 {
+		t.deadBytes = make(map[uint64]uint64, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var c, b uint64
+		if err := rd(&c); err != nil {
+			return nil, fmt.Errorf("lbatable: dead bytes truncated: %w", err)
+		}
+		if err := rd(&b); err != nil {
+			return nil, fmt.Errorf("lbatable: dead bytes truncated: %w", err)
+		}
+		t.deadBytes[c] = b
+	}
+	return t, nil
+}
+
+// NextContainer returns the container index that should be allocated
+// next after restore (one past the highest seen).
+func (t *Table) NextContainer() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return uint64(len(t.startPBN))
+}

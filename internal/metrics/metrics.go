@@ -1,0 +1,224 @@
+// Package metrics provides counters, distribution summaries and plain-text
+// table/figure rendering for the experiment harness. All output of
+// cmd/fidrbench flows through Table so every reproduced paper artifact has
+// a uniform, diffable format.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset sets the counter to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Summary accumulates a stream of float64 observations and reports count,
+// mean, min, max and approximate percentiles. Not safe for concurrent use;
+// each goroutine should own a Summary and merge.
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	s.samples = append(s.samples, other.samples...)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted samples.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.samples[rank]
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Table renders aligned plain-text tables in the style the paper's tables
+// and figure data series are reported by the harness.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case float32:
+			row[i] = FormatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Note appends a footnote line rendered under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// FormatFloat renders floats compactly: integers without decimals,
+// otherwise 3 significant-looking decimals trimmed of trailing zeros.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Bytes pretty-prints a byte count with binary units.
+func Bytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// GBps formats a bytes-per-second rate as GB/s (decimal gigabytes, as the
+// paper reports throughput).
+func GBps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.1f GB/s", bytesPerSec/1e9)
+}
+
+// Pct formats a 0..1 fraction as a percentage.
+func Pct(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}

@@ -1,0 +1,67 @@
+package nic
+
+import "fidr/internal/hwtree"
+
+// FPGA area model for the FIDR NIC (Table 4). The NIC splits into a basic
+// storage NIC (ethernet + TCP offload + protocol decode — implementable as
+// fixed ASIC, per §7.7.1) and the added data-reduction support, which is
+// dominated by SHA-256 cores and the in-NIC buffer's DDR controller.
+//
+// Block costs are calibrated from the two workload columns of Table 4:
+// write-only needs 16 SHA cores to hash the full 64-Gbps line rate, the
+// mixed workload hashes only the write half with 8 cores, and the
+// remaining support logic (buffer manager, compression scheduler, LBA
+// lookup, PCIe/DMA glue) is workload-independent.
+
+const (
+	// shaCoreThroughput is one SHA-256 core's hash rate in bytes/s.
+	shaCoreThroughput = 0.5e9
+	// LineRateBytes is the prototype NIC's 64-Gbps target in bytes/s.
+	LineRateBytes = 8e9
+
+	shaLUTs     = 5125
+	shaFFs      = 5125
+	shaBRAMx2   = 5 // BRAM per two cores (cores share message buffers)
+	supportLUT  = 43000
+	supportFF   = 46000
+	supportBRAM = 55
+)
+
+// BasicNIC is the ethernet + dual 32-Gbps TCP-offload + protocol engine
+// block (Table 4's "Basic NIC + TCP Offload" column).
+var BasicNIC = hwtree.Resources{LUTs: 166000, FFs: 169000, BRAMs: 1024}
+
+// SHACoresFor returns the SHA-256 core count needed to hash writeBytes/s.
+func SHACoresFor(writeRate float64) int {
+	if writeRate <= 0 {
+		return 0
+	}
+	n := int(writeRate / shaCoreThroughput)
+	if float64(n)*shaCoreThroughput < writeRate {
+		n++
+	}
+	return n
+}
+
+// SupportResources returns the data-reduction support block for a NIC
+// whose write fraction of line rate is writeFraction (1.0 for write-only
+// workloads, 0.5 for the 50/50 mixed workload).
+func SupportResources(writeFraction float64) hwtree.Resources {
+	if writeFraction < 0 {
+		writeFraction = 0
+	}
+	if writeFraction > 1 {
+		writeFraction = 1
+	}
+	cores := SHACoresFor(LineRateBytes * writeFraction)
+	return hwtree.Resources{
+		LUTs:  supportLUT + cores*shaLUTs,
+		FFs:   supportFF + cores*shaFFs,
+		BRAMs: supportBRAM + cores*shaBRAMx2/2,
+	}
+}
+
+// TotalResources is the full FIDR NIC build.
+func TotalResources(writeFraction float64) hwtree.Resources {
+	return BasicNIC.Add(SupportResources(writeFraction))
+}

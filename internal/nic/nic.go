@@ -1,0 +1,168 @@
+// Package nic models the server's network interface cards.
+//
+// Two variants exist (§5.4):
+//
+//   - Plain: the baseline's NIC. It terminates TCP/storage protocol in
+//     hardware but DMA-writes every client byte into host memory, where
+//     software takes over.
+//   - FIDR: the paper's data-reduction NIC. It buffers client writes in
+//     NIC memory, hashes chunks with on-NIC SHA-256 cores, answers reads
+//     that hit the in-NIC write buffer, and schedules batches of unique
+//     chunks for direct P2P transfer to the Compression Engines — host
+//     memory sees only hash values and per-chunk flags.
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"fidr/internal/fingerprint"
+)
+
+// WriteEntry is one buffered 4-KB chunk with its metadata.
+type WriteEntry struct {
+	LBA  uint64
+	Data []byte
+	// FP is the chunk fingerprint; computed by the NIC hash cores in
+	// FIDR, by the FPGA array in the baseline.
+	FP fingerprint.FP
+	// Hashed records whether FP is valid.
+	Hashed bool
+}
+
+// ErrBufferFull is returned when the in-NIC buffer cannot accept a write.
+var ErrBufferFull = errors.New("nic: in-NIC buffer full")
+
+// Stats counts NIC activity.
+type Stats struct {
+	WritesBuffered uint64
+	BytesBuffered  uint64
+	HashOps        uint64
+	HashBytes      uint64
+	ReadLookups    uint64
+	ReadHits       uint64
+	BatchesMade    uint64
+	UniqueSent     uint64
+	DuplicateDrops uint64
+}
+
+// FIDR is the data-reduction NIC.
+type FIDR struct {
+	// bufferCap bounds the in-NIC chunk buffer in bytes (the NIC's
+	// battery-backed DRAM; writes are acked once buffered, §7.6.1).
+	bufferCap int
+	buffer    []WriteEntry
+	buffered  int
+	// lbaIndex finds the most recent buffered entry per LBA for the
+	// read fast path (§5.3 read step 2).
+	lbaIndex map[uint64]int
+
+	stats Stats
+}
+
+// NewFIDR creates a FIDR NIC with the given buffer capacity in bytes.
+func NewFIDR(bufferCap int) (*FIDR, error) {
+	if bufferCap < 4096 {
+		return nil, fmt.Errorf("nic: buffer capacity %d too small", bufferCap)
+	}
+	return &FIDR{bufferCap: bufferCap, lbaIndex: make(map[uint64]int)}, nil
+}
+
+// BufferWrite accepts one chunk into the in-NIC buffer. The data is
+// copied (the NIC owns its buffer memory). Returns ErrBufferFull when the
+// buffer cannot hold the chunk; the caller must drain a batch first.
+func (n *FIDR) BufferWrite(lba uint64, data []byte) error {
+	if n.buffered+len(data) > n.bufferCap {
+		return ErrBufferFull
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.buffer = append(n.buffer, WriteEntry{LBA: lba, Data: cp})
+	n.lbaIndex[lba] = len(n.buffer) - 1
+	n.buffered += len(data)
+	n.stats.WritesBuffered++
+	n.stats.BytesBuffered += uint64(len(data))
+	return nil
+}
+
+// Buffered returns the number of buffered chunks.
+func (n *FIDR) Buffered() int { return len(n.buffer) }
+
+// BufferedBytes returns the bytes held in the in-NIC buffer.
+func (n *FIDR) BufferedBytes() int { return n.buffered }
+
+// HashAll runs the NIC's SHA-256 cores over unhashed buffered chunks and
+// returns the (LBA, fingerprint) pairs to send to the host — the only
+// write-path data that touches host memory in FIDR.
+func (n *FIDR) HashAll() []WriteEntry {
+	out := make([]WriteEntry, 0, len(n.buffer))
+	for i := range n.buffer {
+		e := &n.buffer[i]
+		if !e.Hashed {
+			e.FP = fingerprint.Of(e.Data)
+			e.Hashed = true
+			n.stats.HashOps++
+			n.stats.HashBytes += uint64(len(e.Data))
+		}
+		out = append(out, *e)
+	}
+	return out
+}
+
+// LookupRead serves a read from the in-NIC write buffer if the LBA is
+// still buffered, returning the freshest data for that LBA.
+func (n *FIDR) LookupRead(lba uint64) ([]byte, bool) {
+	n.stats.ReadLookups++
+	i, ok := n.lbaIndex[lba]
+	if !ok {
+		return nil, false
+	}
+	n.stats.ReadHits++
+	return n.buffer[i].Data, true
+}
+
+// ScheduleBatch consumes the buffer given per-chunk uniqueness flags
+// (computed by the host's table lookup) and returns the batch of unique
+// chunks for the Compression Engines. Duplicate chunks are dropped from
+// the NIC buffer — they never cross PCIe, which is FIDR's bandwidth win.
+// flags must align with the entries returned by HashAll.
+func (n *FIDR) ScheduleBatch(flags []bool) ([]WriteEntry, error) {
+	if len(flags) != len(n.buffer) {
+		return nil, fmt.Errorf("nic: %d flags for %d buffered chunks", len(flags), len(n.buffer))
+	}
+	var unique []WriteEntry
+	for i, isUnique := range flags {
+		if isUnique {
+			unique = append(unique, n.buffer[i])
+			n.stats.UniqueSent++
+		} else {
+			n.stats.DuplicateDrops++
+		}
+	}
+	n.stats.BatchesMade++
+	n.buffer = n.buffer[:0]
+	n.buffered = 0
+	n.lbaIndex = make(map[uint64]int)
+	return unique, nil
+}
+
+// Stats returns a snapshot of NIC counters.
+func (n *FIDR) Stats() Stats { return n.stats }
+
+// Plain is the baseline NIC: no buffering or hashing support; it only
+// counts traffic it DMA-writes toward host memory.
+type Plain struct {
+	stats Stats
+}
+
+// NewPlain creates a baseline NIC.
+func NewPlain() *Plain { return &Plain{} }
+
+// ReceiveWrite counts one client chunk DMA'd to host memory.
+func (n *Plain) ReceiveWrite(data []byte) {
+	n.stats.WritesBuffered++
+	n.stats.BytesBuffered += uint64(len(data))
+}
+
+// Stats returns a snapshot of NIC counters.
+func (n *Plain) Stats() Stats { return n.stats }

@@ -1,0 +1,206 @@
+// Package pcie models the server's PCIe fabric: a root complex, switches,
+// and endpoint devices, with per-link byte ledgers.
+//
+// FIDR's second idea rides on this fabric (§5.1, §5.6): NICs, Compression
+// Engines and data SSDs are grouped under shared switches so unique-chunk
+// data flows NIC→Engine→SSD entirely as peer-to-peer transfers below one
+// switch, never crossing the root complex or touching host DRAM. The
+// baseline instead bounces every byte through host memory. The per-link
+// ledgers quantify exactly that difference.
+package pcie
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceID names an endpoint.
+type DeviceID string
+
+// HostMemory is the built-in endpoint representing host DRAM behind the
+// root complex (DMA targets in host memory terminate here).
+const HostMemory DeviceID = "host-memory"
+
+// rootName is the internal name of the root complex "switch".
+const rootName = "root-complex"
+
+// Link identifies one hop in the fabric.
+type Link struct {
+	// From and To name the hop ends (device, switch or root complex).
+	// Links are recorded in canonical lexical order.
+	From, To string
+}
+
+func canonical(a, b string) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{From: a, To: b}
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return l.From + "<->" + l.To }
+
+// Topology is the PCIe fabric. Safe for concurrent Transfer calls.
+type Topology struct {
+	mu       sync.Mutex
+	switches map[string]bool
+	parent   map[string]string // device or switch -> parent (switch or root)
+	bytes    map[Link]uint64
+	p2p      uint64 // bytes moved without crossing the root complex
+	viaRoot  uint64 // bytes that crossed the root complex
+}
+
+// NewTopology returns a fabric with only the root complex and host memory.
+func NewTopology() *Topology {
+	t := &Topology{
+		switches: map[string]bool{rootName: true},
+		parent:   map[string]string{string(HostMemory): rootName},
+		bytes:    make(map[Link]uint64),
+	}
+	return t
+}
+
+// AddSwitch adds a PCIe switch under the root complex.
+func (t *Topology) AddSwitch(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if name == rootName || t.switches[name] {
+		return fmt.Errorf("pcie: switch %q already exists", name)
+	}
+	if _, ok := t.parent[name]; ok {
+		return fmt.Errorf("pcie: name %q already used by a device", name)
+	}
+	t.switches[name] = true
+	t.parent[name] = rootName
+	return nil
+}
+
+// AddDevice attaches an endpoint under the named switch, or directly
+// under the root complex if switchName is empty.
+func (t *Topology) AddDevice(id DeviceID, switchName string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.parent[string(id)]; ok {
+		return fmt.Errorf("pcie: device %q already exists", id)
+	}
+	if switchName == "" {
+		switchName = rootName
+	}
+	if !t.switches[switchName] {
+		return fmt.Errorf("pcie: unknown switch %q", switchName)
+	}
+	t.parent[string(id)] = switchName
+	return nil
+}
+
+// Route returns the hop sequence from src to dst: up to the common
+// ancestor (a switch for P2P siblings, else the root complex) and down.
+func (t *Topology) Route(src, dst DeviceID) ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.routeLocked(src, dst)
+}
+
+func (t *Topology) routeLocked(src, dst DeviceID) ([]string, error) {
+	ps, ok := t.parent[string(src)]
+	if !ok {
+		return nil, fmt.Errorf("pcie: unknown device %q", src)
+	}
+	pd, ok := t.parent[string(dst)]
+	if !ok {
+		return nil, fmt.Errorf("pcie: unknown device %q", dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("pcie: transfer from %q to itself", src)
+	}
+	if ps == pd {
+		// Peer-to-peer below one switch (or both under the root).
+		return []string{string(src), ps, string(dst)}, nil
+	}
+	// Up through the root complex.
+	path := []string{string(src), ps}
+	if ps != rootName {
+		path = append(path, rootName)
+	}
+	if pd != rootName {
+		path = append(path, pd)
+	}
+	path = append(path, string(dst))
+	return path, nil
+}
+
+// Transfer moves n bytes from src to dst, charging every traversed link.
+// It reports whether the transfer was peer-to-peer (did not cross the
+// root complex).
+func (t *Topology) Transfer(src, dst DeviceID, n uint64) (p2p bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	path, err := t.routeLocked(src, dst)
+	if err != nil {
+		return false, err
+	}
+	crossesRoot := false
+	for i := 1; i < len(path); i++ {
+		t.bytes[canonical(path[i-1], path[i])] += n
+		if path[i] == rootName {
+			crossesRoot = true
+		}
+	}
+	// A transfer terminating at host memory crosses the root by
+	// definition (host memory hangs off the root complex).
+	if src == HostMemory || dst == HostMemory {
+		crossesRoot = true
+	}
+	if crossesRoot {
+		t.viaRoot += n
+	} else {
+		t.p2p += n
+	}
+	return !crossesRoot, nil
+}
+
+// LinkBytes returns bytes carried by each link, sorted by link name.
+type LinkBytes struct {
+	Link  Link
+	Bytes uint64
+}
+
+// Report returns the per-link ledger plus P2P/root-complex totals.
+func (t *Topology) Report() (links []LinkBytes, p2pBytes, rootBytes uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for l, b := range t.bytes {
+		links = append(links, LinkBytes{Link: l, Bytes: b})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Link.From != links[j].Link.From {
+			return links[i].Link.From < links[j].Link.From
+		}
+		return links[i].Link.To < links[j].Link.To
+	})
+	return links, t.p2p, t.viaRoot
+}
+
+// RootComplexBytes returns bytes that crossed the root complex.
+func (t *Topology) RootComplexBytes() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.viaRoot
+}
+
+// P2PBytes returns bytes moved peer-to-peer under switches.
+func (t *Topology) P2PBytes() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p2p
+}
+
+// Reset zeroes all ledgers (topology preserved).
+func (t *Topology) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bytes = make(map[Link]uint64)
+	t.p2p, t.viaRoot = 0, 0
+}

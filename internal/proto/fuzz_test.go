@@ -1,0 +1,64 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzRead ensures the frame decoder never panics or over-allocates on
+// arbitrary input, and that valid frames round-trip.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	Write(&seed, Frame{Op: OpWrite, LBA: 1, Payload: []byte("abc")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			frame, err := Read(r)
+			if err != nil {
+				return // EOF or rejection are both fine
+			}
+			// A decoded frame must re-encode.
+			var buf bytes.Buffer
+			if err := Write(&buf, frame); err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("re-encoded frame does not decode: %v", err)
+			}
+			if back.Op != frame.Op || back.LBA != frame.LBA || !bytes.Equal(back.Payload, frame.Payload) {
+				t.Fatal("frame round-trip mismatch")
+			}
+		}
+	})
+}
+
+// FuzzWriteRead checks arbitrary payloads survive framing.
+func FuzzWriteRead(f *testing.F) {
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(1<<40), []byte("chunk"))
+	f.Fuzz(func(t *testing.T, lba uint64, payload []byte) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, Frame{Op: OpData, LBA: lba, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LBA != lba || !bytes.Equal(got.Payload, payload) {
+			t.Fatal("payload corrupted by framing")
+		}
+		if _, err := Read(&buf); err != io.EOF {
+			t.Fatal("trailing bytes after frame")
+		}
+	})
+}

@@ -1,0 +1,122 @@
+// Package proto implements the simplified storage access protocol of
+// §6.2: instead of full iSCSI, a minimal framed protocol whose flow is
+// write→ack and read→ack-with-data, carrying the operation type, the LBA
+// and (for writes) the chunk payload.
+//
+// Frame layout (little endian):
+//
+//	byte  0      opcode (1 write, 2 read, 3 ack, 4 ack+data, 5 error)
+//	bytes 1-8    LBA
+//	bytes 9-12   payload length
+//	bytes 13..   payload (write data, read data, or error text)
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op is the frame opcode.
+type Op byte
+
+// Opcodes.
+const (
+	OpWrite Op = 1
+	OpRead  Op = 2
+	OpAck   Op = 3
+	OpData  Op = 4
+	OpError Op = 5
+	// OpWriteBatch carries N consecutive chunks in one frame: payload
+	// length must be a multiple of the chunk size; chunk i lands at
+	// LBA+i. One ack covers the batch (the NIC buffers and acks writes
+	// as a unit anyway, §5.3).
+	OpWriteBatch Op = 6
+	// OpReadBatch requests N consecutive chunks: the payload carries a
+	// little-endian uint32 count; the response is one OpData frame with
+	// the concatenated chunks.
+	OpReadBatch Op = 7
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpAck:
+		return "ack"
+	case OpData:
+		return "ack+data"
+	case OpError:
+		return "error"
+	case OpWriteBatch:
+		return "write-batch"
+	case OpReadBatch:
+		return "read-batch"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// MaxPayload bounds frame payloads (one chunk plus slack).
+const MaxPayload = 1 << 20
+
+const headerSize = 13
+
+// Frame is one protocol message.
+type Frame struct {
+	Op      Op
+	LBA     uint64
+	Payload []byte
+}
+
+// Write encodes the frame to w.
+func Write(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("proto: payload %d exceeds limit", len(f.Payload))
+	}
+	var hdr [headerSize]byte
+	hdr[0] = byte(f.Op)
+	binary.LittleEndian.PutUint64(hdr[1:], f.LBA)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("proto: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read decodes one frame from r. Returns io.EOF cleanly at end of stream.
+func Read(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("proto: read header: %w", err)
+	}
+	f := Frame{
+		Op:  Op(hdr[0]),
+		LBA: binary.LittleEndian.Uint64(hdr[1:]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("proto: payload %d exceeds limit", n)
+	}
+	if f.Op < OpWrite || f.Op > OpReadBatch {
+		return Frame{}, fmt.Errorf("proto: bad opcode %d", hdr[0])
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("proto: read payload: %w", err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,239 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpWrite, LBA: 42, Payload: []byte("payload")},
+		{Op: OpRead, LBA: 7},
+		{Op: OpAck, LBA: 9},
+		{Op: OpData, LBA: 1, Payload: bytes.Repeat([]byte{0xEE}, 4096)},
+		{Op: OpError, LBA: 0, Payload: []byte("boom")},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := Write(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.LBA != want.LBA || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	if err := Write(io.Discard, Frame{Op: OpWrite, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	// Bad opcode.
+	var buf bytes.Buffer
+	buf.Write([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	Write(&buf, Frame{Op: OpWrite, LBA: 1, Payload: []byte("full payload")})
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, err := Read(trunc); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpWrite: "write", OpRead: "read", OpAck: "ack", OpData: "ack+data", OpError: "error",
+	} {
+		if op.String() != want {
+			t.Errorf("%d -> %q", op, op.String())
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op renders empty")
+	}
+}
+
+func newTestListener(t *testing.T) (*Listener, *Client) {
+	t.Helper()
+	srv, err := core.New(core.DefaultConfig(core.FIDRFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return l, c
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	_, c := newTestListener(t)
+	sh := blockcomp.NewShaper(0.5)
+	want := make(map[uint64][]byte)
+	for i := uint64(0); i < 50; i++ {
+		data := sh.Make(i%17, 4096)
+		if err := c.WriteChunk(i, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		want[i] = data
+	}
+	for lba, data := range want {
+		got, err := c.ReadChunk(lba)
+		if err != nil {
+			t.Fatalf("read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("lba %d corrupted over the wire", lba)
+		}
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	_, c := newTestListener(t)
+	if _, err := c.ReadChunk(999); err == nil {
+		t.Fatal("read of unwritten LBA succeeded")
+	}
+	if err := c.WriteChunk(1, []byte("short")); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	l, _ := newTestListener(t)
+	sh := blockcomp.NewShaper(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			base := uint64(g) * 1000
+			for i := uint64(0); i < 40; i++ {
+				data := sh.Make(base+i, 4096)
+				if err := c.WriteChunk(base+i, data); err != nil {
+					t.Errorf("client %d write: %v", g, err)
+					return
+				}
+				got, err := c.ReadChunk(base + i)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("client %d read corrupted", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestWriteBatchOverTCP(t *testing.T) {
+	_, c := newTestListener(t)
+	sh := blockcomp.NewShaper(0.5)
+	var batch []byte
+	for i := uint64(0); i < 8; i++ {
+		batch = append(batch, sh.Make(i, 4096)...)
+	}
+	if err := c.WriteBatch(100, batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		got, err := c.ReadChunk(100 + i)
+		if err != nil || !bytes.Equal(got, sh.Make(i, 4096)) {
+			t.Fatalf("batched chunk %d wrong: %v", i, err)
+		}
+	}
+	// Misaligned batches are rejected server-side.
+	if err := c.WriteBatch(0, make([]byte, 100)); err == nil {
+		t.Fatal("misaligned batch accepted")
+	}
+	if err := c.WriteBatch(0, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestOpWriteBatchString(t *testing.T) {
+	if OpWriteBatch.String() != "write-batch" {
+		t.Error("op string wrong")
+	}
+}
+
+func TestReadBatchOverTCP(t *testing.T) {
+	_, c := newTestListener(t)
+	sh := blockcomp.NewShaper(0.5)
+	var want []byte
+	for i := uint64(0); i < 6; i++ {
+		data := sh.Make(i, 4096)
+		if err := c.WriteChunk(50+i, data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, data...)
+	}
+	got, err := c.ReadBatch(50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("batched read mismatch")
+	}
+	if _, err := c.ReadBatch(50, 0); err == nil {
+		t.Fatal("zero-count batch accepted")
+	}
+	if _, err := c.ReadBatch(9999, 2); err == nil {
+		t.Fatal("unmapped batched read succeeded")
+	}
+	if _, err := c.ReadBatch(50, MaxPayload); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func BenchmarkWriteReadOverTCP(b *testing.B) {
+	srv, err := core.New(core.DefaultConfig(core.FIDRFull))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	chunk := blockcomp.NewShaper(0.5).Make(1, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteChunk(uint64(i), chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"fidr/internal/core"
+)
+
+// Listener serves the storage protocol over TCP in front of a core
+// server. The core server is single-writer; the listener serializes
+// requests across connections (as the FIDR software's device manager
+// serializes the device pipeline).
+type Listener struct {
+	srv *core.Server
+	mu  sync.Mutex
+	ln  net.Listener
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	logf   func(format string, args ...any)
+}
+
+// Serve starts serving on addr ("host:port"; use ":0" for an ephemeral
+// port) and returns immediately. Close stops it.
+func Serve(srv *core.Server, addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proto: listen: %w", err)
+	}
+	l := &Listener{srv: srv, ln: ln, closed: make(chan struct{}), logf: log.Printf}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting and waits for in-flight connections.
+func (l *Listener) Close() error {
+	close(l.closed)
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.closed:
+				return
+			default:
+				l.logf("proto: accept: %v", err)
+				return
+			}
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			defer conn.Close()
+			if err := l.serveConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				l.logf("proto: connection: %v", err)
+			}
+		}()
+	}
+}
+
+func (l *Listener) serveConn(conn net.Conn) error {
+	for {
+		f, err := Read(conn)
+		if err != nil {
+			return err
+		}
+		resp := l.handle(f)
+		if err := Write(conn, resp); err != nil {
+			return err
+		}
+	}
+}
+
+func (l *Listener) handle(f Frame) Frame {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch f.Op {
+	case OpWrite:
+		if err := l.srv.Write(f.LBA, f.Payload); err != nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
+		}
+		return Frame{Op: OpAck, LBA: f.LBA}
+	case OpWriteBatch:
+		cs := l.srv.Config().ChunkSize
+		if len(f.Payload) == 0 || len(f.Payload)%cs != 0 {
+			return Frame{Op: OpError, LBA: f.LBA,
+				Payload: []byte(fmt.Sprintf("batch payload %d not a multiple of chunk size %d", len(f.Payload), cs))}
+		}
+		for i := 0; i*cs < len(f.Payload); i++ {
+			if err := l.srv.Write(f.LBA+uint64(i), f.Payload[i*cs:(i+1)*cs]); err != nil {
+				return Frame{Op: OpError, LBA: f.LBA + uint64(i), Payload: []byte(err.Error())}
+			}
+		}
+		return Frame{Op: OpAck, LBA: f.LBA}
+	case OpRead:
+		data, err := l.srv.Read(f.LBA)
+		if err != nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
+		}
+		return Frame{Op: OpData, LBA: f.LBA, Payload: data}
+	case OpReadBatch:
+		if len(f.Payload) != 4 {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("read-batch payload must be a uint32 count")}
+		}
+		count := int(binary.LittleEndian.Uint32(f.Payload))
+		cs := l.srv.Config().ChunkSize
+		if count < 1 || count*cs > MaxPayload {
+			return Frame{Op: OpError, LBA: f.LBA,
+				Payload: []byte(fmt.Sprintf("read-batch count %d out of range", count))}
+		}
+		data, err := l.srv.ReadRange(f.LBA, count)
+		if err != nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
+		}
+		return Frame{Op: OpData, LBA: f.LBA, Payload: data}
+	default:
+		return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("unexpected opcode")}
+	}
+}
+
+// Client is a blocking protocol client.
+type Client struct {
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+// Dial connects to a Listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a frame and reads the response.
+func (c *Client) roundTrip(f Frame) (Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := Write(c.conn, f); err != nil {
+		return Frame{}, err
+	}
+	return Read(c.conn)
+}
+
+// WriteChunk stores one chunk at lba (write -> wait -> ack, §6.2).
+func (c *Client) WriteChunk(lba uint64, data []byte) error {
+	resp, err := c.roundTrip(Frame{Op: OpWrite, LBA: lba, Payload: data})
+	if err != nil {
+		return err
+	}
+	if resp.Op == OpError {
+		return fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpAck {
+		return fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return nil
+}
+
+// WriteBatch stores len(data)/chunkSize consecutive chunks starting at
+// lba in one round trip.
+func (c *Client) WriteBatch(lba uint64, data []byte) error {
+	resp, err := c.roundTrip(Frame{Op: OpWriteBatch, LBA: lba, Payload: data})
+	if err != nil {
+		return err
+	}
+	if resp.Op == OpError {
+		return fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpAck {
+		return fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return nil
+}
+
+// ReadChunk fetches the chunk at lba (read -> wait -> ack with data).
+func (c *Client) ReadChunk(lba uint64) ([]byte, error) {
+	resp, err := c.roundTrip(Frame{Op: OpRead, LBA: lba})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Op == OpError {
+		return nil, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpData {
+		return nil, fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return resp.Payload, nil
+}
+
+// ReadBatch fetches count consecutive chunks starting at lba in one
+// round trip.
+func (c *Client) ReadBatch(lba uint64, count int) ([]byte, error) {
+	var payload [4]byte
+	binary.LittleEndian.PutUint32(payload[:], uint32(count))
+	resp, err := c.roundTrip(Frame{Op: OpReadBatch, LBA: lba, Payload: payload[:]})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Op == OpError {
+		return nil, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpData {
+		return nil, fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return resp.Payload, nil
+}

@@ -1,0 +1,147 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NVMe-style paired submission/completion queues. The queue pair is a ring
+// of fixed depth: commands are submitted to the SQ, executed against the
+// device, and completions are reaped from the CQ.
+//
+// Where the queue pair *lives* is an architectural decision the paper
+// leans on: baseline and FIDR keep data-SSD queues in host memory
+// (software-managed), while FIDR moves table-SSD queues into the Cache
+// HW-Engine so the host CPU never touches the hot random-IO control path
+// (§6.1). The Owner tag records that placement so resource accounting can
+// charge the right component.
+
+// Owner says which agent manages a queue pair.
+type Owner int
+
+const (
+	// OwnerHost means host software manages the queue (CPU cost per IO).
+	OwnerHost Owner = iota
+	// OwnerHW means a hardware engine manages the queue (no host CPU).
+	OwnerHW
+)
+
+// String implements fmt.Stringer.
+func (o Owner) String() string {
+	switch o {
+	case OwnerHost:
+		return "host"
+	case OwnerHW:
+		return "hw-engine"
+	default:
+		return fmt.Sprintf("Owner(%d)", int(o))
+	}
+}
+
+// OpCode is the NVMe command type.
+type OpCode int
+
+const (
+	// OpRead reads Length bytes at Offset.
+	OpRead OpCode = iota
+	// OpWrite writes Data at Offset.
+	OpWrite
+)
+
+// Command is one queued NVMe command.
+type Command struct {
+	Op     OpCode
+	Offset uint64
+	Length int    // for reads
+	Data   []byte // for writes
+	Tag    uint64 // caller-chosen identifier echoed in the completion
+}
+
+// Completion reports a finished command.
+type Completion struct {
+	Tag  uint64
+	Data []byte // read payload, nil for writes
+	Err  error
+}
+
+// ErrQueueFull is returned when the submission ring has no free slot.
+var ErrQueueFull = errors.New("ssd: submission queue full")
+
+// QueuePair couples an SQ/CQ ring with a device. Not safe for concurrent
+// use; each submitter owns its queue pair, as in NVMe.
+type QueuePair struct {
+	dev   *SSD
+	owner Owner
+	depth int
+	sq    []Command
+	cq    []Completion
+
+	submitted uint64
+	completed uint64
+}
+
+// NewQueuePair creates a queue pair of the given depth against dev.
+func NewQueuePair(dev *SSD, owner Owner, depth int) (*QueuePair, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("ssd: invalid queue depth %d", depth)
+	}
+	return &QueuePair{dev: dev, owner: owner, depth: depth}, nil
+}
+
+// Owner reports who manages this queue pair.
+func (q *QueuePair) Owner() Owner { return q.owner }
+
+// Depth returns the ring depth.
+func (q *QueuePair) Depth() int { return q.depth }
+
+// Pending returns the number of submitted but unreaped commands.
+func (q *QueuePair) Pending() int { return len(q.sq) + len(q.cq) }
+
+// Submit enqueues a command. Returns ErrQueueFull if SQ+CQ occupancy
+// reached the ring depth (completions must be reaped to free slots).
+func (q *QueuePair) Submit(cmd Command) error {
+	if q.Pending() >= q.depth {
+		return ErrQueueFull
+	}
+	q.sq = append(q.sq, cmd)
+	q.submitted++
+	return nil
+}
+
+// Process executes all submitted commands against the device, moving them
+// to the completion queue. In hardware this is the device's doorbell/DMA
+// work; calling it explicitly keeps the simulation deterministic.
+func (q *QueuePair) Process() {
+	for _, cmd := range q.sq {
+		var comp Completion
+		comp.Tag = cmd.Tag
+		switch cmd.Op {
+		case OpRead:
+			comp.Data, comp.Err = q.dev.Read(cmd.Offset, cmd.Length)
+		case OpWrite:
+			comp.Err = q.dev.Write(cmd.Offset, cmd.Data)
+		default:
+			comp.Err = fmt.Errorf("ssd: unknown opcode %d", cmd.Op)
+		}
+		q.cq = append(q.cq, comp)
+	}
+	q.sq = q.sq[:0]
+}
+
+// Reap removes and returns up to max completions (all if max <= 0).
+func (q *QueuePair) Reap(max int) []Completion {
+	if max <= 0 || max > len(q.cq) {
+		max = len(q.cq)
+	}
+	out := make([]Completion, max)
+	copy(out, q.cq[:max])
+	q.cq = q.cq[:copy(q.cq, q.cq[max:])]
+	q.completed += uint64(max)
+	return out
+}
+
+// Submitted returns the total number of commands ever submitted.
+func (q *QueuePair) Submitted() uint64 { return q.submitted }
+
+// Completed returns the total number of completions reaped.
+func (q *QueuePair) Completed() uint64 { return q.completed }

@@ -1,0 +1,328 @@
+package ssd
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:          "test",
+		CapacityBytes: 1 << 30,
+		PageSize:      4096,
+		ReadLatency:   85 * time.Microsecond,
+		WriteLatency:  30 * time.Microsecond,
+		ReadBW:        3.5e9,
+		WriteBW:       2.7e9,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{CapacityBytes: 1, PageSize: 0, ReadBW: 1, WriteBW: 1},
+		{CapacityBytes: 1, PageSize: 4096, ReadBW: 0, WriteBW: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := Samsung970Pro("d").Validate(); err != nil {
+		t.Errorf("preset invalid: %v", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := MustNew(testConfig())
+	data := []byte("fidr stores compressed containers")
+	if err := s.Write(10000, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(10000, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := MustNew(testConfig())
+	got, err := s.Read(4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten region not zero")
+		}
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	s := MustNew(testConfig())
+	data := make([]byte, 3*4096+123)
+	rand.New(rand.NewSource(1)).Read(data)
+	off := uint64(4096 - 57) // unaligned, spans 4+ pages
+	if err := s.Write(off, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(off, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+	if s.StoredPages() < 4 {
+		t.Errorf("expected >=4 pages stored, got %d", s.StoredPages())
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	s := MustNew(testConfig())
+	if err := s.Write(s.Config().CapacityBytes-10, make([]byte, 20)); err == nil {
+		t.Error("write beyond capacity accepted")
+	}
+	if _, err := s.Read(s.Config().CapacityBytes-10, 20); err == nil {
+		t.Error("read beyond capacity accepted")
+	}
+	if _, err := s.Read(0, -1); err == nil {
+		t.Error("negative read accepted")
+	}
+}
+
+func TestWriteReadProperty(t *testing.T) {
+	s := MustNew(testConfig())
+	prop := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := uint64(off) % (1<<30 - 1<<20) // keep within capacity
+		if err := s.Write(o, data); err != nil {
+			return false
+		}
+		got, err := s.Read(o, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAndAccessTime(t *testing.T) {
+	s := MustNew(testConfig())
+	if err := s.Write(0, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WriteIOs != 1 || st.ReadIOs != 1 {
+		t.Errorf("IOs = %d/%d", st.WriteIOs, st.ReadIOs)
+	}
+	if st.WriteBytes != 8192 || st.ReadBytes != 4096 {
+		t.Errorf("bytes = %d/%d", st.WriteBytes, st.ReadBytes)
+	}
+	if st.BusyDuration <= 0 {
+		t.Error("busy duration not accumulated")
+	}
+	// Access time must exceed base latency and grow with size.
+	small := s.AccessTime(false, 4096)
+	large := s.AccessTime(false, 4<<20)
+	if small < s.Config().ReadLatency {
+		t.Error("access time below base latency")
+	}
+	if large <= small {
+		t.Error("access time not increasing with transfer size")
+	}
+	s.ResetStats()
+	if s.Stats().ReadIOs != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := MustNew(testConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(g + 1)}, 4096)
+			off := uint64(g) * 4096
+			for i := 0; i < 50; i++ {
+				if err := s.Write(off, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := s.Read(off, 4096)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					t.Error("interleaved data corruption")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestQueuePairBasic(t *testing.T) {
+	s := MustNew(testConfig())
+	q, err := NewQueuePair(s, OwnerHW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Owner() != OwnerHW || q.Depth() != 8 {
+		t.Fatal("queue metadata wrong")
+	}
+	payload := []byte("bucket content")
+	if err := q.Submit(Command{Op: OpWrite, Offset: 0, Data: payload, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Command{Op: OpRead, Offset: 0, Length: len(payload), Tag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	q.Process()
+	comps := q.Reap(0)
+	if len(comps) != 2 {
+		t.Fatalf("got %d completions", len(comps))
+	}
+	if comps[0].Tag != 1 || comps[0].Err != nil {
+		t.Errorf("write completion: %+v", comps[0])
+	}
+	if comps[1].Tag != 2 || !bytes.Equal(comps[1].Data, payload) {
+		t.Errorf("read completion: %+v", comps[1])
+	}
+	if q.Submitted() != 2 || q.Completed() != 2 {
+		t.Errorf("counters: %d/%d", q.Submitted(), q.Completed())
+	}
+}
+
+func TestQueuePairFull(t *testing.T) {
+	s := MustNew(testConfig())
+	q, _ := NewQueuePair(s, OwnerHost, 2)
+	for i := 0; i < 2; i++ {
+		if err := q.Submit(Command{Op: OpRead, Length: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Submit(Command{Op: OpRead, Length: 1}); err != ErrQueueFull {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+	q.Process()
+	// Ring slots free only after reap.
+	if err := q.Submit(Command{Op: OpRead, Length: 1}); err != ErrQueueFull {
+		t.Fatalf("slots freed before reap: %v", err)
+	}
+	q.Reap(1)
+	if err := q.Submit(Command{Op: OpRead, Length: 1}); err != nil {
+		t.Fatalf("slot not freed after reap: %v", err)
+	}
+}
+
+func TestQueuePairErrors(t *testing.T) {
+	s := MustNew(testConfig())
+	if _, err := NewQueuePair(s, OwnerHost, 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	q, _ := NewQueuePair(s, OwnerHost, 4)
+	// Out-of-range read surfaces as completion error, not panic.
+	q.Submit(Command{Op: OpRead, Offset: s.Config().CapacityBytes, Length: 10, Tag: 9})
+	q.Process()
+	comps := q.Reap(0)
+	if len(comps) != 1 || comps[0].Err == nil {
+		t.Fatal("device error not propagated through completion")
+	}
+}
+
+func TestOwnerString(t *testing.T) {
+	if OwnerHost.String() != "host" || OwnerHW.String() != "hw-engine" {
+		t.Error("owner strings wrong")
+	}
+	if Owner(9).String() == "" {
+		t.Error("unknown owner renders empty")
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	s := MustNew(testConfig())
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(uint64(i%1024)*4096, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFileBackedPersistence(t *testing.T) {
+	path := t.TempDir() + "/vol.img"
+	cfg := testConfig()
+	cfg.BackingFile = path
+	s1 := MustNew(cfg)
+	data := []byte("survives process restarts")
+	if err := s1.Write(12345, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: contents intact; holes still read zero.
+	s2 := MustNew(cfg)
+	defer s2.Close()
+	got, err := s2.Read(12345, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("persisted data lost: %q", got)
+	}
+	hole, err := s2.Read(1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range hole {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+	if s2.StoredPages() == 0 {
+		t.Error("file-backed page estimate empty")
+	}
+}
+
+func TestFileBackedRoundTripUnaligned(t *testing.T) {
+	cfg := testConfig()
+	cfg.BackingFile = t.TempDir() + "/vol.img"
+	s := MustNew(cfg)
+	defer s.Close()
+	data := make([]byte, 3*4096+77)
+	rand.New(rand.NewSource(4)).Read(data)
+	if err := s.Write(4096-13, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(4096-13, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("file-backed unaligned round trip failed: %v", err)
+	}
+}
+
+func TestFileBackedBadPath(t *testing.T) {
+	cfg := testConfig()
+	cfg.BackingFile = "/nonexistent-dir-xyz/vol.img"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unopenable backing file accepted")
+	}
+}

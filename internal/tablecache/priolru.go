@@ -1,0 +1,142 @@
+package tablecache
+
+import "container/list"
+
+// PriorityLRU is the §8 (Discussion) extension for multi-tenant
+// environments: instead of one global LRU that lets a scan-heavy tenant
+// evict a locality-rich tenant's table buckets, each tenant owns an LRU
+// list and a weight. Victims are chosen from the tenant most over its
+// weighted share, so a low-priority streaming workload cannot wash out a
+// high-priority one's working set (the paper cites a differentiated
+// caching design [44] for exactly this policy shape).
+type PriorityLRU struct {
+	capacity int
+	weights  map[string]float64
+
+	lists map[string]*list.List
+	elems map[uint64]*list.Element
+	owner map[uint64]string
+	size  int
+}
+
+type prioEntry struct {
+	line   uint64
+	tenant string
+}
+
+// NewPriorityLRU creates a policy for capacity lines. Tenants default to
+// weight 1 until SetWeight.
+func NewPriorityLRU(capacity int) *PriorityLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PriorityLRU{
+		capacity: capacity,
+		weights:  make(map[string]float64),
+		lists:    make(map[string]*list.List),
+		elems:    make(map[uint64]*list.Element),
+		owner:    make(map[uint64]string),
+	}
+}
+
+// SetWeight assigns a tenant's share weight (must be positive).
+func (p *PriorityLRU) SetWeight(tenant string, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	p.weights[tenant] = w
+}
+
+func (p *PriorityLRU) weight(tenant string) float64 {
+	if w, ok := p.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Len returns the number of tracked lines.
+func (p *PriorityLRU) Len() int { return p.size }
+
+// TenantLines returns how many lines tenant currently holds.
+func (p *PriorityLRU) TenantLines(tenant string) int {
+	if l, ok := p.lists[tenant]; ok {
+		return l.Len()
+	}
+	return 0
+}
+
+// Touch records an access to line by tenant, inserting or promoting it.
+// Re-touching a line from a different tenant transfers ownership.
+func (p *PriorityLRU) Touch(line uint64, tenant string) {
+	if el, ok := p.elems[line]; ok {
+		prev := p.owner[line]
+		if prev == tenant {
+			p.lists[prev].MoveToFront(el)
+			return
+		}
+		p.lists[prev].Remove(el)
+		delete(p.elems, line)
+		p.size--
+	}
+	l, ok := p.lists[tenant]
+	if !ok {
+		l = list.New()
+		p.lists[tenant] = l
+	}
+	p.elems[line] = l.PushFront(&prioEntry{line: line, tenant: tenant})
+	p.owner[line] = tenant
+	p.size++
+}
+
+// NeedsEviction reports whether occupancy exceeds capacity.
+func (p *PriorityLRU) NeedsEviction() bool { return p.size > p.capacity }
+
+// Evict removes and returns the victim line: the LRU line of the tenant
+// with the largest occupancy-to-share ratio. Returns ok=false when empty.
+func (p *PriorityLRU) Evict() (line uint64, ok bool) {
+	var victimTenant string
+	worst := -1.0
+	var totalWeight float64
+	for t, l := range p.lists {
+		if l.Len() > 0 {
+			totalWeight += p.weight(t)
+		}
+	}
+	if totalWeight == 0 {
+		return 0, false
+	}
+	for t, l := range p.lists {
+		if l.Len() == 0 {
+			continue
+		}
+		share := p.weight(t) / totalWeight * float64(p.capacity)
+		over := float64(l.Len()) / share
+		if over > worst || (over == worst && t < victimTenant) {
+			worst = over
+			victimTenant = t
+		}
+	}
+	l := p.lists[victimTenant]
+	back := l.Back()
+	if back == nil {
+		return 0, false
+	}
+	e := back.Value.(*prioEntry)
+	l.Remove(back)
+	delete(p.elems, e.line)
+	delete(p.owner, e.line)
+	p.size--
+	return e.line, true
+}
+
+// Remove drops a specific line (e.g. explicit invalidation).
+func (p *PriorityLRU) Remove(line uint64) {
+	el, ok := p.elems[line]
+	if !ok {
+		return
+	}
+	p.lists[p.owner[line]].Remove(el)
+	delete(p.elems, line)
+	delete(p.owner, line)
+	p.size--
+}

@@ -1,0 +1,121 @@
+package tablecache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPriorityLRUBasics(t *testing.T) {
+	p := NewPriorityLRU(4)
+	p.Touch(1, "a")
+	p.Touch(2, "a")
+	p.Touch(3, "b")
+	if p.Len() != 3 || p.TenantLines("a") != 2 || p.TenantLines("b") != 1 {
+		t.Fatalf("len=%d a=%d b=%d", p.Len(), p.TenantLines("a"), p.TenantLines("b"))
+	}
+	// Promote and remove.
+	p.Touch(1, "a")
+	p.Remove(2)
+	if p.Len() != 2 {
+		t.Fatalf("len=%d after remove", p.Len())
+	}
+	p.Remove(2) // idempotent
+	// Ownership transfer.
+	p.Touch(3, "a")
+	if p.TenantLines("b") != 0 || p.TenantLines("a") != 2 {
+		t.Fatal("ownership transfer failed")
+	}
+}
+
+func TestPriorityLRUEvictsOverShareTenant(t *testing.T) {
+	p := NewPriorityLRU(10)
+	p.SetWeight("high", 4)
+	p.SetWeight("low", 1)
+	// high holds 4 lines, low holds 8: low is far over its 2-line share.
+	for i := uint64(0); i < 4; i++ {
+		p.Touch(i, "high")
+	}
+	for i := uint64(100); i < 108; i++ {
+		p.Touch(i, "low")
+	}
+	for i := 0; i < 6; i++ {
+		line, ok := p.Evict()
+		if !ok {
+			t.Fatal("eviction failed")
+		}
+		if line < 100 {
+			t.Fatalf("evicted high-priority line %d while low tenant over share", line)
+		}
+	}
+}
+
+func TestPriorityLRUEmptyEvict(t *testing.T) {
+	p := NewPriorityLRU(4)
+	if _, ok := p.Evict(); ok {
+		t.Fatal("evicted from empty policy")
+	}
+}
+
+func TestPriorityLRUNeedsEviction(t *testing.T) {
+	p := NewPriorityLRU(2)
+	p.Touch(1, "a")
+	p.Touch(2, "a")
+	if p.NeedsEviction() {
+		t.Fatal("at capacity is not over capacity")
+	}
+	p.Touch(3, "a")
+	if !p.NeedsEviction() {
+		t.Fatal("over capacity not detected")
+	}
+}
+
+// TestPriorityLRUProtectsWorkingSet reproduces the §8 scenario: a
+// high-priority tenant with a reusable working set shares the cache with
+// a low-priority scanning tenant. Under plain (weight-1-everywhere)
+// policy the scan evicts the working set; with weights it survives.
+func TestPriorityLRUProtectsWorkingSet(t *testing.T) {
+	run := func(highWeight float64) (hits int) {
+		p := NewPriorityLRU(100)
+		p.SetWeight("high", highWeight)
+		p.SetWeight("scan", 1)
+		resident := make(map[uint64]bool)
+		touch := func(line uint64, tenant string) bool {
+			hit := resident[line]
+			p.Touch(line, tenant)
+			resident[line] = true
+			for p.NeedsEviction() {
+				v, ok := p.Evict()
+				if !ok {
+					break
+				}
+				delete(resident, v)
+			}
+			return hit
+		}
+		rng := rand.New(rand.NewSource(1))
+		scanLine := uint64(1 << 20)
+		for i := 0; i < 20000; i++ {
+			// High tenant: 60-line working set, accessed half the time.
+			if i%2 == 0 {
+				if touch(uint64(rng.Intn(60)), "high") {
+					hits++
+				}
+			} else {
+				// Scanner: never-repeating lines.
+				scanLine++
+				touch(scanLine, "scan")
+			}
+		}
+		return hits
+	}
+	plain := run(1)
+	prioritized := run(8)
+	if prioritized <= plain {
+		t.Fatalf("prioritized hits %d not above plain %d", prioritized, plain)
+	}
+	// With weight 8 of 9, the high tenant's 60-line set fits its ~89
+	// line share: hit rate should approach 100% after warmup.
+	if float64(prioritized) < 0.95*10000 {
+		t.Fatalf("prioritized hits %d; working set not protected", prioritized)
+	}
+}

@@ -1,0 +1,421 @@
+// Package tablecache manages the in-DRAM cache of Hash-PBN table buckets.
+//
+// At PB scale the Hash-PBN table is multi-TB and lives on dedicated table
+// SSDs; only a slice of buckets (4-KB cache lines) is kept in host memory
+// (§2.3). The paper's Observation #4 splits the cache-management work into
+// four components (Table 2) and assigns each a "best place to run":
+//
+//	tree indexing            -> accelerator (small structure, CPU-heavy)
+//	table SSD access         -> accelerator (queue management)
+//	cache content access     -> host (10-100s of GB of content)
+//	replacement (LRU/free)   -> host or accelerator
+//
+// Two variants implement the same functional cache:
+//
+//   - Software (baseline): B+-tree index, SSD queues and replacement all
+//     run on the host CPU, charged per operation to the host ledger.
+//   - HW (FIDR Cache HW-Engine): tree indexing and table-SSD queues run
+//     in the engine (hwtree + device-owned NVMe queues, zero host CPU);
+//     the host keeps the LRU list and scans cached content, exactly the
+//     hybrid split of §5.5.
+package tablecache
+
+import (
+	"container/list"
+	"fmt"
+
+	"fidr/internal/fingerprint"
+	"fidr/internal/hashpbn"
+	"fidr/internal/hostmodel"
+	"fidr/internal/ssd"
+)
+
+// Mode selects the management architecture.
+type Mode int
+
+const (
+	// Software is the baseline's all-host cache management.
+	Software Mode = iota
+	// HW is FIDR's Cache HW-Engine management.
+	HW
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == HW {
+		return "hw-engine"
+	}
+	return "software"
+}
+
+// Config describes a cache instance.
+type Config struct {
+	// Geometry is the full on-SSD table geometry.
+	Geometry hashpbn.Geometry
+	// CacheLines is the number of buckets cached in host memory
+	// (the paper caches 2.8% of the table).
+	CacheLines int
+	// Mode selects software or HW-engine management.
+	Mode Mode
+	// UpdateWidth is the HW tree's concurrent update width (1-4);
+	// ignored in Software mode.
+	UpdateWidth int
+	// TableSSD stores the full table. Required.
+	TableSSD *ssd.SSD
+	// Ledger receives resource charges. Required.
+	Ledger *hostmodel.Ledger
+	// Costs is the CPU cost table.
+	Costs hostmodel.CostParams
+	// MultiTenant switches replacement to the weighted PriorityLRU
+	// (§8's differentiated caching): tag requests with SetTenant and
+	// assign shares with SetTenantWeight.
+	MultiTenant bool
+}
+
+// Stats reports cache activity.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+	// CrashRate is the HW tree's speculative crash rate (HW mode).
+	CrashRate float64
+	// LeafCacheHitRate is the HW tree's on-chip leaf cache hit rate.
+	LeafCacheHitRate float64
+}
+
+// HitRate returns hits/lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// index abstracts the bucket->line mapping structure.
+type index interface {
+	lookup(bucket uint64) (line uint64, ok bool)
+	insert(bucket, line uint64)
+	remove(bucket uint64)
+	crashRate() float64
+	leafCacheHitRate() float64
+}
+
+// Cache is a bucket cache. Not safe for concurrent use: both the baseline
+// and FIDR serialize table management on one thread/engine.
+type Cache struct {
+	cfg   Config
+	geom  hashpbn.Geometry
+	idx   index
+	queue *ssd.QueuePair
+
+	lines      [][]byte
+	lineBucket []uint64
+	lineValid  []bool
+	dirty      []bool
+	freeList   []uint64
+	lru        *list.List               // front = most recent; values are line numbers
+	lruElem    map[uint64]*list.Element // line -> element
+
+	// Multi-tenant replacement (§8): nil unless Config.MultiTenant.
+	prio   *PriorityLRU
+	tenant string
+
+	stats Stats
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Geometry.NumBuckets == 0 {
+		return nil, fmt.Errorf("tablecache: zero-bucket geometry")
+	}
+	if cfg.CacheLines < 1 {
+		return nil, fmt.Errorf("tablecache: CacheLines %d", cfg.CacheLines)
+	}
+	if uint64(cfg.CacheLines) > cfg.Geometry.NumBuckets {
+		cfg.CacheLines = int(cfg.Geometry.NumBuckets)
+	}
+	if cfg.TableSSD == nil || cfg.Ledger == nil {
+		return nil, fmt.Errorf("tablecache: TableSSD and Ledger are required")
+	}
+	if need := cfg.Geometry.TableBytes(); need > cfg.TableSSD.Config().CapacityBytes {
+		return nil, fmt.Errorf("tablecache: table needs %d bytes, SSD holds %d", need, cfg.TableSSD.Config().CapacityBytes)
+	}
+	owner := ssd.OwnerHost
+	if cfg.Mode == HW {
+		owner = ssd.OwnerHW
+	}
+	queue, err := ssd.NewQueuePair(cfg.TableSSD, owner, 256)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:        cfg,
+		geom:       cfg.Geometry,
+		queue:      queue,
+		lines:      make([][]byte, cfg.CacheLines),
+		lineBucket: make([]uint64, cfg.CacheLines),
+		lineValid:  make([]bool, cfg.CacheLines),
+		dirty:      make([]bool, cfg.CacheLines),
+		lru:        list.New(),
+		lruElem:    make(map[uint64]*list.Element, cfg.CacheLines),
+	}
+	for i := range c.lines {
+		c.lines[i] = make([]byte, hashpbn.BucketSize)
+		c.freeList = append(c.freeList, uint64(i))
+	}
+	if cfg.MultiTenant {
+		c.prio = NewPriorityLRU(cfg.CacheLines)
+		c.tenant = "default"
+	}
+	switch cfg.Mode {
+	case Software:
+		c.idx = newSWIndex(cfg.Ledger, cfg.Costs)
+	case HW:
+		w := cfg.UpdateWidth
+		if w < 1 {
+			w = 1
+		}
+		hw, err := newHWIndex(w)
+		if err != nil {
+			return nil, err
+		}
+		c.idx = hw
+	default:
+		return nil, fmt.Errorf("tablecache: unknown mode %d", cfg.Mode)
+	}
+	return c, nil
+}
+
+// Mode returns the management mode.
+func (c *Cache) Mode() Mode { return c.cfg.Mode }
+
+// SetTenant tags subsequent accesses with a tenant (multi-tenant mode).
+func (c *Cache) SetTenant(tenant string) {
+	if c.prio != nil && tenant != "" {
+		c.tenant = tenant
+	}
+}
+
+// SetTenantWeight assigns a tenant's cache share weight.
+func (c *Cache) SetTenantWeight(tenant string, w float64) {
+	if c.prio != nil {
+		c.prio.SetWeight(tenant, w)
+	}
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.CrashRate = c.idx.crashRate()
+	s.LeafCacheHitRate = c.idx.leafCacheHitRate()
+	return s
+}
+
+// Lookup searches the table for fp, fetching its bucket through the cache.
+func (c *Cache) Lookup(fp fingerprint.FP) (pbn uint64, found bool, err error) {
+	line, err := c.getLine(c.geom.BucketOf(fp), true)
+	if err != nil {
+		return 0, false, err
+	}
+	b := hashpbn.Bucket(c.lines[line])
+	pbn, found, scanned := b.Lookup(fp)
+	c.chargeScan(scanned)
+	return pbn, found, nil
+}
+
+// Insert adds (fp, pbn) to the table through the cache, marking the line
+// dirty for eventual write-back.
+func (c *Cache) Insert(fp fingerprint.FP, pbn uint64) error {
+	bucket := c.geom.BucketOf(fp)
+	// Inserts follow a Lookup of the same fingerprint (the dedup flow),
+	// so the line access is not counted as a second cache event.
+	line, err := c.getLine(bucket, false)
+	if err != nil {
+		return err
+	}
+	b := hashpbn.Bucket(c.lines[line])
+	scanned, err := b.Insert(fp, pbn)
+	c.chargeScan(scanned)
+	if err != nil {
+		return fmt.Errorf("tablecache: bucket %d: %w", bucket, err)
+	}
+	c.dirty[line] = true
+	return nil
+}
+
+// Delete removes fp from the table through the cache, reporting whether
+// it was present. Used by garbage collection to retire dead chunks'
+// fingerprints so future duplicates are not mapped to reclaimed space.
+func (c *Cache) Delete(fp fingerprint.FP) (bool, error) {
+	bucket := c.geom.BucketOf(fp)
+	line, err := c.getLine(bucket, false)
+	if err != nil {
+		return false, err
+	}
+	b := hashpbn.Bucket(c.lines[line])
+	removed := b.Delete(fp)
+	c.chargeScan(b.Count() + 1)
+	if removed {
+		c.dirty[line] = true
+	}
+	return removed, nil
+}
+
+// chargeScan accounts a bucket content scan: host CPU (the one component
+// that stays on the CPU in both modes) scales with entries compared,
+// while memory traffic is the full cache line — the scan walks the 4-KB
+// bucket at cache-line granularity, which is why table-cache management
+// is a quarter of baseline memory bandwidth (Table 1).
+func (c *Cache) chargeScan(entries int) {
+	c.cfg.Ledger.CPU(hostmodel.CompTableContent, uint64(entries)*c.cfg.Costs.BucketScanPerEntryNs)
+	c.cfg.Ledger.Mem(hostmodel.PathTableCache, hashpbn.BucketSize)
+}
+
+// getLine returns the cache line holding bucket, fetching it on a miss.
+// count selects whether the access enters the hit/miss statistics.
+func (c *Cache) getLine(bucket uint64, count bool) (uint64, error) {
+	if count {
+		c.stats.Lookups++
+	}
+	if line, ok := c.idx.lookup(bucket); ok {
+		if count {
+			c.stats.Hits++
+		}
+		c.touchLRU(line)
+		return line, nil
+	}
+	if count {
+		c.stats.Misses++
+	}
+	line, err := c.allocLine()
+	if err != nil {
+		return 0, err
+	}
+	// Fetch the bucket from the table SSD into the host-memory line.
+	if err := c.ssdRead(bucket, line); err != nil {
+		return 0, err
+	}
+	c.lineBucket[line] = bucket
+	c.lineValid[line] = true
+	c.dirty[line] = false
+	c.idx.insert(bucket, line)
+	c.touchLRU(line)
+	return line, nil
+}
+
+// allocLine takes a line from the free list, evicting the LRU line when
+// empty (the HW engine keeps the free list non-empty by periodic
+// deletions; functionally we evict on demand).
+func (c *Cache) allocLine() (uint64, error) {
+	if n := len(c.freeList); n > 0 {
+		line := c.freeList[n-1]
+		c.freeList = c.freeList[:n-1]
+		return line, nil
+	}
+	var line uint64
+	if c.prio != nil {
+		l, ok := c.prio.Evict()
+		if !ok {
+			return 0, fmt.Errorf("tablecache: no line to evict")
+		}
+		line = l
+	} else {
+		back := c.lru.Back()
+		if back == nil {
+			return 0, fmt.Errorf("tablecache: no line to evict")
+		}
+		line = back.Value.(uint64)
+		c.lru.Remove(back)
+		delete(c.lruElem, line)
+	}
+	c.stats.Evictions++
+	c.idx.remove(c.lineBucket[line])
+	if c.dirty[line] {
+		if err := c.ssdWrite(c.lineBucket[line], line); err != nil {
+			return 0, err
+		}
+		c.stats.Flushes++
+	}
+	c.lineValid[line] = false
+	return line, nil
+}
+
+// touchLRU moves the line to the MRU position. The LRU list lives on the
+// host in both modes (§5.5), so the small bookkeeping cost is host CPU.
+func (c *Cache) touchLRU(line uint64) {
+	c.cfg.Ledger.CPU(hostmodel.CompTableReplace, c.cfg.Costs.LRUPerAccessNs)
+	if c.prio != nil {
+		c.prio.Touch(line, c.tenant)
+		return
+	}
+	if el, ok := c.lruElem[line]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.lruElem[line] = c.lru.PushFront(line)
+}
+
+// ssdRead fetches a bucket into a line, charging the right owner.
+func (c *Cache) ssdRead(bucket, line uint64) error {
+	off := bucket * hashpbn.BucketSize
+	if err := c.queue.Submit(ssd.Command{Op: ssd.OpRead, Offset: off, Length: hashpbn.BucketSize, Tag: bucket}); err != nil {
+		return err
+	}
+	c.queue.Process()
+	comps := c.queue.Reap(1)
+	if len(comps) != 1 {
+		return fmt.Errorf("tablecache: bucket %d read returned no completion", bucket)
+	}
+	if comps[0].Err != nil {
+		return fmt.Errorf("tablecache: bucket %d read failed: %w", bucket, comps[0].Err)
+	}
+	copy(c.lines[line], comps[0].Data)
+	c.chargeSSDIO()
+	// SSD DMA writes the bucket into host memory.
+	c.cfg.Ledger.Mem(hostmodel.PathTableCache, hashpbn.BucketSize)
+	return nil
+}
+
+// ssdWrite flushes a dirty line to its bucket.
+func (c *Cache) ssdWrite(bucket, line uint64) error {
+	off := bucket * hashpbn.BucketSize
+	if err := c.queue.Submit(ssd.Command{Op: ssd.OpWrite, Offset: off, Data: c.lines[line], Tag: bucket}); err != nil {
+		return err
+	}
+	c.queue.Process()
+	comps := c.queue.Reap(1)
+	if len(comps) != 1 {
+		return fmt.Errorf("tablecache: bucket %d write returned no completion", bucket)
+	}
+	if comps[0].Err != nil {
+		return fmt.Errorf("tablecache: bucket %d write failed: %w", bucket, comps[0].Err)
+	}
+	c.chargeSSDIO()
+	// SSD DMA reads the dirty line from host memory.
+	c.cfg.Ledger.Mem(hostmodel.PathTableCache, hashpbn.BucketSize)
+	return nil
+}
+
+// chargeSSDIO charges the table-SSD software stack when the host owns the
+// queues; the HW engine's device-owned queues cost no host CPU.
+func (c *Cache) chargeSSDIO() {
+	if c.queue.Owner() == ssd.OwnerHost {
+		c.cfg.Ledger.CPU(hostmodel.CompTableSSDIO, c.cfg.Costs.TableSSDPerIONs)
+	}
+}
+
+// FlushAll writes every dirty line to the table SSD (shutdown path).
+func (c *Cache) FlushAll() error {
+	for line := range c.lines {
+		if c.lineValid[line] && c.dirty[line] {
+			if err := c.ssdWrite(c.lineBucket[line], uint64(line)); err != nil {
+				return err
+			}
+			c.dirty[line] = false
+			c.stats.Flushes++
+		}
+	}
+	return nil
+}

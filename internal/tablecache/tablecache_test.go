@@ -1,0 +1,264 @@
+package tablecache
+
+import (
+	"math/rand"
+	"testing"
+
+	"fidr/internal/fingerprint"
+	"fidr/internal/hashpbn"
+	"fidr/internal/hostmodel"
+	"fidr/internal/ssd"
+)
+
+func testCache(t *testing.T, mode Mode, lines int) (*Cache, *hostmodel.Ledger) {
+	t.Helper()
+	geom, err := hashpbn.GeometryFor(100000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.MustNew(ssd.Config{
+		Name: "tssd", CapacityBytes: 1 << 31, PageSize: 4096,
+		ReadBW: 3.5e9, WriteBW: 2.7e9,
+	})
+	ledger := hostmodel.NewLedger()
+	c, err := New(Config{
+		Geometry:    geom,
+		CacheLines:  lines,
+		Mode:        mode,
+		UpdateWidth: 4,
+		TableSSD:    dev,
+		Ledger:      ledger,
+		Costs:       hostmodel.DefaultCosts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ledger
+}
+
+func fp(i int) fingerprint.FP {
+	return fingerprint.Of([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)})
+}
+
+func TestConfigValidation(t *testing.T) {
+	geom, _ := hashpbn.GeometryFor(1000, 0.5)
+	dev := ssd.MustNew(ssd.Config{Name: "t", CapacityBytes: 1 << 30, PageSize: 4096, ReadBW: 1e9, WriteBW: 1e9})
+	l := hostmodel.NewLedger()
+	bad := []Config{
+		{CacheLines: 4, TableSSD: dev, Ledger: l},
+		{Geometry: geom, CacheLines: 0, TableSSD: dev, Ledger: l},
+		{Geometry: geom, CacheLines: 4, Ledger: l},
+		{Geometry: geom, CacheLines: 4, TableSSD: dev},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Table larger than SSD must be rejected.
+	big, _ := hashpbn.GeometryFor(1<<40, 0.5)
+	if _, err := New(Config{Geometry: big, CacheLines: 4, TableSSD: dev, Ledger: l}); err == nil {
+		t.Error("oversized table accepted")
+	}
+}
+
+func TestInsertLookupBothModes(t *testing.T) {
+	for _, mode := range []Mode{Software, HW} {
+		c, _ := testCache(t, mode, 64)
+		for i := 0; i < 500; i++ {
+			if err := c.Insert(fp(i), uint64(i)); err != nil {
+				t.Fatalf("%v insert %d: %v", mode, i, err)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			pbn, found, err := c.Lookup(fp(i))
+			if err != nil {
+				t.Fatalf("%v lookup %d: %v", mode, i, err)
+			}
+			if !found || pbn != uint64(i) {
+				t.Fatalf("%v: key %d -> %d,%v", mode, i, pbn, found)
+			}
+		}
+		if _, found, _ := c.Lookup(fp(99999)); found {
+			t.Fatalf("%v: found absent key", mode)
+		}
+	}
+}
+
+func TestEvictionAndWriteBack(t *testing.T) {
+	// A cache with very few lines must evict and still find all data
+	// (dirty write-back to the table SSD preserves inserts).
+	for _, mode := range []Mode{Software, HW} {
+		c, _ := testCache(t, mode, 4)
+		const n = 300
+		for i := 0; i < n; i++ {
+			if err := c.Insert(fp(i), uint64(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := c.Stats()
+		if st.Evictions == 0 || st.Flushes == 0 {
+			t.Fatalf("%v: no evictions/flushes with tiny cache: %+v", mode, st)
+		}
+		for i := 0; i < n; i++ {
+			pbn, found, err := c.Lookup(fp(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found || pbn != uint64(i+1) {
+				t.Fatalf("%v: key %d lost after eviction (got %d,%v)", mode, i, pbn, found)
+			}
+		}
+	}
+}
+
+func TestHitRateReflectsLocality(t *testing.T) {
+	c, _ := testCache(t, Software, 256)
+	// Warm a small working set, then hammer it: hits should dominate.
+	for i := 0; i < 50; i++ {
+		c.Insert(fp(i), uint64(i))
+	}
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < 50; i++ {
+			c.Lookup(fp(i))
+		}
+	}
+	if hr := c.Stats().HitRate(); hr < 0.9 {
+		t.Fatalf("hot-set hit rate %.3f", hr)
+	}
+}
+
+func TestCPUChargingDiffersByMode(t *testing.T) {
+	run := func(mode Mode) hostmodel.Snapshot {
+		c, ledger := testCache(t, mode, 8)
+		for i := 0; i < 400; i++ {
+			c.Insert(fp(i), uint64(i))
+			c.Lookup(fp(i))
+		}
+		return ledger.Snapshot()
+	}
+	sw := run(Software)
+	hw := run(HW)
+
+	if sw.CPUNanos[hostmodel.CompTreeIndex] == 0 {
+		t.Fatal("software mode charged no tree CPU")
+	}
+	if sw.CPUNanos[hostmodel.CompTableSSDIO] == 0 {
+		t.Fatal("software mode charged no SSD stack CPU")
+	}
+	if hw.CPUNanos[hostmodel.CompTreeIndex] != 0 {
+		t.Fatal("HW mode charged host tree CPU")
+	}
+	if hw.CPUNanos[hostmodel.CompTableSSDIO] != 0 {
+		t.Fatal("HW mode charged host SSD stack CPU")
+	}
+	// Content scans stay on the host in both modes.
+	if sw.CPUNanos[hostmodel.CompTableContent] == 0 || hw.CPUNanos[hostmodel.CompTableContent] == 0 {
+		t.Fatal("content scan CPU missing")
+	}
+	// Overall: HW mode must slash host CPU.
+	if hw.TotalCPUNanos()*2 > sw.TotalCPUNanos() {
+		t.Fatalf("HW mode CPU %d not well below software %d", hw.TotalCPUNanos(), sw.TotalCPUNanos())
+	}
+}
+
+func TestMemoryChargedBothModes(t *testing.T) {
+	for _, mode := range []Mode{Software, HW} {
+		c, ledger := testCache(t, mode, 8)
+		for i := 0; i < 100; i++ {
+			c.Insert(fp(i), uint64(i))
+		}
+		snap := ledger.Snapshot()
+		if snap.MemBytes[hostmodel.PathTableCache] == 0 {
+			t.Fatalf("%v: no table-cache memory traffic recorded", mode)
+		}
+	}
+}
+
+func TestHWStatsExposed(t *testing.T) {
+	// Crash rate scales with tree size: concurrent updates conflict when
+	// they land in the same or adjacent leaves. Use a realistically
+	// sized cache (the paper's is ~100K lines) so the tree is deep
+	// enough for speculation to pay off.
+	c, _ := testCache(t, HW, 8192)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(16000)
+		c.Insert(fp(k), uint64(k))
+		c.Lookup(fp(k))
+	}
+	st := c.Stats()
+	if st.CrashRate > 0.05 {
+		t.Fatalf("crash rate %.4f too high for an 8K-line tree", st.CrashRate)
+	}
+	if st.LeafCacheHitRate <= 0 {
+		t.Fatal("leaf cache hit rate not measured")
+	}
+}
+
+func TestFlushAllPersists(t *testing.T) {
+	geom, _ := hashpbn.GeometryFor(10000, 0.5)
+	dev := ssd.MustNew(ssd.Config{Name: "t", CapacityBytes: 1 << 30, PageSize: 4096, ReadBW: 1e9, WriteBW: 1e9})
+	l := hostmodel.NewLedger()
+	mk := func() *Cache {
+		c, err := New(Config{Geometry: geom, CacheLines: 32, Mode: Software, TableSSD: dev, Ledger: l, Costs: hostmodel.DefaultCosts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1 := mk()
+	for i := 0; i < 100; i++ {
+		c1.Insert(fp(i), uint64(i+7))
+	}
+	if err := c1.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same SSD must see everything.
+	c2 := mk()
+	for i := 0; i < 100; i++ {
+		pbn, found, err := c2.Lookup(fp(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || pbn != uint64(i+7) {
+			t.Fatalf("key %d not persisted (got %d,%v)", i, pbn, found)
+		}
+	}
+}
+
+func TestCacheLinesClampedToTable(t *testing.T) {
+	geom, _ := hashpbn.GeometryFor(200, 1.0) // tiny table: 2 buckets
+	dev := ssd.MustNew(ssd.Config{Name: "t", CapacityBytes: 1 << 30, PageSize: 4096, ReadBW: 1e9, WriteBW: 1e9})
+	c, err := New(Config{Geometry: geom, CacheLines: 1000, Mode: Software, TableSSD: dev,
+		Ledger: hostmodel.NewLedger(), Costs: hostmodel.DefaultCosts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.lines) > int(geom.NumBuckets) {
+		t.Fatalf("cache lines %d exceed table buckets %d", len(c.lines), geom.NumBuckets)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Software.String() != "software" || HW.String() != "hw-engine" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func BenchmarkCacheLookupHW(b *testing.B) {
+	geom, _ := hashpbn.GeometryFor(100000, 0.5)
+	dev := ssd.MustNew(ssd.Config{Name: "t", CapacityBytes: 1 << 31, PageSize: 4096, ReadBW: 3.5e9, WriteBW: 2.7e9})
+	c, err := New(Config{Geometry: geom, CacheLines: 1024, Mode: HW, UpdateWidth: 4,
+		TableSSD: dev, Ledger: hostmodel.NewLedger(), Costs: hostmodel.DefaultCosts()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		c.Insert(fp(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(fp(i % 5000))
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleFIU = `# FIU IODedup-style sample
+4133254course 1 2 3
+`
+
+func TestFIUParserBasics(t *testing.T) {
+	in := `# comment
+1234567890 321 mailsrv 4096 8 W 8 0 a1b2c3d4e5f60718deadbeefcafef00d
+
+1234567891 321 mailsrv 4104 16 R 8 0 00000000000000000000000000000000
+`
+	p := NewFIUParser(strings.NewReader(in))
+	r1, err := p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Write || r1.SectorLBA != 4096 || r1.Sectors != 8 || r1.Process != "mailsrv" {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	if r1.ContentID != 0xa1b2c3d4e5f60718 {
+		t.Fatalf("content id = %x", r1.ContentID)
+	}
+	r2, err := p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Write || r2.Sectors != 16 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestFIUParserRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1 2 p 3 8 W 8",                           // too few fields
+		"x 2 p 3 8 W 8 0 a1b2c3d4e5f60718",        // bad timestamp
+		"1 2 p 3 0 W 8 0 a1b2c3d4e5f60718",        // zero sectors
+		"1 2 p 3 8 Q 8 0 a1b2c3d4e5f60718",        // bad op
+		"1 2 p 3 8 W 8 0 shorthash",               // bad md5
+		"1 2 p 3 8 W zz 0 a1b2c3d4e5f60718",       // bad major
+		"1 2 p notanlba 8 W 8 0 a1b2c3d4e5f60718", // bad lba
+	}
+	for i, line := range bad {
+		p := NewFIUParser(strings.NewReader(line))
+		if _, err := p.Next(); err == nil || err == io.EOF {
+			t.Errorf("case %d accepted: %q", i, line)
+		}
+	}
+}
+
+func TestFIURecordRequests(t *testing.T) {
+	// 8 sectors aligned = exactly one 4-KB chunk.
+	r := FIURecord{SectorLBA: 4096, Sectors: 8, Write: true, ContentID: 7}
+	reqs := r.Requests()
+	if len(reqs) != 1 || reqs[0].LBA != 512 || reqs[0].Op != OpWrite || reqs[0].ContentSeed == 0 {
+		t.Fatalf("reqs = %+v", reqs)
+	}
+	// 16 sectors crossing a block boundary = 3 chunks.
+	r = FIURecord{SectorLBA: 4, Sectors: 16, Write: true, ContentID: 7}
+	reqs = r.Requests()
+	if len(reqs) != 3 {
+		t.Fatalf("%d requests for unaligned span", len(reqs))
+	}
+	// Distinct blocks of one write carry distinct seeds; the same
+	// content hash replayed gives identical seeds.
+	again := r.Requests()
+	for i := range reqs {
+		if reqs[i].ContentSeed != again[i].ContentSeed {
+			t.Fatal("seeds not deterministic")
+		}
+		for j := i + 1; j < len(reqs); j++ {
+			if reqs[i].ContentSeed == reqs[j].ContentSeed {
+				t.Fatal("blocks of one write share a seed")
+			}
+		}
+	}
+	// Reads carry no seed.
+	r.Write = false
+	for _, q := range r.Requests() {
+		if q.Op != OpRead || q.ContentSeed != 0 {
+			t.Fatalf("read request = %+v", q)
+		}
+	}
+}
+
+func TestReadFIUDedupSemantics(t *testing.T) {
+	// Two writes with the same md5 are duplicates; a third differs.
+	in := `1 1 p 0 8 W 8 0 aaaaaaaaaaaaaaaa0000
+2 1 p 8 8 W 8 0 aaaaaaaaaaaaaaaa0000
+3 1 p 16 8 W 8 0 bbbbbbbbbbbbbbbb0000
+`
+	reqs, err := ReadFIU(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("%d requests", len(reqs))
+	}
+	if reqs[0].ContentSeed != reqs[1].ContentSeed {
+		t.Fatal("equal hashes produced different seeds")
+	}
+	if reqs[0].ContentSeed == reqs[2].ContentSeed {
+		t.Fatal("different hashes collided")
+	}
+}
+
+func TestReadFIUPropagatesErrors(t *testing.T) {
+	if _, err := ReadFIU(strings.NewReader(sampleFIU)); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FIU-style trace serialization. Real FIU traces record per-IO metadata
+// plus a content hash (never the payload); our format mirrors that:
+// a fixed 24-byte little-endian record per request:
+//
+//	byte 0     op (0 write, 1 read)
+//	bytes 1-7  reserved (zero)
+//	bytes 8-15 LBA
+//	bytes 16-23 content seed (the content-identity stand-in for the hash)
+//
+// cmd/fidrtrace writes these files; the server binaries and examples
+// replay them.
+
+const recordSize = 24
+
+// magic identifies trace files.
+var magic = [8]byte{'F', 'I', 'D', 'R', 'T', 'R', 'C', '1'}
+
+// Writer streams requests to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one request record.
+func (w *Writer) Write(r Request) error {
+	var rec [recordSize]byte
+	if r.Op == OpRead {
+		rec[0] = 1
+	}
+	binary.LittleEndian.PutUint64(rec[8:], r.LBA)
+	binary.LittleEndian.PutUint64(rec[16:], r.ContentSeed)
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader streams requests from a trace file.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader checks the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next request; io.EOF at end of trace.
+func (r *Reader) Next() (Request, error) {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Request{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Request{}, err
+	}
+	req := Request{
+		LBA:         binary.LittleEndian.Uint64(rec[8:]),
+		ContentSeed: binary.LittleEndian.Uint64(rec[16:]),
+	}
+	switch rec[0] {
+	case 0:
+		req.Op = OpWrite
+	case 1:
+		req.Op = OpRead
+	default:
+		return Request{}, fmt.Errorf("trace: unknown op %d", rec[0])
+	}
+	return req, nil
+}

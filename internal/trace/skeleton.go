@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"math/rand"
+
+	"fidr/internal/chunk"
+)
+
+// Figure 3 uses raw write skeletons of two real FIU traces: a mail server
+// (append-heavy, strong block reuse) and webVM (random-dominated 4-KB
+// writes). These constructors synthesize equivalent skeletons as
+// chunk.BlockWrite streams for the read-modify-write analysis.
+
+// SkeletonParams shapes a Figure 3 write skeleton.
+type SkeletonParams struct {
+	Name          string
+	Writes        int
+	AddressBlocks uint64
+	// SeqRunLen is the mean sequential run length.
+	SeqRunLen int
+	// RewriteFraction is the probability a write targets an address
+	// written before (mail folders are rewritten; webVM blocks churn).
+	RewriteFraction float64
+	// ContentDupProb is the probability the content duplicates recent
+	// content (affects large-chunk dedup degradation).
+	ContentDupProb float64
+	Seed           int64
+}
+
+// MailSkeleton resembles the FIU mail-server write pattern: mailbox
+// append runs with frequent rewrites of hot folders and high content
+// duplication (repeated messages).
+func MailSkeleton(writes int) SkeletonParams {
+	return SkeletonParams{
+		Name:            "mail",
+		Writes:          writes,
+		AddressBlocks:   1 << 18,
+		SeqRunLen:       8,
+		RewriteFraction: 0.6,
+		ContentDupProb:  0.5,
+		Seed:            0xF1A1,
+	}
+}
+
+// WebVMSkeleton resembles the FIU webVM write pattern: random
+// single-block rewrites of existing data dominate, which is the worst
+// case for large chunking — every rewrite forces a 7-block fetch plus a
+// full 32-KB write-back.
+func WebVMSkeleton(writes int) SkeletonParams {
+	return SkeletonParams{
+		Name:            "webVM",
+		Writes:          writes,
+		AddressBlocks:   1 << 20,
+		SeqRunLen:       1,
+		RewriteFraction: 0.85,
+		ContentDupProb:  0.25,
+		Seed:            0xF1A2,
+	}
+}
+
+// GenerateSkeleton materializes the skeleton as block writes for
+// chunk.SimulateRMW.
+func GenerateSkeleton(p SkeletonParams) []chunk.BlockWrite {
+	rng := rand.New(rand.NewSource(p.Seed))
+	writes := make([]chunk.BlockWrite, 0, p.Writes)
+	var hot []uint64 // previously written addresses (bounded)
+	var recent []uint64
+	var fresh uint64
+
+	var runLeft int
+	var next uint64
+	for i := 0; i < p.Writes; i++ {
+		if runLeft <= 0 {
+			if len(hot) > 0 && rng.Float64() < p.RewriteFraction {
+				next = hot[rng.Intn(len(hot))]
+			} else {
+				next = uint64(rng.Int63()) % p.AddressBlocks
+			}
+			if p.SeqRunLen > 1 {
+				runLeft = 1 + rng.Intn(2*p.SeqRunLen)
+			} else {
+				runLeft = 1
+			}
+		}
+		lba := next % p.AddressBlocks
+		next++
+		runLeft--
+
+		var content uint64
+		if len(recent) > 0 && rng.Float64() < p.ContentDupProb {
+			content = recent[rng.Intn(len(recent))]
+		} else {
+			fresh++
+			content = mixSeed(fresh, 0xABCD)
+			if len(recent) < 4096 {
+				recent = append(recent, content)
+			} else {
+				recent[rng.Intn(len(recent))] = content
+			}
+		}
+		if len(hot) < 1<<15 {
+			hot = append(hot, lba)
+		} else {
+			hot[rng.Intn(len(hot))] = lba
+		}
+		writes = append(writes, chunk.BlockWrite{LBA: lba, Content: content})
+	}
+	return writes
+}

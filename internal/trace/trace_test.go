@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"fidr/internal/chunk"
+)
+
+func drain(t *testing.T, g *Generator) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{},
+		{TotalIOs: 1, BlockSize: 0, ReuseWindow: 1, AddressBlocks: 1},
+		{TotalIOs: 1, BlockSize: 4096, DedupRatio: 1.0, ReuseWindow: 1, AddressBlocks: 1},
+		{TotalIOs: 1, BlockSize: 4096, ReuseWindow: 0, AddressBlocks: 1},
+		{TotalIOs: 1, BlockSize: 4096, ReuseWindow: 1, AddressBlocks: 0},
+		{TotalIOs: 1, BlockSize: 4096, ReuseWindow: 1, AddressBlocks: 1, ReadFraction: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	for _, p := range Workloads(1000) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGeneratorCount(t *testing.T) {
+	g, err := NewGenerator(WriteH(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := drain(t, g)
+	if len(reqs) != 5000 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	if g.Remaining() != 0 {
+		t.Fatal("remaining nonzero after drain")
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("generator kept producing after exhaustion")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(WriteM(2000))
+	g2, _ := NewGenerator(WriteM(2000))
+	r1 := drain(t, g1)
+	r2 := drain(t, g2)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestDedupRatiosMatchTable3(t *testing.T) {
+	cases := []struct {
+		p      Params
+		target float64
+	}{
+		{WriteH(40000), 0.88},
+		{WriteM(40000), 0.84},
+		{WriteL(40000), 0.431},
+	}
+	for _, c := range cases {
+		g, _ := NewGenerator(c.p)
+		drain(t, g)
+		got := g.DedupObserved()
+		if got < c.target-0.05 || got > c.target+0.05 {
+			t.Errorf("%s: dedup %.3f, target %.3f", c.p.Name, got, c.target)
+		}
+	}
+}
+
+func TestReplicationPreservesDedup(t *testing.T) {
+	// The dedup ratio over 8 replicates must match a single replicate:
+	// systematic mutation prevents cross-replicate duplication from
+	// inflating it (factor 3).
+	p := WriteH(64000)
+	g, _ := NewGenerator(p)
+	reqs := drain(t, g)
+	seen := make(map[uint64]bool)
+	dups := 0
+	for _, r := range reqs {
+		if seen[r.ContentSeed] {
+			dups++
+		}
+		seen[r.ContentSeed] = true
+	}
+	ratio := float64(dups) / float64(len(reqs))
+	if ratio < 0.80 || ratio > 0.93 {
+		t.Errorf("global dedup over replicates = %.3f, want ~0.88", ratio)
+	}
+
+	// Content from different replicates must differ: count seeds per
+	// replicate segment that appear in earlier segments.
+	segment := p.ReplicateEvery
+	early := make(map[uint64]bool)
+	for _, r := range reqs[:segment] {
+		early[r.ContentSeed] = true
+	}
+	cross := 0
+	for _, r := range reqs[segment : 2*segment] {
+		if early[r.ContentSeed] {
+			cross++
+		}
+	}
+	if float64(cross)/float64(segment) > 0.05 {
+		t.Errorf("%.1f%% of replicate-2 content duplicates replicate 1; mutation too weak",
+			100*float64(cross)/float64(segment))
+	}
+}
+
+func TestReadMixedFractions(t *testing.T) {
+	g, _ := NewGenerator(ReadMixed(20000))
+	reqs := drain(t, g)
+	reads := 0
+	for _, r := range reqs {
+		if r.Op == OpRead {
+			reads++
+			if r.ContentSeed != 0 {
+				t.Fatal("read carries content")
+			}
+		}
+	}
+	f := float64(reads) / float64(len(reqs))
+	if f < 0.45 || f > 0.55 {
+		t.Errorf("read fraction %.3f, want ~0.5", f)
+	}
+}
+
+func TestReadsTargetWrittenAddresses(t *testing.T) {
+	g, _ := NewGenerator(ReadMixed(10000))
+	written := make(map[uint64]bool)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Op == OpWrite {
+			written[r.LBA] = true
+		} else if !written[r.LBA] {
+			t.Fatal("read of never-written LBA")
+		}
+	}
+}
+
+func TestSequentialRuns(t *testing.T) {
+	// Write-H (mail) must show sequential runs; consecutive-LBA pairs
+	// should be common.
+	g, _ := NewGenerator(WriteH(10000))
+	reqs := drain(t, g)
+	seq := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].LBA == reqs[i-1].LBA+1 {
+			seq++
+		}
+	}
+	if f := float64(seq) / float64(len(reqs)); f < 0.5 {
+		t.Errorf("sequential-pair fraction %.3f, expected mail-like locality", f)
+	}
+}
+
+func TestSkeletons(t *testing.T) {
+	for _, p := range []SkeletonParams{MailSkeleton(20000), WebVMSkeleton(20000)} {
+		ws := GenerateSkeleton(p)
+		if len(ws) != 20000 {
+			t.Fatalf("%s: %d writes", p.Name, len(ws))
+		}
+		for _, w := range ws {
+			if w.LBA >= p.AddressBlocks {
+				t.Fatalf("%s: LBA %d outside space", p.Name, w.LBA)
+			}
+		}
+	}
+}
+
+func TestSkeletonRMWContrast(t *testing.T) {
+	// Figure 3's premise: under 32-KB chunking both skeletons amplify
+	// IO far beyond 4-KB chunking.
+	for _, sk := range []SkeletonParams{MailSkeleton(30000), WebVMSkeleton(30000)} {
+		ws := GenerateSkeleton(sk)
+		small, err := chunk.SimulateRMW(chunk.RMWConfig{BlockSize: 4096, ChunkSize: 4096, BufferBytes: 4 << 20}, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := chunk.SimulateRMW(chunk.RMWConfig{BlockSize: 4096, ChunkSize: 32768, BufferBytes: 4 << 20}, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := large.Amplification() / small.Amplification()
+		if ratio < 3 {
+			t.Errorf("%s: 32K/4K IO ratio = %.1f, expected large amplification", sk.Name, ratio)
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	g, _ := NewGenerator(ReadMixed(500))
+	reqs := drain(t, g)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 500 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		req, err := r.Next()
+		if err == io.EOF {
+			if i != 500 {
+				t.Fatalf("read %d records", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req != reqs[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, req, reqs[i])
+		}
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Request{Op: OpWrite, LBA: 1, ContentSeed: 2})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpWrite.String() != "write" || OpRead.String() != "read" {
+		t.Error("op strings wrong")
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	g, _ := NewGenerator(WriteM(b.N + 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("exhausted early")
+		}
+	}
+}
