@@ -1,0 +1,28 @@
+# Tier-1 gate (build + tests) plus the longer checks CI and humans run.
+GO ?= go
+
+.PHONY: all build test vet race check fmt bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# check is the pre-commit bundle: tier-1 plus static analysis and the
+# race detector over the whole module.
+check: build test vet race

@@ -1,11 +1,19 @@
 // Command fidrcli is a client for fidrd: it stores files into the
-// chunk-addressed volume, reads them back, or replays generated traces.
+// chunk-addressed volume, reads them back, replays generated traces, or
+// inspects a live server's metrics.
 //
 // Usage:
 //
 //	fidrcli put    -addr host:9400 -lba 0 -file data.bin
 //	fidrcli get    -addr host:9400 -lba 0 -count 16 -out copy.bin
 //	fidrcli replay -addr host:9400 -trace workload.trc -ratio 0.5
+//	fidrcli stats  -metrics-addr host:9401
+//	fidrcli traces -metrics-addr host:9401
+//
+// stats and traces talk to the server's -metrics-addr HTTP endpoint:
+// stats fetches /metrics and pretty-prints counters, gauges and
+// per-stage latency histograms; traces fetches and prints the most
+// recent request traces.
 package main
 
 import (
@@ -13,9 +21,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 
 	"fidr"
+	"fidr/internal/metrics"
 	"fidr/internal/proto"
 	"fidr/internal/trace"
 )
@@ -27,6 +38,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9400", "server address")
+	maddr := fs.String("metrics-addr", "127.0.0.1:9401", "server metrics HTTP address (stats, traces)")
 	lba := fs.Uint64("lba", 0, "starting logical block address (4-KB units)")
 	file := fs.String("file", "", "input file (put)")
 	out := fs.String("out", "", "output file (get); default stdout")
@@ -35,19 +47,27 @@ func main() {
 	ratio := fs.Float64("ratio", 0.5, "content compressibility for replayed writes")
 	fs.Parse(os.Args[2:])
 
-	c, err := proto.Dial(*addr)
-	if err != nil {
-		log.Fatalf("fidrcli: %v", err)
-	}
-	defer c.Close()
-
+	var err error
 	switch cmd {
-	case "put":
-		err = put(c, *lba, *file)
-	case "get":
-		err = get(c, *lba, *count, *out)
-	case "replay":
-		err = replay(c, *traceFile, *ratio)
+	case "stats":
+		err = stats(*maddr)
+	case "traces":
+		err = traces(*maddr)
+	case "put", "get", "replay":
+		var c *proto.Client
+		c, err = proto.Dial(*addr)
+		if err != nil {
+			log.Fatalf("fidrcli: %v", err)
+		}
+		defer c.Close()
+		switch cmd {
+		case "put":
+			err = put(c, *lba, *file)
+		case "get":
+			err = get(c, *lba, *count, *out)
+		case "replay":
+			err = replay(c, *traceFile, *ratio)
+		}
 	default:
 		usage()
 	}
@@ -57,8 +77,78 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay [flags]  (see -h per command)")
+	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces [flags]  (see -h per command)")
 	os.Exit(2)
+}
+
+// fetch GETs one path from the server's metrics endpoint.
+func fetch(addr, path string) (string, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
+// stats fetches /metrics and renders the dump as tables.
+func stats(addr string) error {
+	body, err := fetch(addr, "/metrics")
+	if err != nil {
+		return err
+	}
+	scalars := metrics.NewTable("counters and gauges", "name", "value")
+	hists := metrics.NewTable("histograms", "name", "count", "mean", "p50", "p90", "p99", "max")
+	var nScalar, nHist int
+	for _, line := range strings.Split(body, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		switch f[0] {
+		case "counter", "gauge":
+			scalars.Row(f[1], f[2])
+			nScalar++
+		case "hist":
+			// Fields arrive as key=value pairs in dump order:
+			// count= mean= min= p50= p90= p99= max=.
+			kv := make(map[string]string, len(f)-2)
+			for _, pair := range f[2:] {
+				if k, v, ok := strings.Cut(pair, "="); ok {
+					kv[k] = v
+				}
+			}
+			hists.Row(f[1], kv["count"], kv["mean"], kv["p50"], kv["p90"], kv["p99"], kv["max"])
+			nHist++
+		}
+	}
+	if nScalar == 0 && nHist == 0 {
+		return fmt.Errorf("no metrics in response")
+	}
+	fmt.Print(scalars.String())
+	fmt.Println()
+	fmt.Print(hists.String())
+	return nil
+}
+
+// traces fetches /traces and prints the rendered table.
+func traces(addr string) error {
+	body, err := fetch(addr, "/traces")
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	return nil
 }
 
 func put(c *proto.Client, lba uint64, path string) error {

@@ -4,20 +4,29 @@
 // Usage:
 //
 //	fidrd [-addr :9400] [-arch fidr|fidr-nic|baseline] [-batch 64]
+//	      [-metrics-addr :9401] [-metrics-interval 10s]
 //
-// On SIGINT the server flushes open containers and reports reduction and
-// resource statistics.
+// With -metrics-addr the server exposes its live metrics registry over
+// HTTP: GET /metrics dumps counters, gauges and per-stage latency
+// histograms in plain text; GET /traces dumps the most recent request
+// traces. With -metrics-interval it also logs a one-line summary
+// periodically. On SIGINT or SIGTERM the server flushes open containers
+// and reports reduction and resource statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"fidr"
 	"fidr/internal/core"
+	"fidr/internal/metrics"
 	"fidr/internal/proto"
 	"fidr/internal/ssd"
 )
@@ -30,6 +39,9 @@ func main() {
 	dataFile := flag.String("data-file", "", "file-backed data volume (durable); empty = in-memory")
 	tableFile := flag.String("table-file", "", "file-backed table volume (durable); empty = in-memory")
 	recover := flag.Bool("recover", false, "recover state from a checkpoint on the table volume")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /traces; empty = disabled")
+	metricsInterval := flag.Duration("metrics-interval", 0, "log a metrics summary at this interval; 0 = disabled")
+	traces := flag.Int("traces", 256, "recent request traces kept for /traces")
 	flag.Parse()
 
 	var a fidr.Arch
@@ -63,14 +75,33 @@ func main() {
 		log.Fatalf("fidrd: %v", err)
 	}
 	durable := cfg.DataSSD != nil && cfg.TableSSD != nil
+	// Attach the live registry before serving: the HTTP endpoint and the
+	// interval logger read only registry atomics, so they are safe
+	// alongside the protocol listener.
+	reg := srv.EnableObservability(nil, *traces)
 	l, err := proto.Serve(srv, *addr)
 	if err != nil {
 		log.Fatalf("fidrd: %v", err)
 	}
 	log.Printf("fidrd: %s server listening on %s", a, l.Addr())
 
+	if *metricsAddr != "" {
+		h := metrics.HTTPHandler(reg, func() string {
+			return core.RenderTraces(srv.RecentTraces())
+		})
+		go func() {
+			log.Printf("fidrd: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, h); err != nil {
+				log.Printf("fidrd: metrics server: %v", err)
+			}
+		}()
+	}
+	if *metricsInterval > 0 {
+		go logMetrics(reg, *metricsInterval)
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("fidrd: shutting down")
 	if err := l.Close(); err != nil {
@@ -91,6 +122,24 @@ func main() {
 		st.ClientWrites, st.ClientReads, st.UniqueChunks, st.DuplicateChunks, st.ReductionRatio())
 	fmt.Printf("host-memory B/B=%.3f host-CPU ns/B=%.3f cache-hit=%.3f\n",
 		snap.MemPerClientByte(), snap.CPUNanosPerClientByte(), srv.CacheStats().HitRate())
+}
+
+// logMetrics periodically logs a one-line summary from the registry.
+func logMetrics(reg *metrics.Registry, every time.Duration) {
+	writes := reg.Counter("core.writes")
+	reads := reg.Counter("core.reads")
+	dups := reg.Counter("core.dup_chunks")
+	uniques := reg.Counter("core.unique_chunks")
+	stored := reg.Counter("core.stored_bytes")
+	client := reg.Counter("core.client_bytes")
+	ack := reg.Histogram("latency.write_ack.ns")
+	for range time.Tick(every) {
+		s := ack.Snapshot()
+		log.Printf("fidrd: writes=%d reads=%d unique=%d duplicate=%d stored=%s client=%s write-ack p50=%v p99=%v",
+			writes.Value(), reads.Value(), uniques.Value(), dups.Value(),
+			metrics.Bytes(stored.Value()), metrics.Bytes(client.Value()),
+			time.Duration(s.P50), time.Duration(s.P99))
+	}
 }
 
 // attachVolumes wires file-backed devices into the config. Both or

@@ -105,7 +105,7 @@ var experimentOrder = []string{
 	"ablation-chunk", "ablation-batch", "ablation-cache",
 	"ablation-width", "ablation-readoffload",
 	"ablation-readcache", "ablation-scaleout",
-	"lifetime", "selfperf", "scorecard",
+	"lifetime", "selfperf", "scorecard", "observe",
 }
 
 // experimentRegistry maps every artifact name to its runner.
@@ -205,6 +205,10 @@ var experimentRegistry = map[string]runner{
 	},
 	"scorecard": func(sc experiments.Scale) (string, error) {
 		tab, err := experiments.Scorecard(sc)
+		return render(tab, err)
+	},
+	"observe": func(sc experiments.Scale) (string, error) {
+		_, tab, err := experiments.Observe(sc)
 		return render(tab, err)
 	},
 }

@@ -217,6 +217,9 @@ type Server struct {
 	rcache  *readCache
 	latency latencyTracker
 	stats   Stats
+	// obs is the live observability hookup; nil (disabled) unless
+	// EnableObservability was called. All hooks are nil-safe.
+	obs *Observer
 
 	// pbnFP records each PBN's fingerprint for garbage collection
 	// (real systems keep it in container metadata).
@@ -333,7 +336,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.rcache = newReadCache(cfg.ReadCacheChunks)
-	s.latency = latencyTracker{params: DefaultLatency()}
+	s.latency = newLatencyTracker(DefaultLatency())
 	return s, nil
 }
 

@@ -70,7 +70,9 @@ func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 		}
 	}
 	// Containers sealed during compaction go to the SSDs as usual.
-	if err := s.writeSealed(); err != nil {
+	tr := s.obs.begin("gc", 0)
+	defer tr.done()
+	if err := s.writeSealed(tr); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -96,7 +98,7 @@ func (s *Server) compactOne(c uint64, res *CompactResult) error {
 		if err != nil {
 			return err
 		}
-		cdata, fromSSD, err := s.fetchCompressed(pba)
+		cdata, fromSSD, err := s.fetchCompressed(pba, nil)
 		if err != nil {
 			return err
 		}

@@ -50,10 +50,39 @@ func (k LatencyKind) String() string {
 	}
 }
 
-// latencyTracker accumulates per-kind distributions.
+// slug returns the kind's metric-name component.
+func (k LatencyKind) slug() string {
+	switch k {
+	case LatWriteAck:
+		return "write_ack"
+	case LatReadNICHit:
+		return "read_nic_hit"
+	case LatReadCacheHit:
+		return "read_cache_hit"
+	case LatReadPending:
+		return "read_pending"
+	case LatReadSSD:
+		return "read_ssd"
+	default:
+		return "unknown"
+	}
+}
+
+// latencyTracker accumulates per-kind distributions in bounded
+// histograms (constant memory over arbitrarily long runs; mean and max
+// exact, percentiles log-bucket estimates). EnableObservability rebinds
+// the histograms into the live registry under "latency.<kind>.ns".
 type latencyTracker struct {
-	params    LatencyParams
-	summaries [numLatencyKinds]metrics.Summary
+	params LatencyParams
+	hist   [numLatencyKinds]*metrics.Histogram
+}
+
+func newLatencyTracker(params LatencyParams) latencyTracker {
+	lt := latencyTracker{params: params}
+	for k := range lt.hist {
+		lt.hist[k] = metrics.NewHistogram()
+	}
+	return lt
 }
 
 // observe records one request of the given kind with an extra
@@ -80,7 +109,7 @@ func (lt *latencyTracker) observe(kind LatencyKind, arch Arch, device time.Durat
 		}
 		d = p.HostSoftware + hops + p.Decompress + p.NICSend + wait + device
 	}
-	lt.summaries[kind].Observe(float64(d.Nanoseconds()))
+	lt.hist[kind].Observe(float64(d.Nanoseconds()))
 }
 
 // LatencyStats exposes one kind's distribution.
@@ -98,17 +127,17 @@ type LatencyStats struct {
 func (s *Server) LatencyReport() []LatencyStats {
 	var out []LatencyStats
 	for k := LatencyKind(0); k < numLatencyKinds; k++ {
-		sum := &s.latency.summaries[k]
-		if sum.Count() == 0 {
+		h := s.latency.hist[k]
+		if h.Count() == 0 {
 			continue
 		}
 		out = append(out, LatencyStats{
 			Kind:  k,
-			Count: sum.Count(),
-			Mean:  time.Duration(sum.Mean()),
-			P50:   time.Duration(sum.Percentile(50)),
-			P99:   time.Duration(sum.Percentile(99)),
-			Max:   time.Duration(sum.Max()),
+			Count: int(h.Count()),
+			Mean:  time.Duration(h.Mean()),
+			P50:   time.Duration(h.Quantile(0.50)),
+			P99:   time.Duration(h.Quantile(0.99)),
+			Max:   time.Duration(h.Max()),
 		})
 	}
 	return out

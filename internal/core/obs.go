@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"fidr/internal/metrics"
+)
+
+// Live observability (in contrast to the after-the-fact experiment
+// harness): when enabled, every request is traced through the pipeline
+// stages the paper argues about — NIC buffering, hashing, dedup lookup,
+// compression, table-cache probes, SSD IO, decompression — with one
+// wall-clock span per stage recorded into per-stage histograms in a
+// metrics.Registry, and whole-request traces kept in a bounded ring for
+// inspection. cmd/fidrd exposes both over HTTP (-metrics-addr); the
+// "observe" experiment emits the same metric names from bench runs.
+
+// Stage identifies one pipeline hop of the write/read paths.
+type Stage int
+
+const (
+	// StageNICBuffer is write buffering (in-NIC for FIDR, host request
+	// buffer for the baseline) and the read-path buffer probe.
+	StageNICBuffer Stage = iota
+	// StageHash is chunk fingerprinting (NIC hash cores / FPGA array).
+	StageHash
+	// StageDedupLookup is uniqueness determination: predictor guesses
+	// and Hash-PBN validation on the write path.
+	StageDedupLookup
+	// StageCompress is compression plus container packing.
+	StageCompress
+	// StageSSDIO is data-SSD container writes and compressed-chunk reads.
+	StageSSDIO
+	// StageDecompress is read-path decompression.
+	StageDecompress
+	// StageLBAResolve is read-path LBA-to-PBA resolution.
+	StageLBAResolve
+
+	numStages
+)
+
+// String returns the stage's metric-name slug.
+func (st Stage) String() string {
+	switch st {
+	case StageNICBuffer:
+		return "nic_buffer"
+	case StageHash:
+		return "hash"
+	case StageDedupLookup:
+		return "dedup_lookup"
+	case StageCompress:
+		return "compress"
+	case StageSSDIO:
+		return "ssd_io"
+	case StageDecompress:
+		return "decompress"
+	case StageLBAResolve:
+		return "lba_resolve"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one timed pipeline stage within a request trace.
+type Span struct {
+	Stage Stage
+	Dur   time.Duration
+}
+
+// Trace is one completed request (or batch) with its stage spans.
+type Trace struct {
+	// Op is "write", "read", "batch", "flush" or "gc".
+	Op    string
+	LBA   uint64
+	Start time.Time
+	Total time.Duration
+	Spans []Span
+}
+
+// traceRing keeps the most recent traces in a fixed-size ring.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int
+	full bool
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{buf: make([]Trace, n)}
+}
+
+func (r *traceRing) push(t Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// recent returns the stored traces, newest first.
+func (r *traceRing) recent() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Observer binds a server's hot paths to a metrics.Registry. All fields
+// are resolved once at EnableObservability so per-request work is atomic
+// increments and histogram observes only. A nil *Observer is valid and
+// disables everything (the hooks are nil-safe), so un-instrumented
+// servers pay a single pointer test per hook.
+type Observer struct {
+	reg  *metrics.Registry
+	ring *traceRing
+
+	stage [numStages]*metrics.Histogram
+
+	writes, reads, batches   *metrics.Counter
+	clientBytes, storedBytes *metrics.Counter
+	dupChunks, uniqueChunks  *metrics.Counter
+	nicReadHits              *metrics.Counter
+	readCacheHits            *metrics.Counter
+	pendingReads             *metrics.Counter
+	mispredictions           *metrics.Counter
+}
+
+func newObserver(reg *metrics.Registry, ringSize int) *Observer {
+	o := &Observer{
+		reg:            reg,
+		ring:           newTraceRing(ringSize),
+		writes:         reg.Counter("core.writes"),
+		reads:          reg.Counter("core.reads"),
+		batches:        reg.Counter("core.batches"),
+		clientBytes:    reg.Counter("core.client_bytes"),
+		storedBytes:    reg.Counter("core.stored_bytes"),
+		dupChunks:      reg.Counter("core.dup_chunks"),
+		uniqueChunks:   reg.Counter("core.unique_chunks"),
+		nicReadHits:    reg.Counter("core.nic_read_hits"),
+		readCacheHits:  reg.Counter("core.read_cache_hits"),
+		pendingReads:   reg.Counter("core.pending_reads"),
+		mispredictions: reg.Counter("core.mispredictions"),
+	}
+	for st := Stage(0); st < numStages; st++ {
+		o.stage[st] = reg.Histogram("stage." + st.String() + ".ns")
+	}
+	return o
+}
+
+// Counter hooks; each is a no-op on a nil Observer.
+
+func (o *Observer) onWrite(bytes int) {
+	if o == nil {
+		return
+	}
+	o.writes.Inc()
+	o.clientBytes.Add(uint64(bytes))
+}
+
+func (o *Observer) onRead(bytes int) {
+	if o == nil {
+		return
+	}
+	o.reads.Inc()
+	o.clientBytes.Add(uint64(bytes))
+}
+
+func (o *Observer) onBatch() {
+	if o == nil {
+		return
+	}
+	o.batches.Inc()
+}
+
+func (o *Observer) onDup() {
+	if o == nil {
+		return
+	}
+	o.dupChunks.Inc()
+}
+
+func (o *Observer) onUnique(storedBytes uint64) {
+	if o == nil {
+		return
+	}
+	o.uniqueChunks.Inc()
+	o.storedBytes.Add(storedBytes)
+}
+
+func (o *Observer) onNICReadHit() {
+	if o == nil {
+		return
+	}
+	o.nicReadHits.Inc()
+}
+
+func (o *Observer) onReadCacheHit() {
+	if o == nil {
+		return
+	}
+	o.readCacheHits.Inc()
+}
+
+func (o *Observer) onPendingRead() {
+	if o == nil {
+		return
+	}
+	o.pendingReads.Inc()
+}
+
+func (o *Observer) onMisprediction() {
+	if o == nil {
+		return
+	}
+	o.mispredictions.Inc()
+}
+
+// begin opens a request trace, or returns nil when observability is off;
+// every ReqTrace method is nil-safe so call sites stay unconditional.
+func (o *Observer) begin(op string, lba uint64) *ReqTrace {
+	if o == nil {
+		return nil
+	}
+	return &ReqTrace{obs: o, t: Trace{Op: op, LBA: lba, Start: time.Now()}}
+}
+
+// ReqTrace accumulates one request's stage spans.
+type ReqTrace struct {
+	obs *Observer
+	t   Trace
+}
+
+// start marks the beginning of a stage.
+func (tr *ReqTrace) start() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// since measures elapsed stage time without recording it (for spans
+// accumulated across loop iterations).
+func (tr *ReqTrace) since(from time.Time) time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return time.Since(from)
+}
+
+// span closes a stage opened with start, recording it into the trace and
+// the stage histogram.
+func (tr *ReqTrace) span(st Stage, from time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.add(st, time.Since(from))
+}
+
+// add records an already-measured stage duration.
+func (tr *ReqTrace) add(st Stage, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.t.Spans = append(tr.t.Spans, Span{Stage: st, Dur: d})
+	tr.obs.stage[st].Observe(float64(d.Nanoseconds()))
+}
+
+// done completes the trace and publishes it to the ring.
+func (tr *ReqTrace) done() {
+	if tr == nil {
+		return
+	}
+	tr.t.Total = time.Since(tr.t.Start)
+	tr.obs.ring.push(tr.t)
+}
+
+// EnableObservability attaches a live metrics registry to the server:
+// per-stage span histograms ("stage.<name>.ns"), request/latency-kind
+// histograms ("latency.<kind>.ns"), server counters ("core.*") and
+// substrate counters (tablecache.*, nic.*, engine.*, ssd.<name>.*), plus
+// a ring of the most recent request traces (recentTraces entries; <= 0
+// selects 256). Call once, before serving traffic. Registry reads are
+// concurrent-safe; the server itself remains single-writer.
+func (s *Server) EnableObservability(reg *metrics.Registry, recentTraces int) *metrics.Registry {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	if recentTraces <= 0 {
+		recentTraces = 256
+	}
+	s.obs = newObserver(reg, recentTraces)
+	for k := LatencyKind(0); k < numLatencyKinds; k++ {
+		s.latency.hist[k] = reg.Histogram("latency." + k.slug() + ".ns")
+	}
+	s.cache.Instrument(reg)
+	s.dataSSD.Instrument(reg)
+	s.tableSSD.Instrument(reg)
+	if s.fnic != nil {
+		s.fnic.Instrument(reg)
+	}
+	if s.pnic != nil {
+		s.pnic.Instrument(reg)
+	}
+	s.comp.Instrument(reg)
+	return reg
+}
+
+// MetricsRegistry returns the live registry, or nil when observability
+// is disabled.
+func (s *Server) MetricsRegistry() *metrics.Registry {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.reg
+}
+
+// RecentTraces returns the most recent request traces, newest first
+// (empty when observability is disabled).
+func (s *Server) RecentTraces() []Trace {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.ring.recent()
+}
+
+// RenderTraces renders traces with the harness table renderer.
+func RenderTraces(traces []Trace) string {
+	tab := metrics.NewTable("recent request traces (newest first)",
+		"op", "lba", "total", "stages")
+	for _, t := range traces {
+		var sb strings.Builder
+		for i, sp := range t.Spans {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%s", sp.Stage, sp.Dur.Round(time.Nanosecond))
+		}
+		tab.Row(t.Op, t.LBA, t.Total.String(), sb.String())
+	}
+	tab.Note("%d traces", len(traces))
+	return tab.String()
+}

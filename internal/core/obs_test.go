@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/metrics"
+)
+
+// driveObserved writes nWrites chunks (half duplicates) and reads them
+// back through an instrumented server, returning the registry.
+func driveObserved(t *testing.T, arch Arch) *metrics.Registry {
+	t.Helper()
+	s := newServer(t, arch)
+	reg := s.EnableObservability(nil, 16)
+	sh := blockcomp.NewShaper(0.5)
+	const n = 200
+	for i := 0; i < n; i++ {
+		// Seed collisions make half the stream duplicate content.
+		data := sh.Make(uint64(i%(n/2)), 4096)
+		if err := s.Write(uint64(i), data); err != nil {
+			t.Fatalf("%v write %d: %v", arch, i, err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Read(uint64(i)); err != nil {
+			t.Fatalf("%v read %d: %v", arch, i, err)
+		}
+	}
+	return reg
+}
+
+func TestObservabilityCountersAndStages(t *testing.T) {
+	for _, arch := range allArchs() {
+		reg := driveObserved(t, arch)
+
+		if got := reg.Counter("core.writes").Value(); got != 200 {
+			t.Errorf("%v core.writes = %d, want 200", arch, got)
+		}
+		if got := reg.Counter("core.reads").Value(); got != 200 {
+			t.Errorf("%v core.reads = %d, want 200", arch, got)
+		}
+		if got := reg.Counter("core.dup_chunks").Value(); got == 0 {
+			t.Errorf("%v core.dup_chunks = 0, want > 0", arch)
+		}
+		if got := reg.Counter("core.unique_chunks").Value(); got == 0 {
+			t.Errorf("%v core.unique_chunks = 0, want > 0", arch)
+		}
+		// Dedup accounting must agree between counters: every chunk is
+		// either unique or duplicate.
+		total := reg.Counter("core.dup_chunks").Value() + reg.Counter("core.unique_chunks").Value()
+		if total != 200 {
+			t.Errorf("%v unique+dup = %d, want 200", arch, total)
+		}
+
+		// Every write-path stage histogram must have samples.
+		for _, st := range []Stage{StageNICBuffer, StageHash, StageDedupLookup, StageCompress, StageSSDIO} {
+			h := reg.Histogram("stage." + st.String() + ".ns")
+			if h.Count() == 0 {
+				t.Errorf("%v stage %s has no samples", arch, st)
+			}
+			if h.Mean() < 0 || h.Quantile(0.99) < h.Quantile(0.50) {
+				t.Errorf("%v stage %s: inconsistent snapshot", arch, st)
+			}
+		}
+		// The substrate probe histogram rides on the same registry.
+		if reg.Histogram("stage.table_cache.ns").Count() == 0 {
+			t.Errorf("%v table-cache probe histogram empty", arch)
+		}
+		if reg.Counter("tablecache.lookups").Value() == 0 {
+			t.Errorf("%v tablecache.lookups = 0", arch)
+		}
+		// Latency kinds feed the registry too.
+		if reg.Histogram("latency.write_ack.ns").Count() != 200 {
+			t.Errorf("%v latency.write_ack.ns count = %d, want 200",
+				arch, reg.Histogram("latency.write_ack.ns").Count())
+		}
+	}
+}
+
+func TestObservabilityTraceRing(t *testing.T) {
+	s := newServer(t, FIDRFull)
+	s.EnableObservability(nil, 8)
+	sh := blockcomp.NewShaper(0.5)
+	for i := 0; i < 100; i++ {
+		if err := s.Write(uint64(i), sh.Make(uint64(i), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	traces := s.RecentTraces()
+	if len(traces) != 8 {
+		t.Fatalf("ring holds %d traces, want 8", len(traces))
+	}
+	// Newest first: the flush trace is the most recent op.
+	if traces[0].Op != "flush" {
+		t.Errorf("newest trace op = %q, want flush", traces[0].Op)
+	}
+	for _, tr := range traces {
+		if tr.Total < 0 {
+			t.Errorf("trace %s: negative total %v", tr.Op, tr.Total)
+		}
+	}
+	out := RenderTraces(traces)
+	if !strings.Contains(out, "flush") || !strings.Contains(out, "recent request traces") {
+		t.Errorf("rendered traces missing content:\n%s", out)
+	}
+}
+
+func TestObservabilityDisabledIsNilSafe(t *testing.T) {
+	// No EnableObservability: all hooks must be no-ops, not panics.
+	s := newServer(t, FIDRFull)
+	sh := blockcomp.NewShaper(0.5)
+	for i := 0; i < 50; i++ {
+		if err := s.Write(uint64(i), sh.Make(uint64(i), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.MetricsRegistry() != nil {
+		t.Error("registry present without EnableObservability")
+	}
+	if s.RecentTraces() != nil {
+		t.Error("traces present without EnableObservability")
+	}
+}
+
+func TestObservabilityDumpFormat(t *testing.T) {
+	reg := driveObserved(t, FIDRFull)
+	dump := reg.Dump()
+	for _, want := range []string{
+		"counter core.writes 200",
+		"counter nic.hash_ops",
+		"counter engine.chunks_in",
+		"hist stage.hash.ns count=",
+		"hist latency.write_ack.ns count=200",
+		"hist ssd.data-ssd.access_ns",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q\n%s", want, dump)
+		}
+	}
+}

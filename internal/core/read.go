@@ -21,11 +21,14 @@ func (s *Server) Read(lba uint64) ([]byte, error) {
 	s.ledger.Client(uint64(s.cfg.ChunkSize))
 	s.ledger.CPU(hostmodel.CompProtocol, s.costs.ProtocolReadNs)
 	s.chargeTenant(false)
+	s.obs.onRead(s.cfg.ChunkSize)
+	tr := s.obs.begin("read", lba)
+	defer tr.done()
 
 	if s.cfg.Arch == Baseline {
-		return s.baselineRead(lba)
+		return s.baselineRead(lba, tr)
 	}
-	return s.fidrRead(lba)
+	return s.fidrRead(lba, tr)
 }
 
 // ReadRange returns n consecutive chunks starting at lba, concatenated.
@@ -49,12 +52,15 @@ func (s *Server) ReadRange(lba uint64, n int) ([]byte, error) {
 
 // --- Baseline read (§2.3, Figure 2b) ---
 
-func (s *Server) baselineRead(lba uint64) ([]byte, error) {
+func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	// Freshest data may still sit in the host request buffer.
+	from := tr.start()
 	for i := len(s.batch) - 1; i >= 0; i-- {
 		if s.batch[i].lba == lba {
 			out := make([]byte, len(s.batch[i].data))
 			copy(out, s.batch[i].data)
+			tr.span(StageNICBuffer, from)
+			s.obs.onReadCacheHit()
 			// Buffer scan plus NIC send of the hit.
 			s.ledger.Mem(hostmodel.PathNICHost, uint64(len(out)))
 			s.transfer(pcie.HostMemory, devNIC, uint64(len(out)))
@@ -62,11 +68,14 @@ func (s *Server) baselineRead(lba uint64) ([]byte, error) {
 			return out, nil
 		}
 	}
+	tr.span(StageNICBuffer, from)
+	from = tr.start()
 	pba, err := s.resolve(lba)
 	if err != nil {
 		return nil, err
 	}
-	cdata, fromSSD, err := s.fetchCompressed(pba)
+	tr.span(StageLBAResolve, from)
+	cdata, fromSSD, err := s.fetchCompressed(pba, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +93,12 @@ func (s *Server) baselineRead(lba uint64) ([]byte, error) {
 	// Host -> decompression FPGA, decompress, FPGA -> host.
 	s.transfer(pcie.HostMemory, devDecomp, csize)
 	s.ledger.Mem(hostmodel.PathHostFPGA, csize)
+	from = tr.start()
 	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
 	if err != nil {
 		return nil, err
 	}
+	tr.span(StageDecompress, from)
 	s.transfer(devDecomp, pcie.HostMemory, raw)
 	s.ledger.Mem(hostmodel.PathHostFPGA, raw)
 	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
@@ -100,18 +111,23 @@ func (s *Server) baselineRead(lba uint64) ([]byte, error) {
 
 // --- FIDR read (§5.3, Figure 6b) ---
 
-func (s *Server) fidrRead(lba uint64) ([]byte, error) {
+func (s *Server) fidrRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	// Step 2: the NIC searches its in-NIC write buffer first.
+	from := tr.start()
 	if data, ok := s.fnic.LookupRead(lba); ok {
 		s.stats.NICReadHits++
+		tr.span(StageNICBuffer, from)
+		s.obs.onNICReadHit()
 		out := make([]byte, len(data))
 		copy(out, data)
 		s.latency.observe(LatReadNICHit, s.cfg.Arch, 0)
 		return out, nil
 	}
+	tr.span(StageNICBuffer, from)
 	// §8 extension: hot-block read cache in host memory.
 	if data, ok := s.rcache.get(lba); ok {
 		s.stats.ReadCacheHits++
+		s.obs.onReadCacheHit()
 		s.ledger.Mem(hostmodel.PathNICHost, uint64(len(data)))
 		s.transfer(pcie.HostMemory, devNIC, uint64(len(data)))
 		s.latency.observe(LatReadCacheHit, s.cfg.Arch, 0)
@@ -119,15 +135,17 @@ func (s *Server) fidrRead(lba uint64) ([]byte, error) {
 	}
 	// Steps 3-4: LBA goes to the host, which resolves the PBA.
 	s.transfer(devNIC, pcie.HostMemory, 8)
+	from = tr.start()
 	pba, err := s.resolve(lba)
 	if err != nil {
 		return nil, err
 	}
+	tr.span(StageLBAResolve, from)
 	// The device manager orchestrates two P2P hops per read (SSD ->
 	// engine, engine -> NIC), each a doorbell/completion round.
 	s.ledger.CPU(hostmodel.CompDeviceMgr, 2*s.costs.DeviceMgrPerChunkNs)
 
-	cdata, fromSSD, err := s.fetchCompressed(pba)
+	cdata, fromSSD, err := s.fetchCompressed(pba, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -147,10 +165,12 @@ func (s *Server) fidrRead(lba uint64) ([]byte, error) {
 		s.transfer(devComp, devDecomp, csize)
 		s.latency.observe(LatReadPending, s.cfg.Arch, 0)
 	}
+	from = tr.start()
 	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
 	if err != nil {
 		return nil, err
 	}
+	tr.span(StageDecompress, from)
 	// Step 8: the host tells the NIC to fetch the decompressed chunk
 	// from the engine (doorbell only; no host-memory data traffic).
 	s.transfer(devDecomp, devNIC, raw)
@@ -171,15 +191,18 @@ func (s *Server) resolve(lba uint64) (lbatable.PBA, error) {
 
 // fetchCompressed returns the chunk's compressed bytes, either from the
 // engine's open container (not yet on an SSD) or from the data SSD.
-func (s *Server) fetchCompressed(pba lbatable.PBA) (data []byte, fromSSD bool, err error) {
+func (s *Server) fetchCompressed(pba lbatable.PBA, tr *ReqTrace) (data []byte, fromSSD bool, err error) {
 	if data, ok := s.comp.ReadPending(pba.Container, pba.Offset, pba.CSize); ok {
 		s.stats.PendingReads++
+		s.obs.onPendingRead()
 		return data, false, nil
 	}
 	off := pba.ByteOffset(s.cfg.ContainerSize)
+	from := tr.start()
 	data, err = s.dataSSD.Read(off, int(pba.CSize))
 	if err != nil {
 		return nil, false, err
 	}
+	tr.span(StageSSDIO, from)
 	return data, true, nil
 }

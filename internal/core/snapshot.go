@@ -67,7 +67,7 @@ func (s *Server) ReadSnapshot(id SnapshotID, lba uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	cdata, _, err := s.fetchCompressed(pba)
+	cdata, _, err := s.fetchCompressed(pba, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ func (s *Server) Verify() (VerifyReport, error) {
 			rep.problemf("%s lba %d -> pbn %d: %v", origin, lba, pbn, err)
 			return
 		}
-		cdata, _, err := s.fetchCompressed(pba)
+		cdata, _, err := s.fetchCompressed(pba, nil)
 		if err != nil {
 			rep.problemf("%s lba %d: fetch: %v", origin, lba, err)
 			return

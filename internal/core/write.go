@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"fidr/internal/engine"
 	"fidr/internal/fingerprint"
@@ -24,11 +25,14 @@ func (s *Server) Write(lba uint64, data []byte) error {
 	s.rcache.invalidate(lba)
 	s.latency.observe(LatWriteAck, s.cfg.Arch, 0)
 	s.chargeTenant(true)
+	s.obs.onWrite(len(data))
+	tr := s.obs.begin("write", lba)
+	defer tr.done()
 
 	if s.cfg.Arch == Baseline {
-		return s.baselineWrite(lba, data)
+		return s.baselineWrite(lba, data, tr)
 	}
-	return s.fidrWrite(lba, data)
+	return s.fidrWrite(lba, data, tr)
 }
 
 // Flush processes any partial batch and pushes sealed containers to the
@@ -46,13 +50,16 @@ func (s *Server) Flush() error {
 		return err
 	}
 	s.comp.Flush()
-	return s.writeSealed()
+	tr := s.obs.begin("flush", 0)
+	defer tr.done()
+	return s.writeSealed(tr)
 }
 
 // --- Baseline (extended CIDR, §2.3) ---
 
-func (s *Server) baselineWrite(lba uint64, data []byte) error {
+func (s *Server) baselineWrite(lba uint64, data []byte, tr *ReqTrace) error {
 	// NIC DMA-writes the client data into the host request buffer.
+	from := tr.start()
 	s.pnic.ReceiveWrite(data)
 	s.transfer(devNIC, pcie.HostMemory, uint64(len(data)))
 	s.ledger.Mem(hostmodel.PathNICHost, uint64(len(data)))
@@ -61,6 +68,7 @@ func (s *Server) baselineWrite(lba uint64, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.batch = append(s.batch, pending{lba: lba, data: cp, tenant: s.tenant})
+	tr.span(StageNICBuffer, from)
 	if len(s.batch) >= s.cfg.BatchChunks {
 		return s.processBaselineBatch()
 	}
@@ -75,13 +83,18 @@ func (s *Server) processBaselineBatch() error {
 	batch := s.batch
 	s.batch = nil
 	s.stats.BatchesProcessed++
+	s.obs.onBatch()
+	bt := s.obs.begin("batch", batch[0].lba)
+	defer bt.done()
 
 	// 1. The unique-chunk predictor reads the buffered data and guesses
 	// which chunks are unique; the batch scheduler groups accordingly.
+	from := bt.start()
 	for i := range batch {
 		batch[i].predictedUnique = s.pred.Predict(batch[i].data)
 		s.ledger.CPU(hostmodel.CompBatchSched, s.costs.BatchSchedPerChunkNs)
 	}
+	bt.span(StageDedupLookup, from)
 
 	// 2. One-time transfer of the whole batch to the FPGA array.
 	var total uint64
@@ -102,24 +115,33 @@ func (s *Server) processBaselineBatch() error {
 	}
 	results := make([]result, len(batch))
 	var backBytes uint64
+	var hashDur, compDur time.Duration
 	for i := range batch {
+		t0 := bt.start()
 		results[i].fp = fingerprint.Of(batch[i].data)
+		hashDur += bt.since(t0)
 		backBytes += fingerprint.Size
 		if batch[i].predictedUnique {
+			t1 := bt.start()
 			cdata, _, err := s.comp.Compress(batch[i].data)
 			if err != nil {
 				return err
 			}
+			compDur += bt.since(t1)
 			results[i].cdata = cdata
 			backBytes += uint64(len(cdata))
 		}
 	}
+	bt.add(StageHash, hashDur)
 	// 4. Hashes and compressed predicted-uniques return to host memory.
 	s.transfer(devFPGA, pcie.HostMemory, backBytes)
 	s.ledger.Mem(hostmodel.PathHostFPGA, backBytes)
 
 	// 5. Software table management validates predictions against the
-	// Hash-PBN table cache.
+	// Hash-PBN table cache. Misprediction repair compresses inline; that
+	// time is charged to the compress span, not the lookup span.
+	from = bt.start()
+	compBefore := compDur
 	for i := range batch {
 		p := &batch[i]
 		r := &results[i]
@@ -137,6 +159,7 @@ func (s *Server) processBaselineBatch() error {
 				return err
 			}
 			s.stats.DuplicateChunks++
+			s.obs.onDup()
 			continue
 		}
 		if r.cdata == nil {
@@ -144,12 +167,15 @@ func (s *Server) processBaselineBatch() error {
 			// and skipped compression; it takes another round trip
 			// through the FPGA array.
 			s.stats.Mispredictions++
+			s.obs.onMisprediction()
 			s.transfer(pcie.HostMemory, devFPGA, uint64(len(p.data)))
 			s.ledger.Mem(hostmodel.PathHostFPGA, uint64(len(p.data)))
+			t0 := bt.start()
 			cdata, _, err := s.comp.Compress(p.data)
 			if err != nil {
 				return err
 			}
+			compDur += bt.since(t0)
 			r.cdata = cdata
 			s.transfer(devFPGA, pcie.HostMemory, uint64(len(cdata)))
 			s.ledger.Mem(hostmodel.PathHostFPGA, uint64(len(cdata)))
@@ -159,24 +185,32 @@ func (s *Server) processBaselineBatch() error {
 			return err
 		}
 	}
-	return s.writeSealed()
+	bt.add(StageDedupLookup, bt.since(from)-(compDur-compBefore))
+	bt.add(StageCompress, compDur)
+	return s.writeSealed(bt)
 }
 
 // --- FIDR (§5.3) ---
 
-func (s *Server) fidrWrite(lba uint64, data []byte) error {
+func (s *Server) fidrWrite(lba uint64, data []byte, tr *ReqTrace) error {
 	// Step 1: buffer in the NIC's battery-backed memory; the client is
 	// acked immediately. No host resources are touched.
+	from := tr.start()
 	if err := s.fnic.BufferWrite(lba, data); err == nic.ErrBufferFull {
+		tr.span(StageNICBuffer, from)
 		if perr := s.processFIDRBatch(); perr != nil {
 			return perr
 		}
+		from = tr.start()
 		err = s.fnic.BufferWrite(lba, data)
 		if err != nil {
 			return err
 		}
+		tr.span(StageNICBuffer, from)
 	} else if err != nil {
 		return err
+	} else {
+		tr.span(StageNICBuffer, from)
 	}
 	s.fidrTenants = append(s.fidrTenants, s.tenant)
 	if s.fnic.Buffered() >= s.cfg.BatchChunks {
@@ -191,10 +225,15 @@ func (s *Server) processFIDRBatch() error {
 		return nil
 	}
 	s.stats.BatchesProcessed++
+	s.obs.onBatch()
+	bt := s.obs.begin("batch", 0)
+	defer bt.done()
 
 	// Step 2: NIC hash cores fingerprint the batch; only the hash
 	// values cross PCIe into host memory.
+	from := bt.start()
 	entries := s.fnic.HashAll()
+	bt.span(StageHash, from)
 	hashBytes := uint64(len(entries)) * fingerprint.Size
 	s.transfer(devNIC, pcie.HostMemory, hashBytes)
 	s.ledger.Mem(hostmodel.PathNICHost, hashBytes)
@@ -221,6 +260,7 @@ func (s *Server) processFIDRBatch() error {
 		}
 		return ""
 	}
+	from = bt.start()
 	flags := make([]bool, len(entries))
 	dupPBN := make([]uint64, len(entries))
 	for i, e := range entries {
@@ -247,6 +287,8 @@ func (s *Server) processFIDRBatch() error {
 		}
 	}
 
+	bt.span(StageDedupLookup, from)
+
 	// Step 6: uniqueness flags return to the NIC.
 	s.transfer(pcie.HostMemory, devNIC, uint64(len(entries)))
 	s.ledger.Mem(hostmodel.PathNICHost, uint64(len(entries)))
@@ -272,6 +314,7 @@ func (s *Server) processFIDRBatch() error {
 			uniqueTenants = append(uniqueTenants, tenantAt(i))
 		}
 	}
+	from = bt.start()
 	fpToPBN := make(map[fingerprint.FP]uint64, len(unique))
 	for ui, u := range unique {
 		s.cache.SetTenant(uniqueTenants[ui])
@@ -289,6 +332,7 @@ func (s *Server) processFIDRBatch() error {
 		}
 		fpToPBN[u.FP] = pbn
 	}
+	bt.span(StageCompress, from)
 	metaBytes := uint64(len(unique)) * 16
 	s.transfer(devComp, pcie.HostMemory, metaBytes)
 	s.ledger.Mem(hostmodel.PathHostFPGA, metaBytes)
@@ -312,9 +356,11 @@ func (s *Server) processFIDRBatch() error {
 			}
 			pbn = p
 			s.stats.DuplicateChunks++
+			s.obs.onDup()
 		default:
 			pbn = dupPBN[i]
 			s.stats.DuplicateChunks++
+			s.obs.onDup()
 		}
 		s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
 		if err := s.lba.MapLBA(e.LBA, pbn); err != nil {
@@ -323,7 +369,7 @@ func (s *Server) processFIDRBatch() error {
 	}
 
 	// Steps 9-10: sealed containers go engine -> data SSD peer-to-peer.
-	return s.writeSealed()
+	return s.writeSealed(bt)
 }
 
 // provisionalPBN marks a within-batch duplicate whose unique twin has not
@@ -358,14 +404,20 @@ func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
 	s.pbnFP[pbn] = meta.FP
 	s.stats.UniqueChunks++
 	s.stats.StoredBytes += uint64(meta.CSize)
+	s.obs.onUnique(uint64(meta.CSize))
 	return pbn, nil
 }
 
 // writeSealed pushes sealed containers to the data SSDs. The baseline
 // holds container data in host memory (the SSD DMA-reads it out); FIDR
 // transfers engine -> SSD peer-to-peer under the switch.
-func (s *Server) writeSealed() error {
-	for _, sc := range s.comp.TakeSealed() {
+func (s *Server) writeSealed(tr *ReqTrace) error {
+	sealed := s.comp.TakeSealed()
+	if len(sealed) == 0 {
+		return nil
+	}
+	from := tr.start()
+	for _, sc := range sealed {
 		off := sc.Index * uint64(len(sc.Data))
 		if err := s.dataSSD.Write(off, sc.Data); err != nil {
 			return err
@@ -382,5 +434,6 @@ func (s *Server) writeSealed() error {
 		// cost is per container, not per chunk.
 		s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
 	}
+	tr.span(StageSSDIO, from)
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"fidr/internal/blockcomp"
 	"fidr/internal/fingerprint"
 	"fidr/internal/lbatable"
+	"fidr/internal/metrics"
 )
 
 // ChunkMeta is the per-chunk metadata an engine reports to the host after
@@ -67,6 +68,21 @@ type Compression struct {
 	// sealed containers wait in engine memory for P2P pickup.
 	sealed []SealedContainer
 	stats  Stats
+
+	// Live observability: nil unless Instrument attached a registry.
+	obsChunksIn, obsBytesIn *metrics.Counter
+	obsBytesCompressed      *metrics.Counter
+	obsRawStored, obsSealed *metrics.Counter
+}
+
+// Instrument mirrors engine activity into reg under "engine.*". Call
+// once, before serving traffic.
+func (e *Compression) Instrument(reg *metrics.Registry) {
+	e.obsChunksIn = reg.Counter("engine.chunks_in")
+	e.obsBytesIn = reg.Counter("engine.bytes_in")
+	e.obsBytesCompressed = reg.Counter("engine.bytes_compressed")
+	e.obsRawStored = reg.Counter("engine.raw_stored")
+	e.obsSealed = reg.Counter("engine.containers_sealed")
 }
 
 // NewCompression creates an engine producing containers of containerSize
@@ -107,12 +123,23 @@ func (e *Compression) Compress(data []byte) (cdata []byte, raw bool, err error) 
 	}
 	e.stats.ChunksIn++
 	e.stats.BytesIn += uint64(len(data))
+	if e.obsChunksIn != nil {
+		e.obsChunksIn.Inc()
+		e.obsBytesIn.Add(uint64(len(data)))
+	}
 	if len(cdata) >= len(data) {
 		e.stats.RawStored++
 		e.stats.BytesCompressed += uint64(len(data))
+		if e.obsRawStored != nil {
+			e.obsRawStored.Inc()
+			e.obsBytesCompressed.Add(uint64(len(data)))
+		}
 		return data, true, nil
 	}
 	e.stats.BytesCompressed += uint64(len(cdata))
+	if e.obsBytesCompressed != nil {
+		e.obsBytesCompressed.Add(uint64(len(cdata)))
+	}
 	return cdata, false, nil
 }
 
@@ -176,6 +203,9 @@ func (e *Compression) seal() {
 	if idx, data, ok := e.builder.Seal(); ok {
 		e.sealed = append(e.sealed, SealedContainer{Index: idx, Data: data})
 		e.stats.ContainersSealed++
+		if e.obsSealed != nil {
+			e.obsSealed.Inc()
+		}
 	}
 }
 

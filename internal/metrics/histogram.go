@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram layout: log-linear ("HDR-style") buckets. Values are split
+// into octaves (powers of two); each octave is divided into histSub
+// linear sub-buckets, bounding the relative quantile error at
+// 1/histSub (6.25%) while keeping the bucket array small and fixed.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per octave
+
+	// histBuckets covers every uint64: indexes run [0, histSub) for the
+	// linear region and (k-histSubBits)*histSub + mantissa for octaves
+	// k = histSubBits..63, peaking at (63-histSubBits)*histSub + 2*histSub.
+	histBuckets = (63-histSubBits)*histSub + 2*histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(u uint64) int {
+	if u < histSub {
+		return int(u)
+	}
+	k := bits.Len64(u) - 1 // 2^k <= u < 2^(k+1)
+	shift := uint(k - histSubBits)
+	m := int(u >> shift) // mantissa in [histSub, 2*histSub)
+	return (k-histSubBits)*histSub + m
+}
+
+// bucketBounds returns the half-open value range [lower, upper) of a bucket.
+func bucketBounds(idx int) (lower, upper uint64) {
+	if idx < histSub {
+		return uint64(idx), uint64(idx) + 1
+	}
+	k := idx/histSub + histSubBits - 1
+	shift := uint(k - histSubBits)
+	m := uint64(idx%histSub + histSub)
+	lower = m << shift
+	upper = lower + 1<<shift
+	if upper < lower { // top bucket: 2^64 overflows
+		upper = math.MaxUint64
+	}
+	return lower, upper
+}
+
+// Histogram is a bounded, concurrent-safe distribution: fixed log-linear
+// buckets for quantiles plus exact running count/sum/min/max. Memory is
+// constant regardless of how many values are observed, so it is safe on
+// hot paths of long-lived daemons. All methods may be called from any
+// goroutine. Negative and NaN observations are clamped to zero (the
+// histogram records magnitudes: durations, sizes, counts).
+//
+// Quantiles are bucket-midpoint estimates with relative error bounded by
+// the sub-bucket width (6.25%), clamped into [Min, Max] so that
+// P50 <= P99 <= Max always holds. Mean is exact.
+type Histogram struct {
+	counts  [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits; +Inf until first Observe
+	maxBits atomic.Uint64 // float64 bits; -Inf until first Observe
+}
+
+// NewHistogram returns an empty histogram. Always use the constructor:
+// the zero value mis-reports Min.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	u := uint64(0)
+	if v >= math.MaxUint64 {
+		u = math.MaxUint64
+	} else {
+		u = uint64(v)
+	}
+	h.counts[bucketIndex(u)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the exact running sum.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the exact arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation, or 0 with none.
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns the q-th quantile estimate (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			lower, upper := bucketBounds(i)
+			est := (float64(lower) + float64(upper)) / 2
+			// Clamp into the exact observed range so quantiles never
+			// contradict Min/Max.
+			if max := h.Max(); est > max {
+				est = max
+			}
+			if min := h.Min(); est < min {
+				est = min
+			}
+			return est
+		}
+	}
+	return h.Max()
+}
+
+// Percentile returns the p-th percentile estimate (0 <= p <= 100).
+func (h *Histogram) Percentile(p float64) float64 { return h.Quantile(p / 100) }
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count          uint64
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+}
+
+// Snapshot captures the histogram's current summary. Under concurrent
+// Observe the fields are each individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

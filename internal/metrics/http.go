@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// HTTPHandler serves the registry over HTTP (stdlib only):
+//
+//	GET /metrics  plain-text registry dump (see Registry.WriteText)
+//	GET /traces   recent request traces (when traces != nil)
+//	GET /         index of the above
+//
+// All responses are text/plain. The handler is safe to serve while the
+// registry is being updated; it reads only atomics.
+func HTTPHandler(reg *Registry, traces func() string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	if traces != nil {
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, traces())
+		})
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "fidr metrics endpoints:")
+		fmt.Fprintln(w, "  /metrics  live registry dump")
+		if traces != nil {
+			fmt.Fprintln(w, "  /traces   recent request traces")
+		}
+	})
+	return mux
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is a concurrent-safe float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a concurrent-safe namespace of named counters, gauges and
+// histograms. Accessors are get-or-create: the first call for a name
+// allocates the metric, later calls return the same instance, so
+// producers can bind metrics once at startup and update them lock-free
+// on hot paths. Names are dotted lowercase ("stage.hash.ns").
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one registry entry's point-in-time value.
+type Metric struct {
+	// Kind is "counter", "gauge" or "hist".
+	Kind string
+	Name string
+	// Value holds counter and gauge readings.
+	Value float64
+	// Hist holds histogram readings (Kind "hist" only).
+	Hist HistogramSnapshot
+}
+
+// Snapshot captures every metric, counters first, then gauges, then
+// histograms, each group sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, name := range sortedKeys(r.counters) {
+		out = append(out, Metric{Kind: "counter", Name: name, Value: float64(r.counters[name].Value())})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		out = append(out, Metric{Kind: "gauge", Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		out = append(out, Metric{Kind: "hist", Name: name, Hist: r.hists[name].Snapshot()})
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the registry in the plain-text dump format, one
+// metric per line:
+//
+//	counter core.writes 640
+//	gauge core.reduction_ratio 0.413
+//	hist stage.hash.ns count=640 mean=1523.4 min=900 p50=1487 p90=2200 p99=2901 max=51200
+//
+// The format is stable and machine-parseable (fidrcli stats re-renders
+// it as tables).
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		switch m.Kind {
+		case "hist":
+			h := m.Hist
+			_, err = fmt.Fprintf(w, "hist %s count=%d mean=%s min=%s p50=%s p90=%s p99=%s max=%s\n",
+				m.Name, h.Count, FormatFloat(h.Mean), FormatFloat(h.Min),
+				FormatFloat(h.P50), FormatFloat(h.P90), FormatFloat(h.P99), FormatFloat(h.Max))
+		case "counter":
+			_, err = fmt.Fprintf(w, "counter %s %d\n", m.Name, uint64(m.Value))
+		default:
+			_, err = fmt.Fprintf(w, "gauge %s %s\n", m.Name, FormatFloat(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump returns the plain-text rendering of WriteText.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSummaryBounded verifies the reservoir cap: a long stream keeps
+// exact count/mean/min/max while retaining at most SummaryReservoir
+// samples.
+func TestSummaryBounded(t *testing.T) {
+	var s Summary
+	const n = 4 * SummaryReservoir
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(i)
+		s.Observe(v)
+		sum += v
+	}
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	if len(s.samples) > SummaryReservoir {
+		t.Fatalf("retained %d samples, cap is %d", len(s.samples), SummaryReservoir)
+	}
+	if s.Min() != 0 || s.Max() != n-1 {
+		t.Fatalf("min/max = %v/%v, want 0/%d", s.Min(), s.Max(), n-1)
+	}
+	if want := sum / n; s.Mean() != want {
+		t.Fatalf("mean = %v, want exact %v", s.Mean(), want)
+	}
+	// Percentiles over a uniform stream stay near the true values.
+	for _, p := range []float64{25, 50, 90} {
+		want := p / 100 * n
+		got := s.Percentile(p)
+		if math.Abs(got-want) > 0.1*n {
+			t.Errorf("p%.0f = %v, want ~%v", p, got, want)
+		}
+	}
+}
+
+// TestSummaryExactBelowCap: until the cap is hit, percentiles are exact
+// nearest-rank, identical to the pre-reservoir behaviour.
+func TestSummaryExactBelowCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Summary
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e6
+		s.Observe(vals[i])
+	}
+	if len(s.samples) != len(vals) {
+		t.Fatalf("below cap, all samples must be retained: %d", len(s.samples))
+	}
+	if s.Percentile(100) != s.Max() || s.Percentile(0) != s.Min() {
+		t.Fatal("p0/p100 must equal exact min/max")
+	}
+}
+
+func TestSummaryMergeAccumulators(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 2*SummaryReservoir; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i + 1000000))
+	}
+	a.Merge(&b)
+	if a.Count() != 4*SummaryReservoir {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if len(a.samples) > SummaryReservoir {
+		t.Fatalf("merged reservoir overflows: %d", len(a.samples))
+	}
+	if a.Min() != 0 || a.Max() != float64(1000000+2*SummaryReservoir-1) {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"fidr/internal/fingerprint"
+	"fidr/internal/metrics"
 )
 
 // WriteEntry is one buffered 4-KB chunk with its metadata.
@@ -58,7 +59,33 @@ type FIDR struct {
 	lbaIndex map[uint64]int
 
 	stats Stats
+	obs   *nicObs
 }
+
+// nicObs mirrors NIC counters into a live registry; nil disables it.
+type nicObs struct {
+	writes, bytes, hashOps *metrics.Counter
+	readLookups, readHits  *metrics.Counter
+	batches, uniqueSent    *metrics.Counter
+	dupDrops               *metrics.Counter
+}
+
+func newNICObs(reg *metrics.Registry) *nicObs {
+	return &nicObs{
+		writes:      reg.Counter("nic.writes_buffered"),
+		bytes:       reg.Counter("nic.bytes_buffered"),
+		hashOps:     reg.Counter("nic.hash_ops"),
+		readLookups: reg.Counter("nic.read_lookups"),
+		readHits:    reg.Counter("nic.read_hits"),
+		batches:     reg.Counter("nic.batches_made"),
+		uniqueSent:  reg.Counter("nic.unique_sent"),
+		dupDrops:    reg.Counter("nic.duplicate_drops"),
+	}
+}
+
+// Instrument mirrors NIC activity into reg under "nic.*". Call once,
+// before serving traffic.
+func (n *FIDR) Instrument(reg *metrics.Registry) { n.obs = newNICObs(reg) }
 
 // NewFIDR creates a FIDR NIC with the given buffer capacity in bytes.
 func NewFIDR(bufferCap int) (*FIDR, error) {
@@ -82,6 +109,10 @@ func (n *FIDR) BufferWrite(lba uint64, data []byte) error {
 	n.buffered += len(data)
 	n.stats.WritesBuffered++
 	n.stats.BytesBuffered += uint64(len(data))
+	if n.obs != nil {
+		n.obs.writes.Inc()
+		n.obs.bytes.Add(uint64(len(data)))
+	}
 	return nil
 }
 
@@ -103,6 +134,9 @@ func (n *FIDR) HashAll() []WriteEntry {
 			e.Hashed = true
 			n.stats.HashOps++
 			n.stats.HashBytes += uint64(len(e.Data))
+			if n.obs != nil {
+				n.obs.hashOps.Inc()
+			}
 		}
 		out = append(out, *e)
 	}
@@ -113,11 +147,17 @@ func (n *FIDR) HashAll() []WriteEntry {
 // still buffered, returning the freshest data for that LBA.
 func (n *FIDR) LookupRead(lba uint64) ([]byte, bool) {
 	n.stats.ReadLookups++
+	if n.obs != nil {
+		n.obs.readLookups.Inc()
+	}
 	i, ok := n.lbaIndex[lba]
 	if !ok {
 		return nil, false
 	}
 	n.stats.ReadHits++
+	if n.obs != nil {
+		n.obs.readHits.Inc()
+	}
 	return n.buffer[i].Data, true
 }
 
@@ -135,11 +175,20 @@ func (n *FIDR) ScheduleBatch(flags []bool) ([]WriteEntry, error) {
 		if isUnique {
 			unique = append(unique, n.buffer[i])
 			n.stats.UniqueSent++
+			if n.obs != nil {
+				n.obs.uniqueSent.Inc()
+			}
 		} else {
 			n.stats.DuplicateDrops++
+			if n.obs != nil {
+				n.obs.dupDrops.Inc()
+			}
 		}
 	}
 	n.stats.BatchesMade++
+	if n.obs != nil {
+		n.obs.batches.Inc()
+	}
 	n.buffer = n.buffer[:0]
 	n.buffered = 0
 	n.lbaIndex = make(map[uint64]int)
@@ -153,15 +202,24 @@ func (n *FIDR) Stats() Stats { return n.stats }
 // counts traffic it DMA-writes toward host memory.
 type Plain struct {
 	stats Stats
+	obs   *nicObs
 }
 
 // NewPlain creates a baseline NIC.
 func NewPlain() *Plain { return &Plain{} }
 
+// Instrument mirrors NIC activity into reg under "nic.*". Call once,
+// before serving traffic.
+func (n *Plain) Instrument(reg *metrics.Registry) { n.obs = newNICObs(reg) }
+
 // ReceiveWrite counts one client chunk DMA'd to host memory.
 func (n *Plain) ReceiveWrite(data []byte) {
 	n.stats.WritesBuffered++
 	n.stats.BytesBuffered += uint64(len(data))
+	if n.obs != nil {
+		n.obs.writes.Inc()
+		n.obs.bytes.Add(uint64(len(data)))
+	}
 }
 
 // Stats returns a snapshot of NIC counters.

@@ -88,6 +88,11 @@ type SSD struct {
 	readBytes, writeBytes metrics.Counter
 	busyNanos             metrics.Counter
 
+	// Live observability: nil unless Instrument attached a registry.
+	obsReads, obsWrites         *metrics.Counter
+	obsReadBytes, obsWriteBytes *metrics.Counter
+	obsAccess                   *metrics.Histogram
+
 	// fault injection (tests): remaining IOs to fail and the error.
 	faultMu    sync.Mutex
 	failReads  int
@@ -135,6 +140,18 @@ func MustNew(cfg Config) *SSD {
 // Config returns the device configuration.
 func (s *SSD) Config() Config { return s.cfg }
 
+// Instrument mirrors device activity into reg: "ssd.<name>.*" IO and
+// byte counters plus an "ssd.<name>.access_ns" histogram of modeled
+// per-command access times. Call once, before serving traffic.
+func (s *SSD) Instrument(reg *metrics.Registry) {
+	p := "ssd." + s.cfg.Name + "."
+	s.obsReads = reg.Counter(p + "read_ios")
+	s.obsWrites = reg.Counter(p + "write_ios")
+	s.obsReadBytes = reg.Counter(p + "read_bytes")
+	s.obsWriteBytes = reg.Counter(p + "write_bytes")
+	s.obsAccess = reg.Histogram(p + "access_ns")
+}
+
 // InjectFaults makes the next nReads read commands and nWrites write
 // commands fail with err (media-error simulation for failure-path tests).
 func (s *SSD) InjectFaults(nReads, nWrites int, err error) {
@@ -175,9 +192,15 @@ func (s *SSD) Write(off uint64, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("ssd %q: %w", s.cfg.Name, err)
 	}
+	at := s.AccessTime(true, len(data))
 	s.writes.Inc()
 	s.writeBytes.Add(uint64(len(data)))
-	s.busyNanos.Add(uint64(s.AccessTime(true, len(data)).Nanoseconds()))
+	s.busyNanos.Add(uint64(at.Nanoseconds()))
+	if s.obsWrites != nil {
+		s.obsWrites.Inc()
+		s.obsWriteBytes.Add(uint64(len(data)))
+		s.obsAccess.Observe(float64(at.Nanoseconds()))
+	}
 	return nil
 }
 
@@ -198,9 +221,15 @@ func (s *SSD) Read(off uint64, n int) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ssd %q: %w", s.cfg.Name, err)
 	}
+	at := s.AccessTime(false, n)
 	s.reads.Inc()
 	s.readBytes.Add(uint64(n))
-	s.busyNanos.Add(uint64(s.AccessTime(false, n).Nanoseconds()))
+	s.busyNanos.Add(uint64(at.Nanoseconds()))
+	if s.obsReads != nil {
+		s.obsReads.Inc()
+		s.obsReadBytes.Add(uint64(n))
+		s.obsAccess.Observe(float64(at.Nanoseconds()))
+	}
 	return out, nil
 }
 

@@ -23,10 +23,12 @@ package tablecache
 import (
 	"container/list"
 	"fmt"
+	"time"
 
 	"fidr/internal/fingerprint"
 	"fidr/internal/hashpbn"
 	"fidr/internal/hostmodel"
+	"fidr/internal/metrics"
 	"fidr/internal/ssd"
 )
 
@@ -123,6 +125,23 @@ type Cache struct {
 	tenant string
 
 	stats Stats
+
+	// Live observability: nil unless Instrument attached a registry.
+	obsLookups, obsHits, obsMisses *metrics.Counter
+	obsEvictions, obsFlushes       *metrics.Counter
+	obsProbe                       *metrics.Histogram
+}
+
+// Instrument mirrors cache activity into reg: "tablecache.*" counters
+// and a "stage.table_cache.ns" histogram of wall-clock Lookup probe
+// times. Call once, before serving traffic.
+func (c *Cache) Instrument(reg *metrics.Registry) {
+	c.obsLookups = reg.Counter("tablecache.lookups")
+	c.obsHits = reg.Counter("tablecache.hits")
+	c.obsMisses = reg.Counter("tablecache.misses")
+	c.obsEvictions = reg.Counter("tablecache.evictions")
+	c.obsFlushes = reg.Counter("tablecache.flushes")
+	c.obsProbe = reg.Histogram("stage.table_cache.ns")
 }
 
 // New builds a cache.
@@ -215,6 +234,10 @@ func (c *Cache) Stats() Stats {
 
 // Lookup searches the table for fp, fetching its bucket through the cache.
 func (c *Cache) Lookup(fp fingerprint.FP) (pbn uint64, found bool, err error) {
+	var t0 time.Time
+	if c.obsProbe != nil {
+		t0 = time.Now()
+	}
 	line, err := c.getLine(c.geom.BucketOf(fp), true)
 	if err != nil {
 		return 0, false, err
@@ -222,6 +245,9 @@ func (c *Cache) Lookup(fp fingerprint.FP) (pbn uint64, found bool, err error) {
 	b := hashpbn.Bucket(c.lines[line])
 	pbn, found, scanned := b.Lookup(fp)
 	c.chargeScan(scanned)
+	if c.obsProbe != nil {
+		c.obsProbe.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
 	return pbn, found, nil
 }
 
@@ -278,16 +304,25 @@ func (c *Cache) chargeScan(entries int) {
 func (c *Cache) getLine(bucket uint64, count bool) (uint64, error) {
 	if count {
 		c.stats.Lookups++
+		if c.obsLookups != nil {
+			c.obsLookups.Inc()
+		}
 	}
 	if line, ok := c.idx.lookup(bucket); ok {
 		if count {
 			c.stats.Hits++
+			if c.obsHits != nil {
+				c.obsHits.Inc()
+			}
 		}
 		c.touchLRU(line)
 		return line, nil
 	}
 	if count {
 		c.stats.Misses++
+		if c.obsMisses != nil {
+			c.obsMisses.Inc()
+		}
 	}
 	line, err := c.allocLine()
 	if err != nil {
@@ -331,12 +366,18 @@ func (c *Cache) allocLine() (uint64, error) {
 		delete(c.lruElem, line)
 	}
 	c.stats.Evictions++
+	if c.obsEvictions != nil {
+		c.obsEvictions.Inc()
+	}
 	c.idx.remove(c.lineBucket[line])
 	if c.dirty[line] {
 		if err := c.ssdWrite(c.lineBucket[line], line); err != nil {
 			return 0, err
 		}
 		c.stats.Flushes++
+		if c.obsFlushes != nil {
+			c.obsFlushes.Inc()
+		}
 	}
 	c.lineValid[line] = false
 	return line, nil
@@ -415,6 +456,9 @@ func (c *Cache) FlushAll() error {
 			}
 			c.dirty[line] = false
 			c.stats.Flushes++
+			if c.obsFlushes != nil {
+				c.obsFlushes.Inc()
+			}
 		}
 	}
 	return nil
