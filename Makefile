@@ -1,7 +1,12 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check fmt bench
+.PHONY: all build test vet race check fmt bench microbench
+
+# Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
+# artifact directory.
+BENCH_IOS ?= 20000
+BENCH_OUT ?= bench-artifacts
 
 all: check
 
@@ -20,7 +25,13 @@ race:
 fmt:
 	gofmt -l -w .
 
+# bench writes machine-readable BENCH_<experiment>.json artifacts
+# (throughput, reduction ratios, p50/p90/p99 stage latencies).
 bench:
+	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench
+
+# microbench runs the Go testing benchmarks.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # check is the pre-commit bundle: tier-1 plus static analysis and the

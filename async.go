@@ -3,6 +3,9 @@ package fidr
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"fidr/internal/metrics"
 )
 
 // Store is the chunk-store surface shared by Server and Cluster.
@@ -12,9 +15,19 @@ type Store interface {
 	Flush() error
 }
 
+// tracedStore is the traced variant of Store. Both Server and Cluster
+// implement it; the async front-end uses it to carry the measured queue
+// wait into the back-end's per-request trace.
+type tracedStore interface {
+	WriteTraced(lba uint64, data []byte, tc *TraceContext) error
+	ReadTraced(lba uint64, tc *TraceContext) ([]byte, error)
+}
+
 var (
-	_ Store = (*Server)(nil)
-	_ Store = (*Cluster)(nil)
+	_ Store       = (*Server)(nil)
+	_ Store       = (*Cluster)(nil)
+	_ tracedStore = (*Server)(nil)
+	_ tracedStore = (*Cluster)(nil)
 )
 
 // Async is a pipelined front-end over a Store: callers submit requests
@@ -30,16 +43,22 @@ type Async struct {
 	route  func(lba uint64) int
 	wg     sync.WaitGroup
 
+	// Front-end metrics; nil until EnableObservability.
+	writes, reads *metrics.Counter
+	queueWaitNS   *metrics.Histogram
+	inflight      *metrics.Gauge
+
 	mu       sync.Mutex
 	closed   bool
 	flushErr error
 }
 
 type asyncReq struct {
-	write bool
-	lba   uint64
-	data  []byte
-	done  chan AsyncResult
+	write  bool
+	lba    uint64
+	data   []byte
+	submit time.Time // enqueue time; queue wait = dequeue - submit
+	done   chan AsyncResult
 }
 
 // AsyncResult carries a completed request's outcome.
@@ -73,15 +92,48 @@ func NewAsync(s Store, depth int) (*Async, error) {
 	return a, nil
 }
 
+// EnableObservability registers the front-end's own series on reg:
+// async.writes / async.reads counters, the async.queue_wait.ns
+// histogram, and the async.inflight gauge. Call before submitting
+// traffic. The queue wait also reaches the back-end's stage histograms
+// and request traces via TraceContext, when the store has
+// observability enabled too.
+func (a *Async) EnableObservability(reg *metrics.Registry) {
+	a.writes = reg.Counter("async.writes")
+	a.reads = reg.Counter("async.reads")
+	a.queueWaitNS = reg.Histogram("async.queue_wait.ns")
+	a.inflight = reg.Gauge("async.inflight")
+}
+
 func (a *Async) worker(s Store, q chan asyncReq) {
 	defer a.wg.Done()
+	ts, traced := s.(tracedStore)
 	for req := range q {
+		wait := time.Since(req.submit)
+		if a.queueWaitNS != nil {
+			a.queueWaitNS.Observe(float64(wait.Nanoseconds()))
+		}
 		var res AsyncResult
 		res.LBA = req.lba
-		if req.write {
+		if traced {
+			tc := &TraceContext{
+				Start: req.submit,
+				Spans: []Span{{Stage: StageQueueWait, Dur: wait}},
+			}
+			if req.write {
+				tc.Op = "awrite"
+				res.Err = ts.WriteTraced(req.lba, req.data, tc)
+			} else {
+				tc.Op = "aread"
+				res.Data, res.Err = ts.ReadTraced(req.lba, tc)
+			}
+		} else if req.write {
 			res.Err = s.Write(req.lba, req.data)
 		} else {
 			res.Data, res.Err = s.Read(req.lba)
+		}
+		if a.inflight != nil {
+			a.inflight.Add(-1)
 		}
 		req.done <- res
 	}
@@ -110,7 +162,11 @@ func (a *Async) WriteAsync(lba uint64, data []byte) <-chan AsyncResult {
 	}
 	q := a.queues[a.route(lba)]
 	a.mu.Unlock()
-	q <- asyncReq{write: true, lba: lba, data: cp, done: done}
+	if a.writes != nil {
+		a.writes.Inc()
+		a.inflight.Add(1)
+	}
+	q <- asyncReq{write: true, lba: lba, data: cp, submit: time.Now(), done: done}
 	return done
 }
 
@@ -125,7 +181,11 @@ func (a *Async) ReadAsync(lba uint64) <-chan AsyncResult {
 	}
 	q := a.queues[a.route(lba)]
 	a.mu.Unlock()
-	q <- asyncReq{lba: lba, done: done}
+	if a.reads != nil {
+		a.reads.Inc()
+		a.inflight.Add(1)
+	}
+	q <- asyncReq{lba: lba, submit: time.Now(), done: done}
 	return done
 }
 

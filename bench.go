@@ -1,0 +1,289 @@
+package fidr
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/core"
+	"fidr/internal/experiments"
+	"fidr/internal/metrics"
+	"fidr/internal/trace"
+)
+
+// Bench artifact pipeline: machine-readable benchmark results. Each
+// bench experiment drives a server (or cluster) through a Table 3
+// workload with observability on, then distills the live metrics into a
+// BENCH_<experiment>.json artifact — throughput, reduction ratios, and
+// p50/p90/p99 stage latencies — that CI can archive and diff across
+// commits. The schema is documented in README.md.
+
+// BenchSchema versions the artifact layout.
+const BenchSchema = "fidr-bench/1"
+
+// BenchLatency summarizes one latency histogram, in nanoseconds.
+type BenchLatency struct {
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P90NS  float64 `json:"p90_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MaxNS  float64 `json:"max_ns"`
+}
+
+// BenchShard reports one cluster group's share of the run.
+type BenchShard struct {
+	Group      int     `json:"group"`
+	Writes     uint64  `json:"writes"`
+	Reads      uint64  `json:"reads"`
+	WriteShare float64 `json:"write_share"`
+	DedupRatio float64 `json:"dedup_ratio"`
+}
+
+// BenchArtifact is the schema of a BENCH_<experiment>.json file.
+type BenchArtifact struct {
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	Arch       string `json:"arch"`
+	Workload   string `json:"workload"`
+	IOs        int    `json:"ios"`
+	Groups     int    `json:"groups"`
+
+	WallSeconds    float64 `json:"wall_seconds"`
+	ThroughputMBps float64 `json:"throughput_mbps"`
+
+	DedupRatio     float64 `json:"dedup_ratio"`
+	ReductionRatio float64 `json:"reduction_ratio"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+
+	// StageLatencyNS keys are pipeline stage slugs ("hash",
+	// "dedup_lookup", ...); RequestLatencyNS keys are request-level
+	// histogram names with the ".ns" suffix stripped ("latency.write_ack",
+	// "cluster.write", ...).
+	StageLatencyNS   map[string]BenchLatency `json:"stage_latency_ns"`
+	RequestLatencyNS map[string]BenchLatency `json:"request_latency_ns"`
+
+	// Cluster runs only.
+	Shards              []BenchShard `json:"shards,omitempty"`
+	ShardImbalance      float64      `json:"shard_imbalance,omitempty"`
+	CrossShardDupChunks uint64       `json:"cross_shard_dup_chunks,omitempty"`
+}
+
+// benchSpec names one bench experiment.
+type benchSpec struct {
+	workload string
+	arch     Arch
+	groups   int
+}
+
+var benchSpecs = map[string]benchSpec{
+	"writeh":    {workload: "Write-H", arch: FIDRFull, groups: 1},
+	"writem":    {workload: "Write-M", arch: FIDRFull, groups: 1},
+	"writel":    {workload: "Write-L", arch: FIDRFull, groups: 1},
+	"readmixed": {workload: "Read-Mixed", arch: FIDRFull, groups: 1},
+	"cluster4":  {workload: "Write-H", arch: FIDRFull, groups: 4},
+}
+
+// BenchExperiments lists bench experiment names, sorted.
+func BenchExperiments() []string {
+	out := make([]string, 0, len(benchSpecs))
+	for name := range benchSpecs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunBenchExperiment executes one bench experiment and returns its
+// artifact. ios sizes the workload (0 selects the default scale).
+func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
+	spec, ok := benchSpecs[name]
+	if !ok {
+		return BenchArtifact{}, fmt.Errorf("fidr: unknown bench experiment %q (see BenchExperiments())", name)
+	}
+	if ios <= 0 {
+		ios = experiments.DefaultScale().IOs
+	}
+	cfg, err := experiments.ConfigFor(spec.arch, ios)
+	if err != nil {
+		return BenchArtifact{}, err
+	}
+	wp, err := experiments.WorkloadParams(spec.workload, ios, cfg.CacheLines)
+	if err != nil {
+		return BenchArtifact{}, err
+	}
+
+	art := BenchArtifact{
+		Schema:     BenchSchema,
+		Experiment: name,
+		Arch:       spec.arch.String(),
+		Workload:   spec.workload,
+		IOs:        ios,
+		Groups:     spec.groups,
+	}
+	if spec.groups > 1 {
+		err = runBenchCluster(cfg, wp, spec.groups, &art)
+	} else {
+		err = runBenchSingle(cfg, wp, &art)
+	}
+	return art, err
+}
+
+func runBenchSingle(cfg Config, wp Workload, art *BenchArtifact) error {
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	view := srv.EnableObservability(nil, 64)
+	wall, err := driveBench(srv, wp, cfg.ChunkSize)
+	if err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fillBenchArtifact(art, st, srv.CacheStats().HitRate(), wall, view.Snapshot())
+	return nil
+}
+
+func runBenchCluster(cfg Config, wp Workload, groups int, art *BenchArtifact) error {
+	cl, err := NewCluster(cfg, groups)
+	if err != nil {
+		return err
+	}
+	view := cl.EnableObservability(64)
+	wall, err := driveBench(cl, wp, cfg.ChunkSize)
+	if err != nil {
+		return err
+	}
+	st := cl.Stats()
+	// Post-run the cluster is quiescent: per-group stats and the cache
+	// counters can be read directly.
+	var hits, lookups uint64
+	writes := make([]float64, groups)
+	for i := 0; i < groups; i++ {
+		cs := cl.Group(i).CacheStats()
+		hits += cs.Hits
+		lookups += cs.Lookups
+		gs := cl.Group(i).Stats()
+		writes[i] = float64(gs.ClientWrites)
+		shard := BenchShard{
+			Group:  i,
+			Writes: gs.ClientWrites,
+			Reads:  gs.ClientReads,
+		}
+		if st.ClientWrites > 0 {
+			shard.WriteShare = float64(gs.ClientWrites) / float64(st.ClientWrites)
+		}
+		if tot := gs.DuplicateChunks + gs.UniqueChunks; tot > 0 {
+			shard.DedupRatio = float64(gs.DuplicateChunks) / float64(tot)
+		}
+		art.Shards = append(art.Shards, shard)
+	}
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(hits) / float64(lookups)
+	}
+	art.ShardImbalance = imbalance(writes)
+	art.CrossShardDupChunks = cl.obs.crossShardDupChunks()
+	fillBenchArtifact(art, st, hitRate, wall, view.Snapshot())
+	return nil
+}
+
+// driveBench streams the workload synchronously and returns the wall
+// time including the final flush.
+func driveBench(s Store, wp Workload, chunkSize int) (time.Duration, error) {
+	gen, err := trace.NewGenerator(wp)
+	if err != nil {
+		return 0, err
+	}
+	sh := blockcomp.NewShaper(wp.CompressRatio)
+	buf := make([]byte, chunkSize)
+	start := time.Now()
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		switch req.Op {
+		case trace.OpWrite:
+			sh.Block(req.ContentSeed, buf)
+			if err := s.Write(req.LBA, buf); err != nil {
+				return 0, fmt.Errorf("fidr: bench %s write: %w", wp.Name, err)
+			}
+		case trace.OpRead:
+			if _, err := s.Read(req.LBA); err != nil && err != core.ErrNotFound {
+				return 0, fmt.Errorf("fidr: bench %s read: %w", wp.Name, err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// fillBenchArtifact distills run stats and a metrics snapshot into art.
+func fillBenchArtifact(art *BenchArtifact, st Stats, cacheHit float64, wall time.Duration, ms []metrics.Metric) {
+	art.WallSeconds = wall.Seconds()
+	if art.WallSeconds > 0 {
+		art.ThroughputMBps = float64(st.ClientBytes) / 1e6 / art.WallSeconds
+	}
+	if tot := st.DuplicateChunks + st.UniqueChunks; tot > 0 {
+		art.DedupRatio = float64(st.DuplicateChunks) / float64(tot)
+	}
+	art.ReductionRatio = st.ReductionRatio()
+	art.CacheHitRate = cacheHit
+	art.StageLatencyNS = map[string]BenchLatency{}
+	art.RequestLatencyNS = map[string]BenchLatency{}
+	for _, m := range ms {
+		if m.Kind != "hist" || m.Hist.Count == 0 {
+			continue
+		}
+		name, ok := strings.CutSuffix(m.Name, ".ns")
+		if !ok {
+			continue
+		}
+		lat := BenchLatency{
+			Count:  m.Hist.Count,
+			MeanNS: m.Hist.Mean,
+			P50NS:  m.Hist.P50,
+			P90NS:  m.Hist.P90,
+			P99NS:  m.Hist.P99,
+			MaxNS:  m.Hist.Max,
+		}
+		switch {
+		case strings.HasPrefix(name, "stage."):
+			art.StageLatencyNS[strings.TrimPrefix(name, "stage.")] = lat
+		case strings.HasPrefix(name, "latency.") || strings.HasPrefix(name, "cluster."):
+			art.RequestLatencyNS[name] = lat
+		}
+	}
+}
+
+// crossShardDupChunks reads the tracked cross-shard duplicate count.
+func (o *clusterObs) crossShardDupChunks() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.extra
+}
+
+// WriteBenchArtifact writes art to dir/BENCH_<experiment>.json and
+// returns the path.
+func WriteBenchArtifact(dir string, art BenchArtifact) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+art.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

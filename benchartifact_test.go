@@ -1,0 +1,93 @@
+package fidr_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"fidr"
+)
+
+func TestBenchArtifactSingle(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("writeh", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != fidr.BenchSchema || art.Experiment != "writeh" {
+		t.Fatalf("schema/experiment = %q/%q", art.Schema, art.Experiment)
+	}
+	if art.ThroughputMBps <= 0 || art.WallSeconds <= 0 {
+		t.Fatalf("throughput %v over %vs", art.ThroughputMBps, art.WallSeconds)
+	}
+	if art.DedupRatio <= 0.5 || art.ReductionRatio <= 0 || art.ReductionRatio >= 1 {
+		t.Fatalf("dedup %v reduction %v; Write-H should reduce heavily", art.DedupRatio, art.ReductionRatio)
+	}
+	for _, stage := range []string{"hash", "dedup_lookup", "nic_buffer"} {
+		lat, ok := art.StageLatencyNS[stage]
+		if !ok || lat.Count == 0 {
+			t.Errorf("stage %q missing from artifact", stage)
+			continue
+		}
+		if lat.P50NS <= 0 || lat.P90NS < lat.P50NS || lat.P99NS < lat.P90NS {
+			t.Errorf("stage %q percentiles inconsistent: %+v", stage, lat)
+		}
+	}
+	if lat, ok := art.RequestLatencyNS["latency.write_ack"]; !ok || lat.Count == 0 {
+		t.Error("latency.write_ack missing from artifact")
+	}
+	if len(art.Shards) != 0 {
+		t.Error("single-server artifact carries shard data")
+	}
+}
+
+func TestBenchArtifactCluster(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("cluster4", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Groups != 4 || len(art.Shards) != 4 {
+		t.Fatalf("groups/shards = %d/%d", art.Groups, len(art.Shards))
+	}
+	var shares float64
+	for _, sh := range art.Shards {
+		shares += sh.WriteShare
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("shard write shares sum to %v", shares)
+	}
+	if art.CrossShardDupChunks == 0 {
+		t.Error("cluster run tracked no cross-shard duplicates")
+	}
+	if _, ok := art.RequestLatencyNS["cluster.write"]; !ok {
+		t.Error("cluster.write latency missing")
+	}
+}
+
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("writel", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := fidr.WriteBenchArtifact(dir, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back fidr.BenchArtifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Experiment != "writel" || back.Schema != fidr.BenchSchema {
+		t.Fatalf("round-trip lost identity: %+v", back)
+	}
+	if back.ThroughputMBps != art.ThroughputMBps || len(back.StageLatencyNS) != len(art.StageLatencyNS) {
+		t.Fatal("round-trip lost measurements")
+	}
+	if _, err := fidr.RunBenchExperiment("nosuch", 100); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

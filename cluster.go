@@ -2,6 +2,7 @@ package fidr
 
 import (
 	"fmt"
+	"time"
 
 	"fidr/internal/hostmodel"
 )
@@ -17,6 +18,9 @@ import (
 // the same trade; global dedup across controllers is rare.)
 type Cluster struct {
 	groups []*Server
+	// obs is the cluster-wide observability plane; nil until
+	// EnableObservability (see clusterobs.go).
+	obs *clusterObs
 }
 
 // NewCluster builds n groups from cfg (each group gets its own devices).
@@ -57,13 +61,70 @@ func (c *Cluster) shard(lba uint64) *Server {
 
 // Write stores one chunk via its shard.
 func (c *Cluster) Write(lba uint64, data []byte) error {
-	return c.shard(lba).Write(lba, data)
+	return c.WriteTraced(lba, data, nil)
+}
+
+// WriteTraced stores one chunk via its shard, adopting tc (front-end
+// spans) into the shard's request trace. With observability on it also
+// times cluster-level routing and tracks cross-shard duplicates.
+func (c *Cluster) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
+	g := c.GroupFor(lba)
+	if c.obs == nil {
+		return c.groups[g].WriteTraced(lba, data, tc)
+	}
+	start := startOr(tc)
+	c.obs.noteContent(g, data)
+	err := c.groups[g].WriteTraced(lba, data, tc)
+	c.obs.observeWrite(start)
+	return err
 }
 
 // Read fetches one chunk via its shard.
 func (c *Cluster) Read(lba uint64) ([]byte, error) {
-	return c.shard(lba).Read(lba)
+	return c.ReadTraced(lba, nil)
 }
+
+// ReadTraced fetches one chunk via its shard, adopting tc into the
+// shard's request trace.
+func (c *Cluster) ReadTraced(lba uint64, tc *TraceContext) ([]byte, error) {
+	g := c.GroupFor(lba)
+	if c.obs == nil {
+		return c.groups[g].ReadTraced(lba, tc)
+	}
+	start := startOr(tc)
+	data, err := c.groups[g].ReadTraced(lba, tc)
+	c.obs.observeRead(start)
+	return data, err
+}
+
+// startOr returns tc's front-end start time when set, else now — so the
+// cluster histograms include queue wait when a front-end measured it.
+func startOr(tc *TraceContext) time.Time {
+	if tc != nil && !tc.Start.IsZero() {
+		return tc.Start
+	}
+	return time.Now()
+}
+
+// ReadRange returns n consecutive chunks starting at lba, concatenated,
+// fanning out to each LBA's shard (same contract as Server.ReadRange).
+func (c *Cluster) ReadRange(lba uint64, n int) ([]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fidr: range read of %d chunks", n)
+	}
+	out := make([]byte, 0, n*c.ChunkSize())
+	for i := 0; i < n; i++ {
+		chunk, err := c.Read(lba + uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("fidr: range chunk %d: %w", i, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// ChunkSize returns the cluster's chunk size (uniform across groups).
+func (c *Cluster) ChunkSize() int { return c.groups[0].ChunkSize() }
 
 // Flush drains every group.
 func (c *Cluster) Flush() error {

@@ -1,0 +1,217 @@
+package fidr
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"fidr/internal/core"
+	"fidr/internal/fingerprint"
+	"fidr/internal/metrics"
+)
+
+// Cluster-wide observability. PR 2's metrics plane stopped at a single
+// Server; the scale-out claims of §5.6 need per-shard visibility. Each
+// group gets its own metrics.Registry, exposed three ways through one
+// Gatherer: merged cluster-wide series (unprefixed, counters summed and
+// histograms bucket-merged), per-group series under a "group<N>."
+// prefix, and cluster-level derived series — per-shard write share and
+// dedup ratio, the shard imbalance coefficient, and the cross-shard
+// duplicate loss (content stored in more than one shard because LBA
+// sharding splits the dedup domain).
+
+// clusterObs binds a cluster's groups into one observability plane.
+type clusterObs struct {
+	groupRegs []*metrics.Registry
+	own       *metrics.Registry
+	view      metrics.Gatherer
+
+	writeNS, readNS *metrics.Histogram
+	crossDupChunks  *metrics.Gauge
+
+	// Cross-shard dedup-domain tracking: every written chunk's
+	// fingerprint maps to a bitmask of groups that stored it. Content
+	// seen by a second (third, ...) group is a duplicate a single dedup
+	// domain would have stored once — the scale-out trade-off made
+	// measurable. Tracked for clusters of up to 64 groups.
+	mu        sync.Mutex
+	contentAt map[fingerprint.FP]uint64
+	extra     uint64 // copies beyond each content's first shard
+}
+
+// EnableObservability attaches a live metrics plane to every group and
+// returns the cluster-wide gatherer: merged series, "group<N>."-prefixed
+// per-group series, cluster.{write,read}.ns routing histograms, and the
+// derived shard-balance series. recentTraces sizes each group's trace
+// ring (<= 0 selects 256). Call once, before serving traffic.
+func (c *Cluster) EnableObservability(recentTraces int) metrics.Gatherer {
+	o := &clusterObs{
+		groupRegs: make([]*metrics.Registry, len(c.groups)),
+		own:       metrics.NewRegistry(),
+		contentAt: make(map[fingerprint.FP]uint64),
+	}
+	gatherers := make([]metrics.Gatherer, 0, len(c.groups)+3)
+	merged := make([]metrics.Gatherer, len(c.groups))
+	for i, g := range c.groups {
+		reg := metrics.NewRegistry()
+		g.EnableObservability(reg, recentTraces)
+		o.groupRegs[i] = reg
+		merged[i] = reg
+	}
+	gatherers = append(gatherers, metrics.Merged(merged...))
+	for i := range c.groups {
+		gatherers = append(gatherers, metrics.Prefixed(groupPrefix(i), o.groupRegs[i]))
+	}
+	o.writeNS = o.own.Histogram("cluster.write.ns")
+	o.readNS = o.own.Histogram("cluster.read.ns")
+	o.own.Gauge("cluster.groups").Set(float64(len(c.groups)))
+	o.crossDupChunks = o.own.Gauge("cluster.cross_shard_dup_chunks")
+	gatherers = append(gatherers, o.own, metrics.GathererFunc(func() []metrics.Metric {
+		return o.derived()
+	}))
+	o.view = metrics.Multi(gatherers...)
+	c.obs = o
+	return o.view
+}
+
+// MetricsView returns the cluster-wide gatherer, or nil when
+// observability is disabled.
+func (c *Cluster) MetricsView() metrics.Gatherer {
+	if c.obs == nil {
+		return nil
+	}
+	return c.obs.view
+}
+
+// RecentTraces merges every group's recent request traces, newest first.
+func (c *Cluster) RecentTraces() []Trace {
+	var out []Trace
+	for _, g := range c.groups {
+		out = append(out, g.RecentTraces()...)
+	}
+	sortTracesNewestFirst(out)
+	return out
+}
+
+func sortTracesNewestFirst(ts []Trace) {
+	// Insertion sort by Start descending: rings are already
+	// newest-first, so the merged slice is nearly sorted.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Start.After(ts[j-1].Start); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func groupPrefix(i int) string {
+	// Avoid fmt on the scrape path; group counts are small.
+	digits := "0123456789"
+	if i < 10 {
+		return "group" + digits[i:i+1] + "."
+	}
+	return "group" + digits[i/10:i/10+1] + digits[i%10:i%10+1] + "."
+}
+
+// noteContent records that group g stored content with the given bytes,
+// updating the cross-shard duplicate gauge.
+func (o *clusterObs) noteContent(g int, data []byte) {
+	if g >= 64 {
+		return // bitmask tracks the first 64 groups
+	}
+	fp := fingerprint.Of(data)
+	bit := uint64(1) << uint(g)
+	o.mu.Lock()
+	mask := o.contentAt[fp]
+	if mask&bit == 0 {
+		if mask != 0 {
+			// A second (or later) shard now stores content another
+			// shard already holds: one more copy than a global dedup
+			// domain would keep.
+			o.extra++
+			o.crossDupChunks.Set(float64(o.extra))
+		}
+		o.contentAt[fp] = mask | bit
+	}
+	o.mu.Unlock()
+}
+
+// derived computes the per-shard balance series at scrape time from the
+// group registries' atomics (never from Server state, which concurrent
+// workers own).
+func (o *clusterObs) derived() []metrics.Metric {
+	n := len(o.groupRegs)
+	writes := make([]float64, n)
+	var total float64
+	for i, reg := range o.groupRegs {
+		writes[i] = float64(reg.Counter("core.writes").Value())
+		total += writes[i]
+	}
+	out := make([]metrics.Metric, 0, 2*n+1)
+	for i, reg := range o.groupRegs {
+		share := 0.0
+		if total > 0 {
+			share = writes[i] / total
+		}
+		dups := float64(reg.Counter("core.dup_chunks").Value())
+		uniques := float64(reg.Counter("core.unique_chunks").Value())
+		ratio := 0.0
+		if dups+uniques > 0 {
+			ratio = dups / (dups + uniques)
+		}
+		out = append(out,
+			metrics.Metric{Kind: "gauge", Name: groupPrefix(i) + "derived.write_share", Value: share},
+			metrics.Metric{Kind: "gauge", Name: groupPrefix(i) + "derived.dedup_ratio", Value: ratio},
+		)
+	}
+	out = append(out, metrics.Metric{
+		Kind: "gauge", Name: "cluster.shard_imbalance", Value: imbalance(writes),
+	})
+	return out
+}
+
+// imbalance is the coefficient of variation (stddev/mean) of per-shard
+// write counts: 0 for perfect balance, growing with skew.
+func imbalance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(xs))) / mean
+}
+
+// observeWrite and observeRead time cluster-level request routing.
+
+func (o *clusterObs) observeWrite(start time.Time) {
+	o.writeNS.Observe(float64(time.Since(start).Nanoseconds()))
+}
+
+func (o *clusterObs) observeRead(start time.Time) {
+	o.readNS.Observe(float64(time.Since(start).Nanoseconds()))
+}
+
+// Re-exported observability types so front-ends above core (Cluster,
+// Async) and their callers share one vocabulary.
+type (
+	// Trace is one completed request with its stage spans.
+	Trace = core.Trace
+	// Span is one timed pipeline stage within a trace.
+	Span = core.Span
+	// TraceContext carries front-end-measured spans into a server's
+	// per-request trace.
+	TraceContext = core.TraceContext
+)
+
+// StageQueueWait re-exports the async front-end queue-wait stage.
+const StageQueueWait = core.StageQueueWait

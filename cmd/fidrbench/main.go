@@ -1,13 +1,22 @@
-// Command fidrbench regenerates the paper's tables and figures.
+// Command fidrbench regenerates the paper's tables and figures, and
+// emits machine-readable benchmark artifacts.
 //
 // Usage:
 //
 //	fidrbench [-ios N] all            # every artifact, paper order
 //	fidrbench [-ios N] fig11 table5   # selected artifacts
 //	fidrbench list                    # artifact names
+//	fidrbench [-ios N] [-out dir] bench [experiment...]
 //
 // Output is plain-text tables with the paper's reported values quoted in
 // footnotes, suitable for diffing against EXPERIMENTS.md.
+//
+// The bench verb drives instrumented runs and writes one
+// BENCH_<experiment>.json per experiment to -out (default
+// bench-artifacts/): throughput, dedup/reduction ratios, and
+// p50/p90/p99 per-stage latencies distilled from the live metrics
+// registry. With no experiment names it runs them all. The JSON schema
+// is documented in README.md.
 package main
 
 import (
@@ -21,9 +30,11 @@ import (
 
 func main() {
 	ios := flag.Int("ios", 0, "workload size in IOs per run (0 = default)")
+	out := flag.String("out", "bench-artifacts", "output directory for bench artifacts")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fidrbench [-ios N] all | list | <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: fidrbench [-ios N] all | list | <experiment>... | [-out dir] bench [name...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", fidr.Experiments())
+		fmt.Fprintf(os.Stderr, "bench experiments: %v\n", fidr.BenchExperiments())
 	}
 	flag.Parse()
 	args := flag.Args()
@@ -34,6 +45,13 @@ func main() {
 	if args[0] == "list" {
 		for _, name := range fidr.Experiments() {
 			fmt.Println(name)
+		}
+		return
+	}
+	if args[0] == "bench" {
+		if err := runBench(args[1:], *ios, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "fidrbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -56,4 +74,27 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runBench executes the named bench experiments (all when empty) and
+// writes one BENCH_<name>.json artifact each.
+func runBench(names []string, ios int, outDir string) error {
+	if len(names) == 0 {
+		names = fidr.BenchExperiments()
+	}
+	for _, name := range names {
+		start := time.Now()
+		art, err := fidr.RunBenchExperiment(name, ios)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		path, err := fidr.WriteBenchArtifact(outDir, art)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%s: %.1f MB/s, dedup %.3f, reduction %.3f -> %s (%v)\n",
+			name, art.ThroughputMBps, art.DedupRatio, art.ReductionRatio,
+			path, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }

@@ -23,6 +23,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"regexp"
+	"sort"
 	"strings"
 
 	"fidr"
@@ -101,39 +103,125 @@ func fetch(addr, path string) (string, error) {
 	return string(body), nil
 }
 
-// stats fetches /metrics and renders the dump as tables.
+// statLine is one parsed dump line.
+type statLine struct {
+	kind  string // "counter", "gauge" or "hist"
+	scope string // "" for cluster-wide/merged, else "group<N>"
+	name  string // metric name with any group prefix stripped
+	kv    map[string]string
+	value string
+}
+
+var groupRe = regexp.MustCompile(`^group(\d+)\.`)
+
+// parseStats splits a /metrics dump into lines, stripping "group<N>."
+// prefixes into a scope and returning the sorted scopes seen.
+func parseStats(body string) (lines []statLine, scopes []string) {
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(body, "\n") {
+		f := strings.Fields(raw)
+		if len(f) < 3 {
+			continue
+		}
+		sl := statLine{kind: f[0], name: f[1]}
+		switch sl.kind {
+		case "counter", "gauge":
+			sl.value = f[2]
+		case "hist":
+			// Fields arrive as key=value pairs in dump order:
+			// count= mean= min= p50= p90= p99= max=.
+			sl.kv = make(map[string]string, len(f)-2)
+			for _, pair := range f[2:] {
+				if k, v, ok := strings.Cut(pair, "="); ok {
+					sl.kv[k] = v
+				}
+			}
+		default:
+			continue
+		}
+		if m := groupRe.FindStringSubmatch(sl.name); m != nil {
+			sl.scope = "group" + m[1]
+			sl.name = sl.name[len(m[0]):]
+			if !seen[sl.scope] {
+				seen[sl.scope] = true
+				scopes = append(scopes, sl.scope)
+			}
+		}
+		lines = append(lines, sl)
+	}
+	sort.Slice(scopes, func(i, j int) bool {
+		// Numeric order: group2 before group10.
+		return len(scopes[i]) < len(scopes[j]) ||
+			(len(scopes[i]) == len(scopes[j]) && scopes[i] < scopes[j])
+	})
+	return lines, scopes
+}
+
+// stats fetches /metrics and renders the dump as tables. Against a
+// cluster fidrd, scalar metrics become one column per group next to the
+// merged cluster-wide value, and histograms carry a scope column.
 func stats(addr string) error {
 	body, err := fetch(addr, "/metrics")
 	if err != nil {
 		return err
 	}
-	scalars := metrics.NewTable("counters and gauges", "name", "value")
-	hists := metrics.NewTable("histograms", "name", "count", "mean", "p50", "p90", "p99", "max")
-	var nScalar, nHist int
-	for _, line := range strings.Split(body, "\n") {
-		f := strings.Fields(line)
-		if len(f) < 3 {
+	lines, scopes := parseStats(body)
+	if len(lines) == 0 {
+		return fmt.Errorf("no metrics in response")
+	}
+	if len(scopes) == 0 {
+		scalars := metrics.NewTable("counters and gauges", "name", "value")
+		hists := metrics.NewTable("histograms", "name", "count", "mean", "p50", "p90", "p99", "max")
+		for _, sl := range lines {
+			if sl.kind == "hist" {
+				hists.Row(sl.name, sl.kv["count"], sl.kv["mean"], sl.kv["p50"], sl.kv["p90"], sl.kv["p99"], sl.kv["max"])
+			} else {
+				scalars.Row(sl.name, sl.value)
+			}
+		}
+		fmt.Print(scalars.String())
+		fmt.Println()
+		fmt.Print(hists.String())
+		return nil
+	}
+
+	// Cluster view: pivot scalars into name x (merged, group0, ...).
+	byName := map[string]map[string]string{}
+	var order []string
+	for _, sl := range lines {
+		if sl.kind == "hist" {
 			continue
 		}
-		switch f[0] {
-		case "counter", "gauge":
-			scalars.Row(f[1], f[2])
-			nScalar++
-		case "hist":
-			// Fields arrive as key=value pairs in dump order:
-			// count= mean= min= p50= p90= p99= max=.
-			kv := make(map[string]string, len(f)-2)
-			for _, pair := range f[2:] {
-				if k, v, ok := strings.Cut(pair, "="); ok {
-					kv[k] = v
-				}
-			}
-			hists.Row(f[1], kv["count"], kv["mean"], kv["p50"], kv["p90"], kv["p99"], kv["max"])
-			nHist++
+		if byName[sl.name] == nil {
+			byName[sl.name] = map[string]string{}
+			order = append(order, sl.name)
 		}
+		scope := sl.scope
+		if scope == "" {
+			scope = "merged"
+		}
+		byName[sl.name][scope] = sl.value
 	}
-	if nScalar == 0 && nHist == 0 {
-		return fmt.Errorf("no metrics in response")
+	cols := append([]string{"name", "merged"}, scopes...)
+	scalars := metrics.NewTable("counters and gauges", cols...)
+	for _, name := range order {
+		row := make([]any, 0, len(cols))
+		row = append(row, name, byName[name]["merged"])
+		for _, sc := range scopes {
+			row = append(row, byName[name][sc])
+		}
+		scalars.Row(row...)
+	}
+	hists := metrics.NewTable("histograms", "scope", "name", "count", "mean", "p50", "p90", "p99", "max")
+	for _, sl := range lines {
+		if sl.kind != "hist" {
+			continue
+		}
+		scope := sl.scope
+		if scope == "" {
+			scope = "merged"
+		}
+		hists.Row(scope, sl.name, sl.kv["count"], sl.kv["mean"], sl.kv["p50"], sl.kv["p90"], sl.kv["p99"], sl.kv["max"])
 	}
 	fmt.Print(scalars.String())
 	fmt.Println()

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestParseStatsSingleServer(t *testing.T) {
+	body := "counter core.writes 400\n" +
+		"gauge core.batch_fill 0.5\n" +
+		"hist stage.hash.ns count=65 mean=1000 min=10 p50=900 p90=2000 p99=3000 max=3100\n"
+	lines, scopes := parseStats(body)
+	if len(scopes) != 0 {
+		t.Fatalf("scopes = %v, want none", scopes)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("parsed %d lines, want 3", len(lines))
+	}
+	if lines[0].name != "core.writes" || lines[0].value != "400" {
+		t.Fatalf("counter parsed as %+v", lines[0])
+	}
+	if lines[2].kv["p99"] != "3000" {
+		t.Fatalf("hist kv = %v", lines[2].kv)
+	}
+}
+
+func TestParseStatsClusterScopes(t *testing.T) {
+	body := "counter core.writes 400\n" +
+		"counter group0.core.writes 90\n" +
+		"counter group1.core.writes 110\n" +
+		"counter group10.core.writes 200\n" +
+		"gauge group0.derived.write_share 0.225\n" +
+		"hist group1.stage.hash.ns count=5 mean=1 min=1 p50=1 p90=1 p99=1 max=1\n"
+	lines, scopes := parseStats(body)
+	want := []string{"group0", "group1", "group10"}
+	if len(scopes) != len(want) {
+		t.Fatalf("scopes = %v, want %v", scopes, want)
+	}
+	for i, s := range want {
+		if scopes[i] != s {
+			t.Fatalf("scopes = %v, want %v (numeric order)", scopes, want)
+		}
+	}
+	for _, sl := range lines {
+		if sl.scope != "" && groupRe.MatchString(sl.name) {
+			t.Fatalf("group prefix not stripped: %+v", sl)
+		}
+	}
+	// The merged (unscoped) line survives alongside the group lines.
+	var merged, grouped int
+	for _, sl := range lines {
+		if sl.name == "core.writes" {
+			if sl.scope == "" {
+				merged++
+			} else {
+				grouped++
+			}
+		}
+	}
+	if merged != 1 || grouped != 3 {
+		t.Fatalf("core.writes: %d merged, %d grouped", merged, grouped)
+	}
+}

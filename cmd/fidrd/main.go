@@ -4,14 +4,24 @@
 // Usage:
 //
 //	fidrd [-addr :9400] [-arch fidr|fidr-nic|baseline] [-batch 64]
-//	      [-metrics-addr :9401] [-metrics-interval 10s]
+//	      [-groups 1] [-metrics-addr :9401] [-metrics-interval 10s]
+//	      [-pprof]
 //
-// With -metrics-addr the server exposes its live metrics registry over
-// HTTP: GET /metrics dumps counters, gauges and per-stage latency
-// histograms in plain text; GET /traces dumps the most recent request
-// traces. With -metrics-interval it also logs a one-line summary
-// periodically. On SIGINT or SIGTERM the server flushes open containers
-// and reports reduction and resource statistics.
+// With -groups N > 1 the daemon serves a §5.6 scale-out cluster: N
+// device groups, each a full server, with client LBAs sharded across
+// them (in-memory only; incompatible with -data-file/-recover).
+//
+// With -metrics-addr the server exposes its live metrics over HTTP:
+// GET /metrics dumps counters, gauges and per-stage latency histograms
+// in plain text, GET /metrics?format=prom emits Prometheus text
+// exposition, and GET /traces dumps the most recent request traces. In
+// cluster mode the registry carries merged cluster-wide series,
+// "group<N>."-prefixed per-group series, and derived shard-balance
+// gauges. -pprof additionally mounts net/http/pprof under /debug/pprof/
+// on the same address. With -metrics-interval the daemon also logs a
+// one-line summary periodically. On SIGINT or SIGTERM the server
+// flushes open containers and reports reduction and resource
+// statistics.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +37,7 @@ import (
 
 	"fidr"
 	"fidr/internal/core"
+	"fidr/internal/hostmodel"
 	"fidr/internal/metrics"
 	"fidr/internal/proto"
 	"fidr/internal/ssd"
@@ -36,12 +48,14 @@ func main() {
 	arch := flag.String("arch", "fidr", "architecture: fidr, fidr-nic, baseline")
 	batch := flag.Int("batch", 64, "accelerator batch size in chunks")
 	width := flag.Int("width", 4, "HW tree concurrent update width")
+	groups := flag.Int("groups", 1, "device groups; >1 serves a sharded cluster (in-memory only)")
 	dataFile := flag.String("data-file", "", "file-backed data volume (durable); empty = in-memory")
 	tableFile := flag.String("table-file", "", "file-backed table volume (durable); empty = in-memory")
 	recover := flag.Bool("recover", false, "recover state from a checkpoint on the table volume")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /traces; empty = disabled")
 	metricsInterval := flag.Duration("metrics-interval", 0, "log a metrics summary at this interval; 0 = disabled")
 	traces := flag.Int("traces", 256, "recent request traces kept for /traces")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
 	var a fidr.Arch
@@ -58,46 +72,100 @@ func main() {
 	cfg := fidr.DefaultConfig(a)
 	cfg.BatchChunks = *batch
 	cfg.UpdateWidth = *width
-	if err := attachVolumes(&cfg, *dataFile, *tableFile); err != nil {
-		log.Fatalf("fidrd: %v", err)
+	if *groups < 1 {
+		log.Fatalf("fidrd: -groups %d", *groups)
 	}
-	var srv *fidr.Server
-	var err error
-	if *recover {
-		if cfg.DataSSD == nil || cfg.TableSSD == nil {
-			log.Fatal("fidrd: -recover requires -data-file and -table-file")
+
+	// The store behind the listener, plus its observability surface.
+	var (
+		store    proto.Store
+		view     metrics.Gatherer
+		traceFn  func() string
+		shutdown func()
+	)
+	if *groups > 1 {
+		if *dataFile != "" || *tableFile != "" || *recover {
+			log.Fatal("fidrd: -groups > 1 is incompatible with -data-file/-table-file/-recover")
 		}
-		srv, err = core.RecoverServer(cfg)
+		cl, err := fidr.NewCluster(cfg, *groups)
+		if err != nil {
+			log.Fatalf("fidrd: %v", err)
+		}
+		view = cl.EnableObservability(*traces)
+		traceFn = func() string { return core.RenderTraces(cl.RecentTraces()) }
+		store = cl
+		shutdown = func() {
+			if err := cl.Flush(); err != nil {
+				log.Printf("fidrd: flush: %v", err)
+			}
+			report(cl.Stats(), cl.Snapshot(), -1)
+		}
 	} else {
-		srv, err = fidr.NewServer(cfg)
+		if err := attachVolumes(&cfg, *dataFile, *tableFile); err != nil {
+			log.Fatalf("fidrd: %v", err)
+		}
+		var srv *fidr.Server
+		var err error
+		if *recover {
+			if cfg.DataSSD == nil || cfg.TableSSD == nil {
+				log.Fatal("fidrd: -recover requires -data-file and -table-file")
+			}
+			srv, err = core.RecoverServer(cfg)
+		} else {
+			srv, err = fidr.NewServer(cfg)
+		}
+		if err != nil {
+			log.Fatalf("fidrd: %v", err)
+		}
+		durable := cfg.DataSSD != nil && cfg.TableSSD != nil
+		// Attach the live registry before serving: the HTTP endpoint and
+		// the interval logger read only registry atomics, so they are
+		// safe alongside the protocol listener.
+		view = srv.EnableObservability(nil, *traces)
+		traceFn = func() string { return core.RenderTraces(srv.RecentTraces()) }
+		store = srv
+		shutdown = func() {
+			if durable {
+				if err := srv.Checkpoint(); err != nil {
+					log.Printf("fidrd: checkpoint: %v", err)
+				} else {
+					log.Printf("fidrd: checkpoint written; restart with -recover to resume")
+				}
+			} else if err := srv.Flush(); err != nil {
+				log.Printf("fidrd: flush: %v", err)
+			}
+			report(srv.Stats(), srv.Ledger().Snapshot(), srv.CacheStats().HitRate())
+		}
 	}
+
+	l, err := proto.Serve(store, *addr)
 	if err != nil {
 		log.Fatalf("fidrd: %v", err)
 	}
-	durable := cfg.DataSSD != nil && cfg.TableSSD != nil
-	// Attach the live registry before serving: the HTTP endpoint and the
-	// interval logger read only registry atomics, so they are safe
-	// alongside the protocol listener.
-	reg := srv.EnableObservability(nil, *traces)
-	l, err := proto.Serve(srv, *addr)
-	if err != nil {
-		log.Fatalf("fidrd: %v", err)
+	if *groups > 1 {
+		log.Printf("fidrd: %s cluster (%d groups) listening on %s", a, *groups, l.Addr())
+	} else {
+		log.Printf("fidrd: %s server listening on %s", a, l.Addr())
 	}
-	log.Printf("fidrd: %s server listening on %s", a, l.Addr())
 
 	if *metricsAddr != "" {
-		h := metrics.HTTPHandler(reg, func() string {
-			return core.RenderTraces(srv.RecentTraces())
-		})
+		mux := http.NewServeMux()
+		mux.Handle("/", metrics.HTTPHandler(view, traceFn))
+		if *pprofFlag {
+			// net/http/pprof registers on the default mux at import.
+			mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		}
 		go func() {
 			log.Printf("fidrd: metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, h); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("fidrd: metrics server: %v", err)
 			}
 		}()
+	} else if *pprofFlag {
+		log.Print("fidrd: -pprof requires -metrics-addr; ignoring")
 	}
 	if *metricsInterval > 0 {
-		go logMetrics(reg, *metricsInterval)
+		go logMetrics(view, *metricsInterval)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -107,38 +175,51 @@ func main() {
 	if err := l.Close(); err != nil {
 		log.Printf("fidrd: close: %v", err)
 	}
-	if durable {
-		if err := srv.Checkpoint(); err != nil {
-			log.Printf("fidrd: checkpoint: %v", err)
-		} else {
-			log.Printf("fidrd: checkpoint written; restart with -recover to resume")
-		}
-	} else if err := srv.Flush(); err != nil {
-		log.Printf("fidrd: flush: %v", err)
-	}
-	st := srv.Stats()
-	snap := srv.Ledger().Snapshot()
-	fmt.Printf("writes=%d reads=%d unique=%d duplicate=%d stored/client=%.3f\n",
-		st.ClientWrites, st.ClientReads, st.UniqueChunks, st.DuplicateChunks, st.ReductionRatio())
-	fmt.Printf("host-memory B/B=%.3f host-CPU ns/B=%.3f cache-hit=%.3f\n",
-		snap.MemPerClientByte(), snap.CPUNanosPerClientByte(), srv.CacheStats().HitRate())
+	shutdown()
 }
 
-// logMetrics periodically logs a one-line summary from the registry.
-func logMetrics(reg *metrics.Registry, every time.Duration) {
-	writes := reg.Counter("core.writes")
-	reads := reg.Counter("core.reads")
-	dups := reg.Counter("core.dup_chunks")
-	uniques := reg.Counter("core.unique_chunks")
-	stored := reg.Counter("core.stored_bytes")
-	client := reg.Counter("core.client_bytes")
-	ack := reg.Histogram("latency.write_ack.ns")
+// report prints the end-of-run summary. cacheHit < 0 means unavailable
+// (cluster mode aggregates per-group caches into Stats instead).
+func report(st fidr.Stats, snap hostmodel.Snapshot, cacheHit float64) {
+	fmt.Printf("writes=%d reads=%d unique=%d duplicate=%d stored/client=%.3f\n",
+		st.ClientWrites, st.ClientReads, st.UniqueChunks, st.DuplicateChunks, st.ReductionRatio())
+	if cacheHit >= 0 {
+		fmt.Printf("host-memory B/B=%.3f host-CPU ns/B=%.3f cache-hit=%.3f\n",
+			snap.MemPerClientByte(), snap.CPUNanosPerClientByte(), cacheHit)
+	} else {
+		fmt.Printf("host-memory B/B=%.3f host-CPU ns/B=%.3f\n",
+			snap.MemPerClientByte(), snap.CPUNanosPerClientByte())
+	}
+}
+
+// logMetrics periodically logs a one-line summary from the gatherer
+// (works for a single registry and for the cluster's merged view).
+func logMetrics(g metrics.Gatherer, every time.Duration) {
 	for range time.Tick(every) {
-		s := ack.Snapshot()
-		log.Printf("fidrd: writes=%d reads=%d unique=%d duplicate=%d stored=%s client=%s write-ack p50=%v p99=%v",
-			writes.Value(), reads.Value(), uniques.Value(), dups.Value(),
-			metrics.Bytes(stored.Value()), metrics.Bytes(client.Value()),
-			time.Duration(s.P50), time.Duration(s.P99))
+		var writes, reads, dups, uniques, stored, client float64
+		var ack metrics.HistogramSnapshot
+		for _, m := range g.Snapshot() {
+			switch m.Name {
+			case "core.writes":
+				writes = m.Value
+			case "core.reads":
+				reads = m.Value
+			case "core.dup_chunks":
+				dups = m.Value
+			case "core.unique_chunks":
+				uniques = m.Value
+			case "core.stored_bytes":
+				stored = m.Value
+			case "core.client_bytes":
+				client = m.Value
+			case "latency.write_ack.ns":
+				ack = m.Hist
+			}
+		}
+		log.Printf("fidrd: writes=%.0f reads=%.0f unique=%.0f duplicate=%.0f stored=%s client=%s write-ack p50=%v p99=%v",
+			writes, reads, uniques, dups,
+			metrics.Bytes(uint64(stored)), metrics.Bytes(uint64(client)),
+			time.Duration(ack.P50), time.Duration(ack.P99))
 	}
 }
 

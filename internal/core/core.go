@@ -392,6 +392,9 @@ func (s *Server) Arch() Arch { return s.cfg.Arch }
 // Config returns the server's configuration.
 func (s *Server) Config() Config { return s.cfg }
 
+// ChunkSize returns the deduplication granularity in bytes.
+func (s *Server) ChunkSize() int { return s.cfg.ChunkSize }
+
 // Ledger exposes the host resource ledger.
 func (s *Server) Ledger() *hostmodel.Ledger { return s.ledger }
 

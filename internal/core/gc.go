@@ -47,9 +47,13 @@ type CompactResult struct {
 
 // Compact garbage-collects sealed containers whose dead fraction is at
 // least minDeadFraction (0 compacts anything with any dead bytes). The
-// open container is never a candidate. Returns what was reclaimed.
+// open container is never a candidate. Returns what was reclaimed. The
+// whole pass runs under one "gc" trace: table retirements, chunk moves
+// and container writes all land in the stage histograms.
 func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 	var res CompactResult
+	tr := s.obs.begin("gc", 0)
+	defer tr.done()
 	dead := s.lba.DeadBytes()
 	open := s.comp.OpenContainer()
 	// Deterministic candidate order.
@@ -65,13 +69,11 @@ func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	for _, c := range candidates {
-		if err := s.compactOne(c, &res); err != nil {
+		if err := s.compactOne(c, &res, tr); err != nil {
 			return res, err
 		}
 	}
 	// Containers sealed during compaction go to the SSDs as usual.
-	tr := s.obs.begin("gc", 0)
-	defer tr.done()
 	if err := s.writeSealed(tr); err != nil {
 		return res, err
 	}
@@ -79,9 +81,10 @@ func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 }
 
 // compactOne moves container c's live chunks out and retires it.
-func (s *Server) compactOne(c uint64, res *CompactResult) error {
+func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
 	// Drop dead fingerprints first so their table entries cannot match
 	// new writes mid-compaction.
+	from := tr.start()
 	for _, pbn := range s.lba.DeadChunks(c) {
 		fp, ok := s.fpOf(pbn)
 		if !ok {
@@ -92,13 +95,14 @@ func (s *Server) compactOne(c uint64, res *CompactResult) error {
 		}
 		res.ChunksDropped++
 	}
+	tr.span(StageDedupLookup, from)
 	// Move live chunks into the open container.
 	for _, pbn := range s.lba.LiveChunks(c) {
 		pba, err := s.lba.Resolve(pbn)
 		if err != nil {
 			return err
 		}
-		cdata, fromSSD, err := s.fetchCompressed(pba, nil)
+		cdata, fromSSD, err := s.fetchCompressed(pba, tr)
 		if err != nil {
 			return err
 		}
@@ -114,10 +118,12 @@ func (s *Server) compactOne(c uint64, res *CompactResult) error {
 			s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
 		}
 		fp, _ := s.fpOf(pbn)
+		packStart := tr.start()
 		meta, err := s.comp.Pack(0, fp, cdata, len(cdata))
 		if err != nil {
 			return err
 		}
+		tr.span(StageCompress, packStart)
 		if err := s.lba.Relocate(pbn, meta.Container, meta.Offset); err != nil {
 			return err
 		}

@@ -38,6 +38,10 @@ const (
 	StageDecompress
 	// StageLBAResolve is read-path LBA-to-PBA resolution.
 	StageLBAResolve
+	// StageQueueWait is time spent queued in a front-end (the async
+	// pipeline's bounded worker queues) before a server accepted the
+	// request. Front-ends inject it via TraceContext.
+	StageQueueWait
 
 	numStages
 )
@@ -59,6 +63,8 @@ func (st Stage) String() string {
 		return "decompress"
 	case StageLBAResolve:
 		return "lba_resolve"
+	case StageQueueWait:
+		return "queue_wait"
 	default:
 		return "unknown"
 	}
@@ -72,12 +78,18 @@ type Span struct {
 
 // Trace is one completed request (or batch) with its stage spans.
 type Trace struct {
-	// Op is "write", "read", "batch", "flush" or "gc".
+	// Op is "write", "read", "batch", "flush", "gc", "snapshot",
+	// "snapshot_read" or "verify"; front-ends may override it via
+	// TraceContext (the async pipeline tags "awrite"/"aread").
 	Op    string
 	LBA   uint64
 	Start time.Time
 	Total time.Duration
 	Spans []Span
+	// DroppedSpans counts spans beyond the per-trace cap (bulk ops like
+	// gc and verify touch thousands of chunks; every span still feeds
+	// its stage histogram, only the trace's span list is bounded).
+	DroppedSpans int
 }
 
 // traceRing keeps the most recent traces in a fixed-size ring.
@@ -269,13 +281,59 @@ func (tr *ReqTrace) span(st Stage, from time.Time) {
 	tr.add(st, time.Since(from))
 }
 
+// maxTraceSpans bounds one trace's span list. Bulk operations (gc,
+// verify, snapshot reads over large volumes) emit a span per chunk; the
+// histograms absorb them all, the trace keeps the first cap and counts
+// the rest, so ring memory stays bounded.
+const maxTraceSpans = 64
+
 // add records an already-measured stage duration.
 func (tr *ReqTrace) add(st Stage, d time.Duration) {
 	if tr == nil {
 		return
 	}
-	tr.t.Spans = append(tr.t.Spans, Span{Stage: st, Dur: d})
+	if len(tr.t.Spans) < maxTraceSpans {
+		tr.t.Spans = append(tr.t.Spans, Span{Stage: st, Dur: d})
+	} else {
+		tr.t.DroppedSpans++
+	}
 	tr.obs.stage[st].Observe(float64(d.Nanoseconds()))
+}
+
+// adopt merges a front-end trace context into this trace: pre-measured
+// spans (queue wait, routing) are recorded as if they were the trace's
+// own opening stages, the op label is overridden when the front-end set
+// one, and the trace's start moves back to the front-end submission
+// time so Total covers the whole request lifetime.
+func (tr *ReqTrace) adopt(tc *TraceContext) {
+	if tr == nil || tc == nil {
+		return
+	}
+	if tc.Op != "" {
+		tr.t.Op = tc.Op
+	}
+	if !tc.Start.IsZero() {
+		tr.t.Start = tc.Start
+	}
+	for _, sp := range tc.Spans {
+		tr.add(sp.Stage, sp.Dur)
+	}
+}
+
+// TraceContext carries trace state accumulated by a layer above the
+// server — the async pipeline's queue wait, the cluster's routing — into
+// the server's per-request trace. PR 2 could only trace what the Server
+// itself observed; front-ends now hand their spans down instead of the
+// observability plane relying on Server-internal state.
+type TraceContext struct {
+	// Op overrides the trace's op label when non-empty.
+	Op string
+	// Start, when set, is the front-end submission time; the trace's
+	// Total then includes queueing and routing.
+	Start time.Time
+	// Spans are stages the front-end already measured (e.g.
+	// StageQueueWait); they are recorded into the stage histograms.
+	Spans []Span
 }
 
 // done completes the trace and publishes it to the ring.
@@ -347,6 +405,9 @@ func RenderTraces(traces []Trace) string {
 				sb.WriteByte(' ')
 			}
 			fmt.Fprintf(&sb, "%s=%s", sp.Stage, sp.Dur.Round(time.Nanosecond))
+		}
+		if t.DroppedSpans > 0 {
+			fmt.Fprintf(&sb, " (+%d spans)", t.DroppedSpans)
 		}
 		tab.Row(t.Op, t.LBA, t.Total.String(), sb.String())
 	}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fidr/internal/blockcomp"
+)
+
+// hasOp reports whether any trace in ts carries the op.
+func hasOp(ts []Trace, op string) bool {
+	for _, tr := range ts {
+		if tr.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMaintenanceOpsTraced(t *testing.T) {
+	s := newServer(t, FIDRFull)
+	// Ring big enough that the later overwrites don't evict the
+	// maintenance-op traces.
+	reg := s.EnableObservability(nil, 1024)
+	sh := blockcomp.NewShaper(0.5)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := s.Write(uint64(i), sh.Make(uint64(i), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadSnapshot(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("verify: %v", rep.Problems)
+	}
+	// Overwrite everything with fresh content so compaction has garbage,
+	// then release the snapshot's hold on the old chunks.
+	for i := 0; i < n; i++ {
+		if err := s.Write(uint64(i), sh.Make(uint64(1000+i), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteSnapshot(id); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainersCompacted == 0 {
+		t.Fatal("compaction found nothing; test setup broken")
+	}
+
+	ts := s.RecentTraces()
+	for _, op := range []string{"snapshot", "snapshot_read", "verify", "gc"} {
+		if !hasOp(ts, op) {
+			t.Errorf("no %q trace in ring", op)
+		}
+	}
+	// Bulk ops keep a bounded span list; the histograms get everything.
+	for _, tr := range ts {
+		if len(tr.Spans) > 64 {
+			t.Errorf("%s trace has %d spans; cap broken", tr.Op, len(tr.Spans))
+		}
+		if tr.DroppedSpans < 0 {
+			t.Errorf("%s trace dropped %d spans", tr.Op, tr.DroppedSpans)
+		}
+	}
+	// The verify pass rehashes every live chunk, so the hash stage saw
+	// at least n more samples than the writes alone.
+	if got := reg.Histogram("stage.hash.ns").Count(); got < 2*n {
+		t.Errorf("stage.hash.ns count = %d, want >= %d (writes + verify rehash)", got, 2*n)
+	}
+}
+
+func TestTraceContextAdopt(t *testing.T) {
+	s := newServer(t, FIDRFull)
+	reg := s.EnableObservability(nil, 8)
+	sh := blockcomp.NewShaper(0.5)
+	wait := 5 * time.Millisecond
+	tc := &TraceContext{
+		Op:    "awrite",
+		Start: time.Now().Add(-wait),
+		Spans: []Span{{Stage: StageQueueWait, Dur: wait}},
+	}
+	if err := s.WriteTraced(7, sh.Make(1, 4096), tc); err != nil {
+		t.Fatal(err)
+	}
+	ts := s.RecentTraces()
+	if len(ts) == 0 {
+		t.Fatal("no traces")
+	}
+	tr := ts[0]
+	if tr.Op != "awrite" {
+		t.Fatalf("op = %q, want awrite", tr.Op)
+	}
+	if tr.Total < wait {
+		t.Fatalf("total %v does not include the %v queue wait", tr.Total, wait)
+	}
+	found := false
+	for _, sp := range tr.Spans {
+		if sp.Stage == StageQueueWait && sp.Dur == wait {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("queue_wait span not adopted into the trace")
+	}
+	if got := reg.Histogram("stage.queue_wait.ns").Count(); got != 1 {
+		t.Fatalf("stage.queue_wait.ns count = %d, want 1", got)
+	}
+}

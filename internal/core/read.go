@@ -16,6 +16,11 @@ var ErrNotFound = fmt.Errorf("core: LBA not found")
 // buffer in FIDR, host batch buffer in the baseline), the engine's open
 // container, or the data SSDs with decompression.
 func (s *Server) Read(lba uint64) ([]byte, error) {
+	return s.ReadTraced(lba, nil)
+}
+
+// ReadTraced is Read with a front-end trace context (see WriteTraced).
+func (s *Server) ReadTraced(lba uint64, tc *TraceContext) ([]byte, error) {
 	s.stats.ClientReads++
 	s.stats.ClientBytes += uint64(s.cfg.ChunkSize)
 	s.ledger.Client(uint64(s.cfg.ChunkSize))
@@ -23,6 +28,7 @@ func (s *Server) Read(lba uint64) ([]byte, error) {
 	s.chargeTenant(false)
 	s.obs.onRead(s.cfg.ChunkSize)
 	tr := s.obs.begin("read", lba)
+	tr.adopt(tc)
 	defer tr.done()
 
 	if s.cfg.Arch == Baseline {

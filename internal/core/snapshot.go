@@ -28,12 +28,16 @@ func (s *Server) CreateSnapshot() (SnapshotID, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
+	tr := s.obs.begin("snapshot", 0)
+	defer tr.done()
+	from := tr.start()
 	m := s.lba.Mappings()
 	for _, pbn := range m {
 		if err := s.lba.Retain(pbn); err != nil {
 			return 0, err
 		}
 	}
+	tr.span(StageLBAResolve, from)
 	if s.snapshots == nil {
 		s.snapshots = make(map[SnapshotID]*snapshotState)
 	}
@@ -63,15 +67,25 @@ func (s *Server) ReadSnapshot(id SnapshotID, lba uint64) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
+	tr := s.obs.begin("snapshot_read", lba)
+	defer tr.done()
+	from := tr.start()
 	pba, err := s.lba.Resolve(pbn)
 	if err != nil {
 		return nil, err
 	}
-	cdata, _, err := s.fetchCompressed(pba, nil)
+	tr.span(StageLBAResolve, from)
+	cdata, _, err := s.fetchCompressed(pba, tr)
 	if err != nil {
 		return nil, err
 	}
-	return s.decomp.Decompress(cdata, s.cfg.ChunkSize)
+	from = tr.start()
+	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	tr.span(StageDecompress, from)
+	return out, nil
 }
 
 // DeleteSnapshot releases the snapshot's references; chunks it was the

@@ -37,6 +37,8 @@ func (s *Server) Verify() (VerifyReport, error) {
 	if err := s.Flush(); err != nil {
 		return rep, err
 	}
+	tr := s.obs.begin("verify", 0)
+	defer tr.done()
 
 	// Invariant 1: every live mapping resolves, and the stored bytes
 	// decompress and hash to the recorded fingerprint.
@@ -47,22 +49,27 @@ func (s *Server) Verify() (VerifyReport, error) {
 			rep.problemf("%s lba %d -> pbn %d: %v", origin, lba, pbn, err)
 			return
 		}
-		cdata, _, err := s.fetchCompressed(pba, nil)
+		cdata, _, err := s.fetchCompressed(pba, tr)
 		if err != nil {
 			rep.problemf("%s lba %d: fetch: %v", origin, lba, err)
 			return
 		}
+		from := tr.start()
 		data, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
 		if err != nil {
 			rep.problemf("%s lba %d: decompress: %v", origin, lba, err)
 			return
 		}
+		tr.span(StageDecompress, from)
 		fp, ok := s.fpOf(pbn)
 		if !ok {
 			rep.problemf("%s lba %d: no fingerprint recorded for pbn %d", origin, lba, pbn)
 			return
 		}
-		if fingerprint.Of(data) != fp {
+		from = tr.start()
+		rehash := fingerprint.Of(data)
+		tr.span(StageHash, from)
+		if rehash != fp {
 			rep.problemf("%s lba %d: content hash mismatch for pbn %d (stored data corrupted)", origin, lba, pbn)
 		}
 	}

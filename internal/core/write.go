@@ -15,6 +15,13 @@ import (
 // memory for the baseline, NIC memory for FIDR) and processed when a full
 // accelerator batch accumulates.
 func (s *Server) Write(lba uint64, data []byte) error {
+	return s.WriteTraced(lba, data, nil)
+}
+
+// WriteTraced is Write with a front-end trace context: spans the caller
+// already measured (async queue wait, cluster routing) join this
+// request's trace and stage histograms. tc may be nil.
+func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
 	if len(data) != s.cfg.ChunkSize {
 		return fmt.Errorf("core: write of %d bytes, chunk size is %d", len(data), s.cfg.ChunkSize)
 	}
@@ -27,6 +34,7 @@ func (s *Server) Write(lba uint64, data []byte) error {
 	s.chargeTenant(true)
 	s.obs.onWrite(len(data))
 	tr := s.obs.begin("write", lba)
+	tr.adopt(tc)
 	defer tr.done()
 
 	if s.cfg.Arch == Baseline {

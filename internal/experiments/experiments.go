@@ -209,6 +209,20 @@ func driveAndCollect(srv *core.Server, wp trace.Params) (RunResult, error) {
 	}, nil
 }
 
+// ConfigFor exposes the experiment-standard server sizing (paper cache
+// fraction, default tree width) for external drivers such as the bench
+// artifact pipeline.
+func ConfigFor(arch core.Arch, n int) (core.Config, error) {
+	o := defaultRunOptions()
+	return serverConfig(arch, n, o.cacheFrac, o.width)
+}
+
+// WorkloadParams exposes the experiment-standard workload tuning for
+// external drivers.
+func WorkloadParams(name string, n, cacheLines int) (trace.Params, error) {
+	return workloadFor(name, n, cacheLines)
+}
+
 // WithCacheFrac overrides the cached table fraction.
 func WithCacheFrac(f float64) func(*runOptions) {
 	return func(o *runOptions) { o.cacheFrac = f }

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrefixedAndMultiDeterministicOrder(t *testing.T) {
+	g0, g1 := NewRegistry(), NewRegistry()
+	for _, r := range []*Registry{g0, g1} {
+		r.Counter("core.writes").Add(10)
+		r.Gauge("core.ratio").Set(0.5)
+		r.Histogram("stage.hash.ns").Observe(100)
+	}
+	view := Multi(
+		Merged(g0, g1),
+		Prefixed("group0.", g0),
+		Prefixed("group1.", g1),
+	)
+	first := DumpMetrics(view.Snapshot())
+	for i := 0; i < 5; i++ {
+		if again := DumpMetrics(view.Snapshot()); again != first {
+			t.Fatalf("dump not deterministic:\n%s\nvs\n%s", first, again)
+		}
+	}
+	// Canonical order: all counters, then gauges, then hists, each sorted.
+	var lines []string
+	for _, l := range strings.Split(strings.TrimSpace(first), "\n") {
+		lines = append(lines, l)
+	}
+	lastRank, lastName := 0, ""
+	for _, l := range lines {
+		f := strings.Fields(l)
+		rank := kindRank(f[0])
+		if rank < lastRank {
+			t.Fatalf("kind order regressed at %q", l)
+		}
+		if rank > lastRank {
+			lastName = ""
+		}
+		if f[1] < lastName {
+			t.Fatalf("name order regressed at %q (after %q)", l, lastName)
+		}
+		lastRank, lastName = rank, f[1]
+	}
+	// Per-group and merged series all present.
+	for _, want := range []string{"counter core.writes 20", "counter group0.core.writes 10", "counter group1.core.writes 10"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("view dump missing %q:\n%s", want, first)
+		}
+	}
+}
+
+func TestMergeMetricsHistograms(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	ha, hb := a.Histogram("stage.hash.ns"), b.Histogram("stage.hash.ns")
+	for i := 0; i < 100; i++ {
+		ha.Observe(float64(i)) // 0..99
+	}
+	for i := 0; i < 100; i++ {
+		hb.Observe(float64(1000 + i)) // 1000..1099
+	}
+	merged := MergeMetrics(a.Snapshot(), b.Snapshot())
+	if len(merged) != 1 {
+		t.Fatalf("merged %d metrics, want 1", len(merged))
+	}
+	h := merged[0].Hist
+	if h.Count != 200 {
+		t.Errorf("merged count = %d", h.Count)
+	}
+	if h.Min != 0 || h.Max != 1099 {
+		t.Errorf("merged min/max = %v/%v", h.Min, h.Max)
+	}
+	wantSum := ha.Sum() + hb.Sum()
+	if h.Sum != wantSum {
+		t.Errorf("merged sum = %v, want %v", h.Sum, wantSum)
+	}
+	if math.Abs(h.Mean-wantSum/200) > 1e-9 {
+		t.Errorf("merged mean = %v", h.Mean)
+	}
+	// P50 sits at the seam between the two halves; P99 in the top range.
+	// Log-linear buckets bound relative error at 6.25%.
+	if h.P50 > 120 {
+		t.Errorf("merged p50 = %v, want <= ~100", h.P50)
+	}
+	if h.P99 < 1000 || h.P99 > 1099 {
+		t.Errorf("merged p99 = %v, want within [1000, 1099]", h.P99)
+	}
+	// Bucket counts must cover every observation.
+	var total uint64
+	for _, bc := range h.Buckets {
+		total += bc.Count
+	}
+	if total != 200 {
+		t.Errorf("merged buckets hold %d observations, want 200", total)
+	}
+}
+
+func TestMergeMetricsScalars(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(3)
+	b.Counter("c").Add(4)
+	a.Gauge("g").Set(1.5)
+	b.Gauge("g").Set(2.5)
+	merged := MergeMetrics(a.Snapshot(), b.Snapshot())
+	vals := map[string]float64{}
+	for _, m := range merged {
+		vals[m.Kind+" "+m.Name] = m.Value
+	}
+	if vals["counter c"] != 7 {
+		t.Errorf("merged counter = %v", vals["counter c"])
+	}
+	if vals["gauge g"] != 4 {
+		t.Errorf("merged gauge = %v", vals["gauge g"])
+	}
+}

@@ -188,18 +188,31 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Percentile returns the p-th percentile estimate (0 <= p <= 100).
 func (h *Histogram) Percentile(p float64) float64 { return h.Quantile(p / 100) }
 
+// BucketCount is one occupied histogram bucket: the half-open value
+// range [Lower, Upper) and the number of observations that fell in it.
+type BucketCount struct {
+	Lower, Upper float64
+	Count        uint64
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	Count          uint64
+	Sum            float64
 	Mean, Min, Max float64
 	P50, P90, P99  float64
+	// Buckets lists the occupied buckets in ascending value order. All
+	// histograms share one bucket layout, so snapshots merge bucket-wise
+	// (see MergeHistogramSnapshots) and encode to Prometheus exactly.
+	Buckets []BucketCount
 }
 
 // Snapshot captures the histogram's current summary. Under concurrent
 // Observe the fields are each individually consistent.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Count: h.Count(),
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
 		Min:   h.Min(),
 		Max:   h.Max(),
@@ -207,4 +220,93 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
 	}
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		lower, upper := bucketBounds(i)
+		s.Buckets = append(s.Buckets, BucketCount{
+			Lower: float64(lower), Upper: float64(upper), Count: c,
+		})
+	}
+	return s
+}
+
+// quantileFromBuckets estimates the q-th quantile from occupied buckets
+// (bucket-midpoint, like Histogram.Quantile), clamped into [min, max].
+func quantileFromBuckets(bs []BucketCount, total uint64, q, min, max float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range bs {
+		cum += b.Count
+		if cum >= rank {
+			est := (b.Lower + b.Upper) / 2
+			if est > max {
+				est = max
+			}
+			if est < min {
+				est = min
+			}
+			return est
+		}
+	}
+	return max
+}
+
+// MergeHistogramSnapshots folds b into a, returning the combined
+// distribution. Count, Sum, Min and Max combine exactly; the buckets
+// merge bucket-wise (all histograms share one layout), so the merged
+// percentiles carry the same error bound as a single histogram's.
+func MergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+	}
+	out.Mean = out.Sum / float64(out.Count)
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].Lower < b.Buckets[j].Lower):
+			out.Buckets = append(out.Buckets, a.Buckets[i])
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].Lower < a.Buckets[i].Lower:
+			out.Buckets = append(out.Buckets, b.Buckets[j])
+			j++
+		default: // same bucket
+			m := a.Buckets[i]
+			m.Count += b.Buckets[j].Count
+			out.Buckets = append(out.Buckets, m)
+			i++
+			j++
+		}
+	}
+	var total uint64
+	for _, bc := range out.Buckets {
+		total += bc.Count
+	}
+	out.P50 = quantileFromBuckets(out.Buckets, total, 0.50, out.Min, out.Max)
+	out.P90 = quantileFromBuckets(out.Buckets, total, 0.90, out.Min, out.Max)
+	out.P99 = quantileFromBuckets(out.Buckets, total, 0.99, out.Min, out.Max)
+	return out
 }

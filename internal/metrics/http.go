@@ -5,19 +5,28 @@ import (
 	"net/http"
 )
 
-// HTTPHandler serves the registry over HTTP (stdlib only):
+// HTTPHandler serves a metric view over HTTP (stdlib only):
 //
-//	GET /metrics  plain-text registry dump (see Registry.WriteText)
-//	GET /traces   recent request traces (when traces != nil)
-//	GET /         index of the above
+//	GET /metrics             plain-text dump (see WriteMetricsText)
+//	GET /metrics?format=prom Prometheus text exposition (see WriteProm)
+//	GET /traces              recent request traces (when traces != nil)
+//	GET /                    index of the above
 //
-// All responses are text/plain. The handler is safe to serve while the
-// registry is being updated; it reads only atomics.
-func HTTPHandler(reg *Registry, traces func() string) http.Handler {
+// g may be a single Registry or a composed cluster view (Multi over
+// prefixed group registries, merged series and derived gauges). The
+// handler is safe to serve while metrics are being updated; snapshots
+// read only atomics.
+func HTTPHandler(g Gatherer, traces func() string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ms := g.Snapshot()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WriteProm(w, ms)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.WriteText(w)
+		WriteMetricsText(w, ms)
 	})
 	if traces != nil {
 		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
@@ -32,9 +41,10 @@ func HTTPHandler(reg *Registry, traces func() string) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "fidr metrics endpoints:")
-		fmt.Fprintln(w, "  /metrics  live registry dump")
+		fmt.Fprintln(w, "  /metrics              live registry dump")
+		fmt.Fprintln(w, "  /metrics?format=prom  Prometheus text exposition")
 		if traces != nil {
-			fmt.Fprintln(w, "  /traces   recent request traces")
+			fmt.Fprintln(w, "  /traces               recent request traces")
 		}
 	})
 	return mux

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), stdlib only.
+// Counters and gauges map directly; histograms expand to the
+// conventional cumulative series:
+//
+//	<name>_bucket{le="<upper>"} <cumulative count>
+//	<name>_bucket{le="+Inf"}    <total count>
+//	<name>_sum                  <sum of observations>
+//	<name>_count                <total count>
+//
+// Metric names are sanitized for Prometheus (dots and other invalid
+// runes become underscores), so "group0.core.writes" exposes as
+// "group0_core_writes" while the dotted name stays canonical everywhere
+// else in the system.
+
+// PromName sanitizes a dotted metric name into a valid Prometheus
+// metric name.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way Prometheus expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders a metric set in Prometheus text exposition format.
+// The input should be canonically sorted (Registry.Snapshot, Multi and
+// MergeMetrics all are) so output is deterministic.
+func WriteProm(w io.Writer, ms []Metric) error {
+	for _, m := range ms {
+		name := PromName(m.Name)
+		var err error
+		switch m.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(m.Value))
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value))
+		case "hist":
+			err = writePromHistogram(w, name, m.Hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram expands one histogram snapshot. Cumulative bucket
+// counts come from the snapshot's own buckets, so _count always equals
+// the +Inf bucket even if the source histogram is being written
+// concurrently.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.Upper), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, promFloat(h.Sum), name, cum)
+	return err
+}
+
+// DumpProm returns the Prometheus text rendering of a metric set.
+func DumpProm(ms []Metric) string {
+	var b strings.Builder
+	WriteProm(&b, ms)
+	return b.String()
+}

@@ -152,7 +152,15 @@ func sortedKeys[V any](m map[string]V) []string {
 // The format is stable and machine-parseable (fidrcli stats re-renders
 // it as tables).
 func (r *Registry) WriteText(w io.Writer) error {
-	for _, m := range r.Snapshot() {
+	return WriteMetricsText(w, r.Snapshot())
+}
+
+// WriteMetricsText renders any metric set (a single registry's or a
+// composed cluster view's) in the plain-text dump format. Callers that
+// compose gatherers should pass a canonically sorted set (Multi and
+// MergeMetrics sort; see SortMetrics) so the dump is deterministic.
+func WriteMetricsText(w io.Writer, ms []Metric) error {
+	for _, m := range ms {
 		var err error
 		switch m.Kind {
 		case "hist":
@@ -176,5 +184,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 func (r *Registry) Dump() string {
 	var b strings.Builder
 	r.WriteText(&b)
+	return b.String()
+}
+
+// DumpMetrics returns the plain-text rendering of a metric set.
+func DumpMetrics(ms []Metric) string {
+	var b strings.Builder
+	WriteMetricsText(&b, ms)
 	return b.String()
 }

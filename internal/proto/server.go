@@ -8,16 +8,23 @@ import (
 	"log"
 	"net"
 	"sync"
-
-	"fidr/internal/core"
 )
 
-// Listener serves the storage protocol over TCP in front of a core
-// server. The core server is single-writer; the listener serializes
+// Store is the chunk-store surface the listener serves. Both a single
+// core.Server and a cluster of them satisfy it.
+type Store interface {
+	Write(lba uint64, data []byte) error
+	Read(lba uint64) ([]byte, error)
+	ReadRange(lba uint64, n int) ([]byte, error)
+	ChunkSize() int
+}
+
+// Listener serves the storage protocol over TCP in front of a chunk
+// store. The core server is single-writer; the listener serializes
 // requests across connections (as the FIDR software's device manager
 // serializes the device pipeline).
 type Listener struct {
-	srv *core.Server
+	srv Store
 	mu  sync.Mutex
 	ln  net.Listener
 
@@ -28,7 +35,7 @@ type Listener struct {
 
 // Serve starts serving on addr ("host:port"; use ":0" for an ephemeral
 // port) and returns immediately. Close stops it.
-func Serve(srv *core.Server, addr string) (*Listener, error) {
+func Serve(srv Store, addr string) (*Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("proto: listen: %w", err)
@@ -97,7 +104,7 @@ func (l *Listener) handle(f Frame) Frame {
 		}
 		return Frame{Op: OpAck, LBA: f.LBA}
 	case OpWriteBatch:
-		cs := l.srv.Config().ChunkSize
+		cs := l.srv.ChunkSize()
 		if len(f.Payload) == 0 || len(f.Payload)%cs != 0 {
 			return Frame{Op: OpError, LBA: f.LBA,
 				Payload: []byte(fmt.Sprintf("batch payload %d not a multiple of chunk size %d", len(f.Payload), cs))}
@@ -119,7 +126,7 @@ func (l *Listener) handle(f Frame) Frame {
 			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("read-batch payload must be a uint32 count")}
 		}
 		count := int(binary.LittleEndian.Uint32(f.Payload))
-		cs := l.srv.Config().ChunkSize
+		cs := l.srv.ChunkSize()
 		if count < 1 || count*cs > MaxPayload {
 			return Frame{Op: OpError, LBA: f.LBA,
 				Payload: []byte(fmt.Sprintf("read-batch count %d out of range", count))}
