@@ -1,7 +1,7 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check fmt bench microbench
+.PHONY: all build test vet race check check-metrics fmt bench microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
@@ -24,6 +24,12 @@ race:
 
 fmt:
 	gofmt -l -w .
+
+# check-metrics boots a real fidrd, drives writes over the wire, lexes
+# the Prometheus exposition, and asserts the host-DRAM payload
+# invariant (FIDR == 0, baseline > 0) from the scraped counters.
+check-metrics:
+	$(GO) test -v -run 'TestMetricsEndpointE2E|TestHostDRAMPayloadInvariantE2E' ./cmd/fidrd
 
 # bench writes machine-readable BENCH_<experiment>.json artifacts
 # (throughput, reduction ratios, p50/p90/p99 stage latencies).

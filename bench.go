@@ -68,6 +68,18 @@ type BenchArtifact struct {
 	StageLatencyNS   map[string]BenchLatency `json:"stage_latency_ns"`
 	RequestLatencyNS map[string]BenchLatency `json:"request_latency_ns"`
 
+	// DeviceUtilization maps each device's busy_ns counter (suffix
+	// stripped) to busy time over wall time, clamped to [0,1].
+	DeviceUtilization map[string]float64 `json:"device_utilization"`
+
+	// Data-movement totals from the accounting ledgers: bytes through
+	// host DRAM (all traffic, and the client-payload share), and bytes
+	// moved peer-to-peer under the switch vs. through the root complex.
+	HostDRAMBytes        uint64 `json:"host_dram_bytes"`
+	HostDRAMPayloadBytes uint64 `json:"host_dram_payload_bytes"`
+	PCIeP2PBytes         uint64 `json:"pcie_p2p_bytes"`
+	PCIeRootBytes        uint64 `json:"pcie_root_bytes"`
+
 	// Cluster runs only.
 	Shards              []BenchShard `json:"shards,omitempty"`
 	ShardImbalance      float64      `json:"shard_imbalance,omitempty"`
@@ -239,7 +251,33 @@ func fillBenchArtifact(art *BenchArtifact, st Stats, cacheHit float64, wall time
 	art.CacheHitRate = cacheHit
 	art.StageLatencyNS = map[string]BenchLatency{}
 	art.RequestLatencyNS = map[string]BenchLatency{}
+	art.DeviceUtilization = map[string]float64{}
+	wallNS := float64(wall.Nanoseconds())
 	for _, m := range ms {
+		// Per-group series repeat the merged unprefixed ones; skip them.
+		if strings.HasPrefix(m.Name, "group") {
+			continue
+		}
+		if m.Kind == "counter" {
+			switch m.Name {
+			case "hostmodel.dram_bytes":
+				art.HostDRAMBytes = uint64(m.Value)
+			case "hostmodel.dram_payload_bytes":
+				art.HostDRAMPayloadBytes = uint64(m.Value)
+			case "pcie.p2p_bytes":
+				art.PCIeP2PBytes = uint64(m.Value)
+			case "pcie.root_bytes":
+				art.PCIeRootBytes = uint64(m.Value)
+			}
+			if dev, ok := strings.CutSuffix(m.Name, ".busy_ns"); ok && wallNS > 0 {
+				util := m.Value / wallNS
+				if util > 1 {
+					util = 1
+				}
+				art.DeviceUtilization[dev] = util
+			}
+			continue
+		}
 		if m.Kind != "hist" || m.Hist.Count == 0 {
 			continue
 		}

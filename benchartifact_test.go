@@ -38,6 +38,28 @@ func TestBenchArtifactSingle(t *testing.T) {
 	if len(art.Shards) != 0 {
 		t.Error("single-server artifact carries shard data")
 	}
+	for _, dev := range []string{"nic", "engine", "ssd.data-ssd"} {
+		util, ok := art.DeviceUtilization[dev]
+		if !ok {
+			t.Errorf("device %q missing from utilization map", dev)
+			continue
+		}
+		if util <= 0 || util > 1 {
+			t.Errorf("device %q utilization %v outside (0, 1]", dev, util)
+		}
+	}
+	// A FIDR write-only workload keeps client payload out of host DRAM
+	// entirely while metadata still flows — the paper's core claim as a
+	// bench artifact.
+	if art.HostDRAMBytes == 0 {
+		t.Error("host DRAM total is zero; metadata always flows through the host")
+	}
+	if art.HostDRAMPayloadBytes != 0 {
+		t.Errorf("FIDR write run moved %d payload bytes through host DRAM, want 0", art.HostDRAMPayloadBytes)
+	}
+	if art.PCIeP2PBytes == 0 {
+		t.Error("FIDR run recorded no P2P bytes")
+	}
 }
 
 func TestBenchArtifactCluster(t *testing.T) {

@@ -93,6 +93,31 @@ func (c *Cluster) RecentTraces() []Trace {
 	return out
 }
 
+// ConfigureFlightRecorder tunes every group's slow-request gate (see
+// core.Server.ConfigureFlightRecorder). Call after EnableObservability
+// and before serving traffic.
+func (c *Cluster) ConfigureFlightRecorder(quantile float64, min time.Duration, capacity int) {
+	for _, g := range c.groups {
+		g.ConfigureFlightRecorder(quantile, min, capacity)
+	}
+}
+
+// SlowTraces merges every group's flight-recorder captures, newest
+// first (empty when observability is disabled).
+func (c *Cluster) SlowTraces() []SlowTrace {
+	var out []SlowTrace
+	for _, g := range c.groups {
+		out = append(out, g.SlowTraces()...)
+	}
+	// Same nearly-sorted merge as RecentTraces.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start.After(out[j-1].Start); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 func sortTracesNewestFirst(ts []Trace) {
 	// Insertion sort by Start descending: rings are already
 	// newest-first, so the merged slice is nearly sorted.
@@ -211,6 +236,8 @@ type (
 	// TraceContext carries front-end-measured spans into a server's
 	// per-request trace.
 	TraceContext = core.TraceContext
+	// SlowTrace is one slow-request flight-recorder capture.
+	SlowTrace = core.SlowTrace
 )
 
 // StageQueueWait re-exports the async front-end queue-wait stage.

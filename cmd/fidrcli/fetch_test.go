@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fidr/internal/metrics"
+)
+
+func TestFetchNon200IsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	_, err := fetch(srv.URL, "/metrics")
+	if err == nil {
+		t.Fatal("non-200 response returned no error")
+	}
+	for _, want := range []string{"503", "not ready"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestFetchUnreachableIsClearError(t *testing.T) {
+	// Reserve a port, then close it so the address is known-dead.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead := strings.TrimPrefix(srv.URL, "http://")
+	srv.Close()
+
+	_, err := fetch(dead, "/metrics")
+	if err == nil {
+		t.Fatal("unreachable endpoint returned no error")
+	}
+	for _, want := range []string{dead, "-metrics-addr"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestFetchOK(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("counter core.writes 1\n"))
+	}))
+	defer srv.Close()
+	body, err := fetch(strings.TrimPrefix(srv.URL, "http://"), "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "core.writes") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	duty := 0.42
+	d := metrics.SeriesDump{
+		Samples:       5,
+		WindowSeconds: 4,
+		Series: []metrics.Series{
+			{Name: "ssd.data-ssd.busy_ns", Kind: "counter", RatePerSec: 4.2e8, Duty: &duty, Last: 1e9},
+			{Name: "ssd.data-ssd.queue_depth", Kind: "gauge", Last: 3, Min: 0, Max: 7},
+			{Name: "group0.ssd.data-ssd.queue_depth", Kind: "gauge", Last: 9},
+			{Name: "core.client_bytes", Kind: "counter", RatePerSec: 1 << 20, Last: 1 << 22},
+			{Name: "core.stored_bytes", Kind: "counter", Last: 1 << 21},
+			{Name: "hostmodel.dram_payload_bytes", Kind: "counter", Last: 0},
+			{Name: "pcie.p2p_bytes", Kind: "counter", RatePerSec: 2 << 20},
+		},
+	}
+	out := renderTop(d)
+	for _, want := range []string{
+		"ssd.data-ssd", "42.0%", "queue_depth",
+		"client throughput", "stored/client ratio", "0.500",
+		"PCIe p2p",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top frame missing %q:\n%s", want, out)
+		}
+	}
+	// Per-group series stay out of the merged live view.
+	if strings.Contains(out, "group0") {
+		t.Fatalf("top frame leaked per-group series:\n%s", out)
+	}
+}
+
+func TestDutyBar(t *testing.T) {
+	if got := dutyBar(0); strings.Contains(got, "#") {
+		t.Fatalf("idle bar = %q", got)
+	}
+	if got := dutyBar(1); strings.Contains(got, ".") {
+		t.Fatalf("saturated bar = %q", got)
+	}
+	if got := dutyBar(0.5); strings.Count(got, "#") != 10 || len(got) != 20 {
+		t.Fatalf("half bar = %q", got)
+	}
+}

@@ -9,14 +9,20 @@
 //	fidrcli replay -addr host:9400 -trace workload.trc -ratio 0.5
 //	fidrcli stats  -metrics-addr host:9401
 //	fidrcli traces -metrics-addr host:9401
+//	fidrcli slow   -metrics-addr host:9401
+//	fidrcli top    -metrics-addr host:9401 [-interval 2s] [-n 0]
 //
-// stats and traces talk to the server's -metrics-addr HTTP endpoint:
-// stats fetches /metrics and pretty-prints counters, gauges and
-// per-stage latency histograms; traces fetches and prints the most
-// recent request traces.
+// stats, traces, slow and top talk to the server's -metrics-addr HTTP
+// endpoint: stats fetches /metrics and pretty-prints counters, gauges
+// and per-stage latency histograms; traces fetches and prints the most
+// recent request traces; slow prints the slow-request flight recorder
+// (/traces/slow); top polls /metrics/series and renders a live view of
+// device utilization, queue depths, throughput and data reduction
+// (-n bounds the number of frames, 0 = until interrupted).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +32,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 
 	"fidr"
 	"fidr/internal/metrics"
@@ -47,6 +54,8 @@ func main() {
 	count := fs.Int("count", 1, "chunks to read (get)")
 	traceFile := fs.String("trace", "", "trace file (replay)")
 	ratio := fs.Float64("ratio", 0.5, "content compressibility for replayed writes")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top)")
+	frames := fs.Int("n", 0, "frames to render before exiting (top); 0 = until interrupted")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -55,6 +64,10 @@ func main() {
 		err = stats(*maddr)
 	case "traces":
 		err = traces(*maddr)
+	case "slow":
+		err = slow(*maddr)
+	case "top":
+		err = top(*maddr, *interval, *frames)
 	case "put", "get", "replay":
 		var c *proto.Client
 		c, err = proto.Dial(*addr)
@@ -79,18 +92,21 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces [flags]  (see -h per command)")
+	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|slow|top [flags]  (see -h per command)")
 	os.Exit(2)
 }
 
-// fetch GETs one path from the server's metrics endpoint.
+// fetch GETs one path from the server's metrics endpoint. Errors carry
+// enough context to act on: an unreachable endpoint names the address
+// and suggests the fidrd flag, a non-200 carries the status and body.
+// Callers bubble the error to main, which exits non-zero.
 func fetch(addr, path string) (string, error) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
 	resp, err := http.Get(addr + path)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("metrics endpoint %s unreachable (is fidrd running with -metrics-addr?): %w", addr, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
@@ -98,7 +114,7 @@ func fetch(addr, path string) (string, error) {
 		return "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		return "", fmt.Errorf("GET %s%s: %s: %s", addr, path, resp.Status, strings.TrimSpace(string(body)))
 	}
 	return string(body), nil
 }
@@ -237,6 +253,110 @@ func traces(addr string) error {
 	}
 	fmt.Print(body)
 	return nil
+}
+
+// slow fetches the slow-request flight recorder and prints it.
+func slow(addr string) error {
+	body, err := fetch(addr, "/traces/slow")
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	return nil
+}
+
+// top polls /metrics/series and renders a live device view. frames
+// bounds the number of refreshes (0 = until interrupted); a single
+// frame prints without clearing the terminal, so `fidrcli top -n 1`
+// composes with pipes and scripts.
+func top(addr string, interval time.Duration, frames int) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; ; i++ {
+		body, err := fetch(addr, "/metrics/series")
+		if err != nil {
+			return err
+		}
+		var d metrics.SeriesDump
+		if err := json.Unmarshal([]byte(body), &d); err != nil {
+			return fmt.Errorf("parse /metrics/series: %w", err)
+		}
+		if frames != 1 {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Print(renderTop(d))
+		if frames > 0 && i+1 >= frames {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// topSeries indexes a dump by name for the summary lines.
+func topSeries(d metrics.SeriesDump) map[string]metrics.Series {
+	byName := make(map[string]metrics.Series, len(d.Series))
+	for _, se := range d.Series {
+		byName[se.Name] = se
+	}
+	return byName
+}
+
+// dutyBar renders a 20-cell utilization bar.
+func dutyBar(duty float64) string {
+	const cells = 20
+	n := int(duty*cells + 0.5)
+	if n > cells {
+		n = cells
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", cells-n)
+}
+
+// renderTop formats one frame of the live view: per-device duty cycles,
+// queue/buffer occupancy, and throughput/reduction headlines. Cluster
+// per-group series ("group<N>." prefix) are skipped — top shows the
+// merged view; use `fidrcli stats` for the per-group pivot.
+func renderTop(d metrics.SeriesDump) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fidr top — %d samples over %.0fs\n\n", d.Samples, d.WindowSeconds)
+
+	util := metrics.NewTable("device utilization (windowed duty cycle)",
+		"device", "busy", "utilization")
+	queues := metrics.NewTable("queues and buffers", "gauge", "now", "min", "max")
+	for _, se := range d.Series {
+		if strings.HasPrefix(se.Name, "group") {
+			continue
+		}
+		if se.Duty != nil {
+			device := strings.TrimSuffix(se.Name, ".busy_ns")
+			util.Row(device, fmt.Sprintf("%5.1f%%", *se.Duty*100), dutyBar(*se.Duty))
+		}
+		if se.Kind == "gauge" && (strings.Contains(se.Name, "queue") || strings.Contains(se.Name, "buffered")) {
+			queues.Row(se.Name, se.Last, se.Min, se.Max)
+		}
+	}
+	b.WriteString(util.String())
+	b.WriteByte('\n')
+	b.WriteString(queues.String())
+	b.WriteByte('\n')
+
+	s := topSeries(d)
+	rate := func(name string) float64 { return s[name].RatePerSec }
+	last := func(name string) float64 { return s[name].Last }
+	sum := metrics.NewTable("throughput and reduction", "metric", "value")
+	sum.Row("client throughput", metrics.Bytes(uint64(rate("core.client_bytes")))+"/s")
+	sum.Row("writes/s", fmt.Sprintf("%.1f", rate("core.writes")))
+	sum.Row("reads/s", fmt.Sprintf("%.1f", rate("core.reads")))
+	if client := last("core.client_bytes"); client > 0 {
+		sum.Row("stored/client ratio", fmt.Sprintf("%.3f", last("core.stored_bytes")/client))
+	}
+	sum.Row("host DRAM traffic", metrics.Bytes(uint64(rate("hostmodel.dram_bytes")))+"/s")
+	sum.Row("host DRAM payload total", metrics.Bytes(uint64(last("hostmodel.dram_payload_bytes"))))
+	sum.Row("PCIe p2p", metrics.Bytes(uint64(rate("pcie.p2p_bytes")))+"/s")
+	sum.Row("PCIe via root complex", metrics.Bytes(uint64(rate("pcie.root_bytes")))+"/s")
+	sum.Row("slow traces captured", fmt.Sprintf("%.0f", last("core.slow_traces")))
+	b.WriteString(sum.String())
+	return b.String()
 }
 
 func put(c *proto.Client, lba uint64, path string) error {

@@ -14,14 +14,17 @@
 // With -metrics-addr the server exposes its live metrics over HTTP:
 // GET /metrics dumps counters, gauges and per-stage latency histograms
 // in plain text, GET /metrics?format=prom emits Prometheus text
-// exposition, and GET /traces dumps the most recent request traces. In
-// cluster mode the registry carries merged cluster-wide series,
-// "group<N>."-prefixed per-group series, and derived shard-balance
-// gauges. -pprof additionally mounts net/http/pprof under /debug/pprof/
-// on the same address. With -metrics-interval the daemon also logs a
-// one-line summary periodically. On SIGINT or SIGTERM the server
-// flushes open containers and reports reduction and resource
-// statistics.
+// exposition, GET /metrics/series serves sampled time series (windowed
+// min/mean/max, counter rates, device duty cycles) as JSON, GET /traces
+// dumps the most recent request traces, GET /traces/slow dumps the
+// slow-request flight recorder, and GET /healthz and /readyz serve
+// liveness/readiness probes. In cluster mode the registry carries
+// merged cluster-wide series, "group<N>."-prefixed per-group series,
+// and derived shard-balance gauges. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ on the same address. With
+// -metrics-interval the daemon also logs a one-line summary
+// periodically. On SIGINT or SIGTERM the server flushes open containers
+// and reports reduction and resource statistics.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +59,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /traces; empty = disabled")
 	metricsInterval := flag.Duration("metrics-interval", 0, "log a metrics summary at this interval; 0 = disabled")
 	traces := flag.Int("traces", 256, "recent request traces kept for /traces")
+	seriesInterval := flag.Duration("series-interval", time.Second, "sampling interval for /metrics/series")
+	seriesSamples := flag.Int("series-samples", 300, "samples retained per series for /metrics/series")
+	slowQuantile := flag.Float64("slow-quantile", 0.99, "flight recorder captures requests above this total-latency quantile")
+	slowMin := flag.Duration("slow-min", time.Millisecond, "flight recorder never flags requests faster than this")
+	slowTraces := flag.Int("slow-traces", 64, "slow request captures kept for /traces/slow")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
@@ -81,6 +90,7 @@ func main() {
 		store    proto.Store
 		view     metrics.Gatherer
 		traceFn  func() string
+		slowFn   func() string
 		shutdown func()
 	)
 	if *groups > 1 {
@@ -92,7 +102,9 @@ func main() {
 			log.Fatalf("fidrd: %v", err)
 		}
 		view = cl.EnableObservability(*traces)
+		cl.ConfigureFlightRecorder(*slowQuantile, *slowMin, *slowTraces)
 		traceFn = func() string { return core.RenderTraces(cl.RecentTraces()) }
+		slowFn = func() string { return core.RenderSlowTraces(cl.SlowTraces()) }
 		store = cl
 		shutdown = func() {
 			if err := cl.Flush(); err != nil {
@@ -122,7 +134,9 @@ func main() {
 		// the interval logger read only registry atomics, so they are
 		// safe alongside the protocol listener.
 		view = srv.EnableObservability(nil, *traces)
+		srv.ConfigureFlightRecorder(*slowQuantile, *slowMin, *slowTraces)
 		traceFn = func() string { return core.RenderTraces(srv.RecentTraces()) }
+		slowFn = func() string { return core.RenderSlowTraces(srv.SlowTraces()) }
 		store = srv
 		shutdown = func() {
 			if durable {
@@ -138,10 +152,15 @@ func main() {
 		}
 	}
 
+	// Readiness flips once the protocol listener is accepting; the
+	// metrics endpoint may come up first and must answer 503 until then.
+	var ready atomic.Bool
+
 	l, err := proto.Serve(store, *addr)
 	if err != nil {
 		log.Fatalf("fidrd: %v", err)
 	}
+	ready.Store(true)
 	if *groups > 1 {
 		log.Printf("fidrd: %s cluster (%d groups) listening on %s", a, *groups, l.Addr())
 	} else {
@@ -149,8 +168,17 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
+		sampler := metrics.NewSampler(view, *seriesSamples)
+		stopSampler := make(chan struct{})
+		defer close(stopSampler)
+		go sampler.Run(*seriesInterval, stopSampler)
 		mux := http.NewServeMux()
-		mux.Handle("/", metrics.HTTPHandler(view, traceFn))
+		mux.Handle("/", metrics.Handler(view, metrics.HandlerOptions{
+			Traces:     traceFn,
+			SlowTraces: slowFn,
+			Sampler:    sampler,
+			Ready:      ready.Load,
+		}))
 		if *pprofFlag {
 			// net/http/pprof registers on the default mux at import.
 			mux.Handle("/debug/pprof/", http.DefaultServeMux)

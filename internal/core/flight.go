@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fidr/internal/metrics"
+)
+
+// Slow-request flight recorder: the trace ring answers "what ran
+// recently", this answers "what ran slowly". Every completed trace's
+// total latency feeds a bounded histogram; once enough requests have
+// been seen, a request slower than the tracked quantile of that
+// distribution (never below a configured floor) is captured in full —
+// span tree plus a snapshot of every device-queue gauge at completion
+// time — into a fixed-size ring served at /traces/slow and by
+// `fidrcli slow`. The queue snapshot is the diagnosis half: a slow
+// request with a deep data-SSD queue is backlog, one with empty queues
+// is pipeline overhead.
+
+// SlowTrace is one captured slow request.
+type SlowTrace struct {
+	Trace
+	// Threshold is the latency bar the request exceeded when captured.
+	Threshold time.Duration
+	// Queues snapshots every registry gauge whose name contains "queue"
+	// (device queue depths, NIC buffer occupancy) at completion time.
+	Queues map[string]float64
+}
+
+// Flight-recorder defaults: capture the slowest ~1% once 100 requests
+// have been observed, never flagging anything under 1ms.
+const (
+	defaultSlowQuantile = 0.99
+	defaultSlowMin      = time.Millisecond
+	defaultSlowCap      = 64
+	flightWarmup        = 100
+)
+
+// flightRecorder gates and stores slow traces. Safe for concurrent use.
+type flightRecorder struct {
+	reg      *metrics.Registry
+	totals   *metrics.Histogram // total request latency, gating input
+	quantile float64
+	min      time.Duration
+
+	slowCount *metrics.Counter
+	threshold *metrics.Gauge
+
+	mu   sync.Mutex
+	buf  []SlowTrace
+	next int
+	full bool
+}
+
+func newFlightRecorder(reg *metrics.Registry, quantile float64, min time.Duration, capacity int) *flightRecorder {
+	if quantile <= 0 || quantile >= 1 {
+		quantile = defaultSlowQuantile
+	}
+	if min <= 0 {
+		min = defaultSlowMin
+	}
+	if capacity <= 0 {
+		capacity = defaultSlowCap
+	}
+	return &flightRecorder{
+		reg:       reg,
+		totals:    reg.Histogram("core.request_total_ns"),
+		quantile:  quantile,
+		min:       min,
+		slowCount: reg.Counter("core.slow_traces"),
+		threshold: reg.Gauge("core.slow_threshold_ns"),
+		buf:       make([]SlowTrace, capacity),
+	}
+}
+
+// currentThreshold returns the live capture bar: the tracked quantile of
+// observed totals once warmed up, floored at the configured minimum.
+func (f *flightRecorder) currentThreshold() time.Duration {
+	th := f.min
+	if f.totals.Count() >= flightWarmup {
+		if q := time.Duration(f.totals.Quantile(f.quantile)); q > th {
+			th = q
+		}
+	}
+	return th
+}
+
+// observe feeds one completed trace through the gate, capturing it when
+// slow. Called from ReqTrace.done on every request.
+func (f *flightRecorder) observe(t Trace) {
+	f.totals.Observe(float64(t.Total.Nanoseconds()))
+	th := f.currentThreshold()
+	f.threshold.Set(float64(th.Nanoseconds()))
+	if t.Total < th {
+		return
+	}
+	st := SlowTrace{Trace: t, Threshold: th, Queues: f.queueSnapshot()}
+	f.mu.Lock()
+	f.buf[f.next] = st
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+	f.slowCount.Inc()
+}
+
+// queueSnapshot captures occupancy gauges at this instant.
+func (f *flightRecorder) queueSnapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range f.reg.Snapshot() {
+		if m.Kind == "gauge" && strings.Contains(m.Name, "queue") {
+			out[m.Name] = m.Value
+		}
+	}
+	return out
+}
+
+// recent returns captured slow traces, newest first.
+func (f *flightRecorder) recent() []SlowTrace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if f.full {
+		n = len(f.buf)
+	}
+	out := make([]SlowTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, f.buf[(f.next-i+len(f.buf))%len(f.buf)])
+	}
+	return out
+}
+
+// ConfigureFlightRecorder tunes the slow-request gate: capture requests
+// above the given quantile of total latency (0 < quantile < 1), never
+// below min, keeping the last capacity captures. Call after
+// EnableObservability and before serving traffic; out-of-range values
+// keep their defaults (q=0.99, min=1ms, 64 captures). No-op when
+// observability is disabled.
+func (s *Server) ConfigureFlightRecorder(quantile float64, min time.Duration, capacity int) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.flight = newFlightRecorder(s.obs.reg, quantile, min, capacity)
+}
+
+// SlowTraces returns the flight recorder's captures, newest first
+// (empty when observability is disabled).
+func (s *Server) SlowTraces() []SlowTrace {
+	if s.obs == nil || s.obs.flight == nil {
+		return nil
+	}
+	return s.obs.flight.recent()
+}
+
+// RenderSlowTraces renders flight-recorder captures with the harness
+// table renderer.
+func RenderSlowTraces(traces []SlowTrace) string {
+	tab := metrics.NewTable("slow request flight recorder (newest first)",
+		"op", "lba", "total", "threshold", "stages", "queues")
+	for _, t := range traces {
+		var sb strings.Builder
+		for i, sp := range t.Spans {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%s", sp.Stage, sp.Dur.Round(time.Nanosecond))
+		}
+		if t.DroppedSpans > 0 {
+			fmt.Fprintf(&sb, " (+%d spans)", t.DroppedSpans)
+		}
+		var qb strings.Builder
+		names := make([]string, 0, len(t.Queues))
+		for name := range t.Queues {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			if i > 0 {
+				qb.WriteByte(' ')
+			}
+			fmt.Fprintf(&qb, "%s=%g", name, t.Queues[name])
+		}
+		tab.Row(t.Op, t.LBA, t.Total.String(), t.Threshold.String(), sb.String(), qb.String())
+	}
+	tab.Note("%d slow traces", len(traces))
+	return tab.String()
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/metrics"
+)
+
+func TestFlightRecorderCapturesSlowRequests(t *testing.T) {
+	s := newServer(t, FIDRFull)
+	reg := s.EnableObservability(nil, 16)
+	// A 1ns floor makes every request "slow" until the quantile gate
+	// warms up, so captures are deterministic.
+	s.ConfigureFlightRecorder(0.99, time.Nanosecond, 8)
+
+	sh := blockcomp.NewShaper(0.5)
+	for i := 0; i < 20; i++ {
+		if err := s.Write(uint64(i), sh.Make(uint64(i), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := s.SlowTraces()
+	if len(slow) == 0 {
+		t.Fatal("no slow traces captured with a 1ns threshold")
+	}
+	if len(slow) > 8 {
+		t.Fatalf("ring holds %d captures, capacity 8", len(slow))
+	}
+	for _, st := range slow {
+		if st.Threshold <= 0 {
+			t.Fatalf("capture %q has no threshold", st.Op)
+		}
+		if st.Total < st.Threshold {
+			t.Fatalf("capture %q total %v below threshold %v", st.Op, st.Total, st.Threshold)
+		}
+		if st.Queues == nil {
+			t.Fatalf("capture %q has no queue snapshot", st.Op)
+		}
+	}
+	// Newest first.
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Start.After(slow[i-1].Start) {
+			t.Fatal("slow traces not newest-first")
+		}
+	}
+	// Queue snapshot keys are occupancy gauges.
+	for name := range slow[0].Queues {
+		if !strings.Contains(name, "queue") {
+			t.Fatalf("queue snapshot contains non-queue gauge %q", name)
+		}
+	}
+	if got := reg.Counter("core.slow_traces").Value(); got != uint64(len(slow)) && got < 8 {
+		t.Fatalf("core.slow_traces = %d with %d retained captures", got, len(slow))
+	}
+	if reg.Gauge("core.slow_threshold_ns").Value() <= 0 {
+		t.Fatal("core.slow_threshold_ns not published")
+	}
+}
+
+func TestFlightRecorderQuantileGate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := newFlightRecorder(reg, 0.9, time.Nanosecond, 4)
+	// Warm up with uniform fast requests, then one outlier.
+	base := time.Now()
+	for i := 0; i < flightWarmup+50; i++ {
+		f.observe(Trace{Op: "write", Start: base, Total: 100 * time.Microsecond})
+	}
+	th := f.currentThreshold()
+	if th < 50*time.Microsecond {
+		t.Fatalf("warmed threshold %v implausibly low for a 100µs population", th)
+	}
+	// The warmup population itself filled the ring (floor threshold), so
+	// distinguish captures by op: an outlier above the quantile must be
+	// captured, a fast request must not be.
+	f.observe(Trace{Op: "outlier", Start: base, Total: time.Second})
+	if got := f.recent(); len(got) == 0 || got[0].Op != "outlier" {
+		t.Fatal("1s outlier not captured after warmup")
+	}
+	f.observe(Trace{Op: "fast", Start: base, Total: time.Nanosecond})
+	if got := f.recent(); got[0].Op != "outlier" {
+		t.Fatalf("fast request captured after warmup (newest is %q)", got[0].Op)
+	}
+}
+
+func TestFlightRecorderDisabledServer(t *testing.T) {
+	s := newServer(t, Baseline)
+	// No EnableObservability: both must be safe no-ops.
+	s.ConfigureFlightRecorder(0.5, time.Nanosecond, 4)
+	if got := s.SlowTraces(); got != nil {
+		t.Fatalf("SlowTraces on uninstrumented server = %v, want nil", got)
+	}
+}
+
+func TestRenderSlowTraces(t *testing.T) {
+	out := RenderSlowTraces([]SlowTrace{{
+		Trace: Trace{
+			Op: "write", LBA: 7, Total: 2 * time.Millisecond,
+			Spans: []Span{{Stage: StageCompress, Dur: time.Millisecond}},
+		},
+		Threshold: time.Millisecond,
+		Queues:    map[string]float64{"ssd.data.queue_depth": 3},
+	}})
+	for _, want := range []string{"write", "compress", "ssd.data.queue_depth=3", "1 slow traces"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered slow traces missing %q:\n%s", want, out)
+		}
+	}
+}

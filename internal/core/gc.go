@@ -110,7 +110,7 @@ func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
 			if s.cfg.Arch == Baseline {
 				// SSD -> host -> (host-side packer).
 				s.transfer(devDataSSD, pcie.HostMemory, uint64(len(cdata)))
-				s.ledger.Mem(hostmodel.PathHostSSD, uint64(len(cdata)))
+				s.ledger.MemPayload(hostmodel.PathHostSSD, uint64(len(cdata)))
 			} else {
 				// SSD -> Compression Engine, peer-to-peer.
 				s.transfer(devDataSSD, devComp, uint64(len(cdata)))

@@ -136,8 +136,9 @@ func (r *traceRing) recent() []Trace {
 // disables everything (the hooks are nil-safe), so un-instrumented
 // servers pay a single pointer test per hook.
 type Observer struct {
-	reg  *metrics.Registry
-	ring *traceRing
+	reg    *metrics.Registry
+	ring   *traceRing
+	flight *flightRecorder
 
 	stage [numStages]*metrics.Histogram
 
@@ -169,6 +170,7 @@ func newObserver(reg *metrics.Registry, ringSize int) *Observer {
 	for st := Stage(0); st < numStages; st++ {
 		o.stage[st] = reg.Histogram("stage." + st.String() + ".ns")
 	}
+	o.flight = newFlightRecorder(reg, defaultSlowQuantile, defaultSlowMin, defaultSlowCap)
 	return o
 }
 
@@ -336,13 +338,17 @@ type TraceContext struct {
 	Spans []Span
 }
 
-// done completes the trace and publishes it to the ring.
+// done completes the trace, publishes it to the ring and feeds the
+// slow-request flight recorder.
 func (tr *ReqTrace) done() {
 	if tr == nil {
 		return
 	}
 	tr.t.Total = time.Since(tr.t.Start)
 	tr.obs.ring.push(tr.t)
+	if tr.obs.flight != nil {
+		tr.obs.flight.observe(tr.t)
+	}
 }
 
 // EnableObservability attaches a live metrics registry to the server:
@@ -373,6 +379,8 @@ func (s *Server) EnableObservability(reg *metrics.Registry, recentTraces int) *m
 		s.pnic.Instrument(reg)
 	}
 	s.comp.Instrument(reg)
+	s.ledger.Instrument(reg)
+	s.topo.Instrument(reg)
 	return reg
 }
 

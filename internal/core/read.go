@@ -68,7 +68,7 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 			tr.span(StageNICBuffer, from)
 			s.obs.onReadCacheHit()
 			// Buffer scan plus NIC send of the hit.
-			s.ledger.Mem(hostmodel.PathNICHost, uint64(len(out)))
+			s.ledger.MemPayload(hostmodel.PathNICHost, uint64(len(out)))
 			s.transfer(pcie.HostMemory, devNIC, uint64(len(out)))
 			s.latency.observe(LatReadCacheHit, s.cfg.Arch, 0)
 			return out, nil
@@ -90,7 +90,7 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	if fromSSD {
 		// SSD -> host memory.
 		s.transfer(devDataSSD, pcie.HostMemory, csize)
-		s.ledger.Mem(hostmodel.PathHostSSD, csize)
+		s.ledger.MemPayload(hostmodel.PathHostSSD, csize)
 		s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
 		s.latency.observe(LatReadSSD, s.cfg.Arch, s.dataSSD.AccessTime(false, int(csize)))
 	} else {
@@ -98,7 +98,7 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	}
 	// Host -> decompression FPGA, decompress, FPGA -> host.
 	s.transfer(pcie.HostMemory, devDecomp, csize)
-	s.ledger.Mem(hostmodel.PathHostFPGA, csize)
+	s.ledger.MemPayload(hostmodel.PathHostFPGA, csize)
 	from = tr.start()
 	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
 	if err != nil {
@@ -106,11 +106,11 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	}
 	tr.span(StageDecompress, from)
 	s.transfer(devDecomp, pcie.HostMemory, raw)
-	s.ledger.Mem(hostmodel.PathHostFPGA, raw)
+	s.ledger.MemPayload(hostmodel.PathHostFPGA, raw)
 	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 	// Host -> NIC -> client.
 	s.transfer(pcie.HostMemory, devNIC, raw)
-	s.ledger.Mem(hostmodel.PathNICHost, raw)
+	s.ledger.MemPayload(hostmodel.PathNICHost, raw)
 	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 	return out, nil
 }
@@ -134,7 +134,7 @@ func (s *Server) fidrRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	if data, ok := s.rcache.get(lba); ok {
 		s.stats.ReadCacheHits++
 		s.obs.onReadCacheHit()
-		s.ledger.Mem(hostmodel.PathNICHost, uint64(len(data)))
+		s.ledger.MemPayload(hostmodel.PathNICHost, uint64(len(data)))
 		s.transfer(pcie.HostMemory, devNIC, uint64(len(data)))
 		s.latency.observe(LatReadCacheHit, s.cfg.Arch, 0)
 		return data, nil

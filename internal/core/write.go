@@ -70,7 +70,7 @@ func (s *Server) baselineWrite(lba uint64, data []byte, tr *ReqTrace) error {
 	from := tr.start()
 	s.pnic.ReceiveWrite(data)
 	s.transfer(devNIC, pcie.HostMemory, uint64(len(data)))
-	s.ledger.Mem(hostmodel.PathNICHost, uint64(len(data)))
+	s.ledger.MemPayload(hostmodel.PathNICHost, uint64(len(data)))
 	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 
 	cp := make([]byte, len(data))
@@ -110,7 +110,7 @@ func (s *Server) processBaselineBatch() error {
 		total += uint64(len(batch[i].data))
 	}
 	s.transfer(pcie.HostMemory, devFPGA, total)
-	s.ledger.Mem(hostmodel.PathHostFPGA, total)
+	s.ledger.MemPayload(hostmodel.PathHostFPGA, total)
 	for range batch {
 		s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 	}
@@ -143,7 +143,7 @@ func (s *Server) processBaselineBatch() error {
 	bt.add(StageHash, hashDur)
 	// 4. Hashes and compressed predicted-uniques return to host memory.
 	s.transfer(devFPGA, pcie.HostMemory, backBytes)
-	s.ledger.Mem(hostmodel.PathHostFPGA, backBytes)
+	s.ledger.MemPayload(hostmodel.PathHostFPGA, backBytes)
 
 	// 5. Software table management validates predictions against the
 	// Hash-PBN table cache. Misprediction repair compresses inline; that
@@ -177,7 +177,7 @@ func (s *Server) processBaselineBatch() error {
 			s.stats.Mispredictions++
 			s.obs.onMisprediction()
 			s.transfer(pcie.HostMemory, devFPGA, uint64(len(p.data)))
-			s.ledger.Mem(hostmodel.PathHostFPGA, uint64(len(p.data)))
+			s.ledger.MemPayload(hostmodel.PathHostFPGA, uint64(len(p.data)))
 			t0 := bt.start()
 			cdata, _, err := s.comp.Compress(p.data)
 			if err != nil {
@@ -186,7 +186,7 @@ func (s *Server) processBaselineBatch() error {
 			compDur += bt.since(t0)
 			r.cdata = cdata
 			s.transfer(devFPGA, pcie.HostMemory, uint64(len(cdata)))
-			s.ledger.Mem(hostmodel.PathHostFPGA, uint64(len(cdata)))
+			s.ledger.MemPayload(hostmodel.PathHostFPGA, uint64(len(cdata)))
 			s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 		}
 		if err := s.admitUnique(p.lba, r.fp, r.cdata, len(p.data)); err != nil {
@@ -433,7 +433,7 @@ func (s *Server) writeSealed(tr *ReqTrace) error {
 		n := uint64(len(sc.Data))
 		if s.cfg.Arch == Baseline {
 			s.transfer(pcie.HostMemory, devDataSSD, n)
-			s.ledger.Mem(hostmodel.PathHostSSD, n)
+			s.ledger.MemPayload(hostmodel.PathHostSSD, n)
 		} else {
 			s.transfer(devComp, devDataSSD, n)
 		}

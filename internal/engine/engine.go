@@ -17,6 +17,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"fidr/internal/blockcomp"
 	"fidr/internal/fingerprint"
@@ -73,6 +74,11 @@ type Compression struct {
 	obsChunksIn, obsBytesIn *metrics.Counter
 	obsBytesCompressed      *metrics.Counter
 	obsRawStored, obsSealed *metrics.Counter
+	// obsBusyNS accumulates compression-core busy time (duty-cycle
+	// source); obsQueueDepth tracks sealed containers awaiting P2P
+	// pickup by the data SSD.
+	obsBusyNS     *metrics.Counter
+	obsQueueDepth *metrics.Gauge
 }
 
 // Instrument mirrors engine activity into reg under "engine.*". Call
@@ -83,6 +89,8 @@ func (e *Compression) Instrument(reg *metrics.Registry) {
 	e.obsBytesCompressed = reg.Counter("engine.bytes_compressed")
 	e.obsRawStored = reg.Counter("engine.raw_stored")
 	e.obsSealed = reg.Counter("engine.containers_sealed")
+	e.obsBusyNS = reg.Counter("engine.busy_ns")
+	e.obsQueueDepth = reg.Gauge("engine.queue_depth")
 }
 
 // NewCompression creates an engine producing containers of containerSize
@@ -117,7 +125,11 @@ func (e *Compression) Compress(data []byte) (cdata []byte, raw bool, err error) 
 	if len(data) == 0 {
 		return nil, false, fmt.Errorf("engine: empty chunk")
 	}
+	start := time.Now()
 	cdata, err = e.comp.Compress(data)
+	if e.obsBusyNS != nil {
+		e.obsBusyNS.Add(uint64(time.Since(start)))
+	}
 	if err != nil {
 		return nil, false, fmt.Errorf("engine: compress: %w", err)
 	}
@@ -205,6 +217,7 @@ func (e *Compression) seal() {
 		e.stats.ContainersSealed++
 		if e.obsSealed != nil {
 			e.obsSealed.Inc()
+			e.obsQueueDepth.Set(float64(len(e.sealed)))
 		}
 	}
 }
@@ -218,6 +231,9 @@ func (e *Compression) Flush() { e.seal() }
 func (e *Compression) TakeSealed() []SealedContainer {
 	out := e.sealed
 	e.sealed = nil
+	if e.obsQueueDepth != nil {
+		e.obsQueueDepth.Set(0)
+	}
 	return out
 }
 

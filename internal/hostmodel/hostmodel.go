@@ -15,6 +15,8 @@ package hostmodel
 import (
 	"fmt"
 	"sync/atomic"
+
+	"fidr/internal/metrics"
 )
 
 // Path labels host-memory traffic with its datapath (Table 1 rows).
@@ -57,6 +59,24 @@ func (p Path) String() string {
 // Paths lists all datapaths in Table 1 order.
 func Paths() []Path {
 	return []Path{PathNICHost, PathPredictor, PathHostFPGA, PathTableCache, PathHostSSD}
+}
+
+// Slug returns the path's metric-name segment.
+func (p Path) Slug() string {
+	switch p {
+	case PathNICHost:
+		return "nic_host"
+	case PathPredictor:
+		return "predictor"
+	case PathHostFPGA:
+		return "host_fpga"
+	case PathTableCache:
+		return "table_cache"
+	case PathHostSSD:
+		return "host_ssd"
+	default:
+		return fmt.Sprintf("path_%d", int(p))
+	}
 }
 
 // Component labels CPU time with its software component (Figure 5b and
@@ -124,6 +144,36 @@ func (c Component) String() string {
 	}
 }
 
+// Slug returns the component's metric-name segment.
+func (c Component) Slug() string {
+	switch c {
+	case CompPredictor:
+		return "predictor"
+	case CompBatchSched:
+		return "batch_sched"
+	case CompDMAMgmt:
+		return "dma_mgmt"
+	case CompTreeIndex:
+		return "tree_index"
+	case CompTableSSDIO:
+		return "table_ssd_io"
+	case CompTableContent:
+		return "table_content"
+	case CompTableReplace:
+		return "table_replace"
+	case CompDataSSDIO:
+		return "data_ssd_io"
+	case CompDeviceMgr:
+		return "device_mgr"
+	case CompLBATable:
+		return "lba_table"
+	case CompProtocol:
+		return "protocol"
+	default:
+		return fmt.Sprintf("component_%d", int(c))
+	}
+}
+
 // Components lists all CPU components.
 func Components() []Component {
 	out := make([]Component, numComponents)
@@ -149,24 +199,90 @@ func (c Component) IsManagementOverhead() bool {
 
 // Ledger accumulates charges. Safe for concurrent use.
 type Ledger struct {
-	mem         [numPaths]atomic.Uint64
-	cpu         [numComponents]atomic.Uint64
-	clientBytes atomic.Uint64
+	mem          [numPaths]atomic.Uint64
+	cpu          [numComponents]atomic.Uint64
+	clientBytes  atomic.Uint64
+	payloadBytes atomic.Uint64
+
+	// Registry mirrors, nil until Instrument (match the substrate idiom:
+	// bind once before serving traffic, nil-checked on the hot path).
+	obsMem     [numPaths]*metrics.Counter
+	obsMemTot  *metrics.Counter
+	obsPayload *metrics.Counter
+	obsCPU     [numComponents]*metrics.Counter
+	obsCPUTot  *metrics.Counter
+	obsClient  *metrics.Counter
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger { return &Ledger{} }
 
+// Instrument mirrors the ledger into reg:
+//
+//	hostmodel.dram_bytes            total host-DRAM traffic, all paths
+//	hostmodel.dram_payload_bytes    the client-payload share of it
+//	hostmodel.dram.<path>.bytes     per-datapath traffic (Table 1 rows)
+//	hostmodel.cpu_ns                total modeled host CPU time
+//	hostmodel.cpu.<component>.ns    per-component CPU time (Table 2 rows)
+//	hostmodel.client_bytes          client-visible IO (normalization base)
+//
+// Call once, before serving traffic; mirrors do not backfill existing
+// totals. dram_payload_bytes turns the paper's headline claim into a
+// scrapeable invariant: a FIDR-mode server moving client data
+// NIC→engine→SSD peer-to-peer keeps it at zero while the baseline
+// charges every payload byte (twice or more) to host DRAM.
+func (l *Ledger) Instrument(reg *metrics.Registry) {
+	for _, p := range Paths() {
+		l.obsMem[p] = reg.Counter("hostmodel.dram." + p.Slug() + ".bytes")
+	}
+	for _, c := range Components() {
+		l.obsCPU[c] = reg.Counter("hostmodel.cpu." + c.Slug() + ".ns")
+	}
+	l.obsMemTot = reg.Counter("hostmodel.dram_bytes")
+	l.obsPayload = reg.Counter("hostmodel.dram_payload_bytes")
+	l.obsCPUTot = reg.Counter("hostmodel.cpu_ns")
+	l.obsClient = reg.Counter("hostmodel.client_bytes")
+}
+
 // Mem charges n bytes of host-memory traffic to path p.
-func (l *Ledger) Mem(p Path, n uint64) { l.mem[p].Add(n) }
+func (l *Ledger) Mem(p Path, n uint64) {
+	l.mem[p].Add(n)
+	if l.obsMem[p] != nil {
+		l.obsMem[p].Add(n)
+		l.obsMemTot.Add(n)
+	}
+}
+
+// MemPayload charges n bytes of host-memory traffic to path p and
+// additionally classifies it as client payload (the data itself moving
+// through host DRAM, as opposed to hashes, flags and table metadata).
+func (l *Ledger) MemPayload(p Path, n uint64) {
+	l.Mem(p, n)
+	l.payloadBytes.Add(n)
+	if l.obsPayload != nil {
+		l.obsPayload.Add(n)
+	}
+}
 
 // CPU charges ns nanoseconds of CPU time to component c.
-func (l *Ledger) CPU(c Component, ns uint64) { l.cpu[c].Add(ns) }
+func (l *Ledger) CPU(c Component, ns uint64) {
+	l.cpu[c].Add(ns)
+	if l.obsCPU[c] != nil {
+		l.obsCPU[c].Add(ns)
+		l.obsCPUTot.Add(ns)
+	}
+}
 
 // Client records n bytes of client-visible IO (the normalization base).
-func (l *Ledger) Client(n uint64) { l.clientBytes.Add(n) }
+func (l *Ledger) Client(n uint64) {
+	l.clientBytes.Add(n)
+	if l.obsClient != nil {
+		l.obsClient.Add(n)
+	}
+}
 
-// Reset zeroes the ledger.
+// Reset zeroes the ledger (registry mirrors, being monotonic counters,
+// are left alone).
 func (l *Ledger) Reset() {
 	for i := range l.mem {
 		l.mem[i].Store(0)
@@ -175,6 +291,7 @@ func (l *Ledger) Reset() {
 		l.cpu[i].Store(0)
 	}
 	l.clientBytes.Store(0)
+	l.payloadBytes.Store(0)
 }
 
 // Snapshot is an immutable copy of ledger totals.
@@ -182,6 +299,9 @@ type Snapshot struct {
 	MemBytes    [numPaths]uint64
 	CPUNanos    [numComponents]uint64
 	ClientBytes uint64
+	// PayloadBytes is the client-payload share of total memory traffic
+	// (charged via MemPayload).
+	PayloadBytes uint64
 }
 
 // Snapshot copies the current totals.
@@ -194,6 +314,7 @@ func (l *Ledger) Snapshot() Snapshot {
 		s.CPUNanos[i] = l.cpu[i].Load()
 	}
 	s.ClientBytes = l.clientBytes.Load()
+	s.PayloadBytes = l.payloadBytes.Load()
 	return s
 }
 

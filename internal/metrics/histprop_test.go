@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Property tests for histogram snapshot merging, the operation cluster
+// views lean on: merging must be commutative and associative, and
+// merging two snapshots must equal observing the union of their inputs.
+
+func randomHistogram(r *rand.Rand, n int) *Histogram {
+	h := NewHistogram()
+	for i := 0; i < n; i++ {
+		// Mix of magnitudes so many different octaves get buckets.
+		switch r.Intn(3) {
+		case 0:
+			h.Observe(float64(r.Intn(100)))
+		case 1:
+			h.Observe(float64(r.Intn(1_000_000)))
+		default:
+			h.Observe(r.Float64() * 1e9)
+		}
+	}
+	return h
+}
+
+func TestMergeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randomHistogram(r, r.Intn(200)).Snapshot()
+		b := randomHistogram(r, r.Intn(200)).Snapshot()
+		ab := MergeHistogramSnapshots(a, b)
+		ba := MergeHistogramSnapshots(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge(a,b) != merge(b,a)\nab=%+v\nba=%+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randomHistogram(r, r.Intn(150)).Snapshot()
+		b := randomHistogram(r, r.Intn(150)).Snapshot()
+		c := randomHistogram(r, r.Intn(150)).Snapshot()
+		left := MergeHistogramSnapshots(MergeHistogramSnapshots(a, b), c)
+		right := MergeHistogramSnapshots(a, MergeHistogramSnapshots(b, c))
+		if left.Count != right.Count || left.Min != right.Min || left.Max != right.Max {
+			t.Fatalf("trial %d: associativity broken: left=%+v right=%+v", trial, left, right)
+		}
+		if !reflect.DeepEqual(left.Buckets, right.Buckets) {
+			t.Fatalf("trial %d: bucket sets differ between groupings", trial)
+		}
+		// Float addition is not exactly associative; allow relative error.
+		if diff := left.Sum - right.Sum; diff > 1e-9*left.Sum || diff < -1e-9*left.Sum {
+			t.Fatalf("trial %d: sums differ beyond fp tolerance: %v vs %v", trial, left.Sum, right.Sum)
+		}
+	}
+}
+
+func TestMergeEqualsUnionObservation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		na, nb := r.Intn(200), r.Intn(200)
+		valsA := make([]float64, na)
+		valsB := make([]float64, nb)
+		for i := range valsA {
+			valsA[i] = r.Float64() * 1e7
+		}
+		for i := range valsB {
+			valsB[i] = r.Float64() * 1e7
+		}
+		ha, hb, hu := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, v := range valsA {
+			ha.Observe(v)
+			hu.Observe(v)
+		}
+		for _, v := range valsB {
+			hb.Observe(v)
+			hu.Observe(v)
+		}
+		merged := MergeHistogramSnapshots(ha.Snapshot(), hb.Snapshot())
+		union := hu.Snapshot()
+		if merged.Count != union.Count {
+			t.Fatalf("trial %d: count %d != union %d", trial, merged.Count, union.Count)
+		}
+		if merged.Min != union.Min || merged.Max != union.Max {
+			t.Fatalf("trial %d: min/max %v/%v != union %v/%v",
+				trial, merged.Min, merged.Max, union.Min, union.Max)
+		}
+		if !reflect.DeepEqual(merged.Buckets, union.Buckets) {
+			t.Fatalf("trial %d: merged buckets differ from union buckets", trial)
+		}
+		if merged.P50 != union.P50 || merged.P90 != union.P90 || merged.P99 != union.P99 {
+			t.Fatalf("trial %d: quantiles differ: merged p50/p90/p99 %v/%v/%v union %v/%v/%v",
+				trial, merged.P50, merged.P90, merged.P99, union.P50, union.P90, union.P99)
+		}
+	}
+}
+
+func TestMergeWithEmptyIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := randomHistogram(r, 100).Snapshot()
+	empty := NewHistogram().Snapshot()
+	got := MergeHistogramSnapshots(a, empty)
+	if got.Count != a.Count || got.Sum != a.Sum || got.Min != a.Min || got.Max != a.Max {
+		t.Fatalf("merge with empty changed summary: %+v vs %+v", got, a)
+	}
+	if !reflect.DeepEqual(got.Buckets, a.Buckets) {
+		t.Fatalf("merge with empty changed buckets")
+	}
+}

@@ -5,18 +5,38 @@ import (
 	"net/http"
 )
 
-// HTTPHandler serves a metric view over HTTP (stdlib only):
+// HandlerOptions configures the optional endpoints of Handler. Any nil
+// field disables its endpoint.
+type HandlerOptions struct {
+	// Traces renders the recent-request trace ring (GET /traces).
+	Traces func() string
+	// SlowTraces renders the slow-request flight recorder
+	// (GET /traces/slow).
+	SlowTraces func() string
+	// Sampler serves the sampled time series (GET /metrics/series).
+	Sampler *Sampler
+	// Ready reports readiness for GET /readyz: 200 when true, 503
+	// otherwise. When nil, /readyz behaves like /healthz (always ready
+	// once serving).
+	Ready func() bool
+}
+
+// Handler serves a metric view over HTTP (stdlib only):
 //
 //	GET /metrics             plain-text dump (see WriteMetricsText)
 //	GET /metrics?format=prom Prometheus text exposition (see WriteProm)
-//	GET /traces              recent request traces (when traces != nil)
+//	GET /metrics/series      sampled time series as JSON (with Sampler)
+//	GET /traces              recent request traces (with Traces)
+//	GET /traces/slow         slow-request flight recorder (with SlowTraces)
+//	GET /healthz             liveness: always 200 "ok" while serving
+//	GET /readyz              readiness: 200 "ready" / 503 "not ready"
 //	GET /                    index of the above
 //
 // g may be a single Registry or a composed cluster view (Multi over
 // prefixed group registries, merged series and derived gauges). The
 // handler is safe to serve while metrics are being updated; snapshots
 // read only atomics.
-func HTTPHandler(g Gatherer, traces func() string) http.Handler {
+func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		ms := g.Snapshot()
@@ -28,12 +48,34 @@ func HTTPHandler(g Gatherer, traces func() string) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		WriteMetricsText(w, ms)
 	})
-	if traces != nil {
+	if opt.Sampler != nil {
+		mux.Handle("/metrics/series", opt.Sampler)
+	}
+	if opt.Traces != nil {
 		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, traces())
+			fmt.Fprint(w, opt.Traces())
 		})
 	}
+	if opt.SlowTraces != nil {
+		mux.HandleFunc("/traces/slow", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, opt.SlowTraces())
+		})
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opt.Ready != nil && !opt.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -43,9 +85,23 @@ func HTTPHandler(g Gatherer, traces func() string) http.Handler {
 		fmt.Fprintln(w, "fidr metrics endpoints:")
 		fmt.Fprintln(w, "  /metrics              live registry dump")
 		fmt.Fprintln(w, "  /metrics?format=prom  Prometheus text exposition")
-		if traces != nil {
+		if opt.Sampler != nil {
+			fmt.Fprintln(w, "  /metrics/series       sampled time series (JSON)")
+		}
+		if opt.Traces != nil {
 			fmt.Fprintln(w, "  /traces               recent request traces")
 		}
+		if opt.SlowTraces != nil {
+			fmt.Fprintln(w, "  /traces/slow          slow-request flight recorder")
+		}
+		fmt.Fprintln(w, "  /healthz              liveness probe")
+		fmt.Fprintln(w, "  /readyz               readiness probe")
 	})
 	return mux
+}
+
+// HTTPHandler is Handler with only the trace endpoint configured,
+// preserved for callers that predate HandlerOptions.
+func HTTPHandler(g Gatherer, traces func() string) http.Handler {
+	return Handler(g, HandlerOptions{Traces: traces})
 }

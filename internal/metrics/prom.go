@@ -50,9 +50,28 @@ func promFloat(v float64) string {
 // WriteProm renders a metric set in Prometheus text exposition format.
 // The input should be canonically sorted (Registry.Snapshot, Multi and
 // MergeMetrics all are) so output is deterministic.
+//
+// Hostile registry keys cannot break the exposition: every invalid rune
+// is escaped by PromName, a name that sanitizes to nothing is dropped,
+// and when two distinct dotted names collide after sanitization (e.g.
+// "a.b" and "a_b") only the first is emitted — a duplicate series would
+// make the whole page unscrapable.
 func WriteProm(w io.Writer, ms []Metric) error {
+	seen := make(map[string]bool, len(ms))
 	for _, m := range ms {
 		name := PromName(m.Name)
+		if name == "" || seen[name] {
+			continue
+		}
+		if m.Kind == "hist" && (seen[name+"_bucket"] || seen[name+"_sum"] || seen[name+"_count"]) {
+			continue
+		}
+		seen[name] = true
+		if m.Kind == "hist" {
+			// Reserve the expanded series names too, so a later scalar
+			// named e.g. "<name>_count" cannot duplicate them.
+			seen[name+"_bucket"], seen[name+"_sum"], seen[name+"_count"] = true, true, true
+		}
 		var err error
 		switch m.Kind {
 		case "counter":

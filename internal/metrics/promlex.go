@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition lexer: a minimal validator for the v0.0.4
+// format WriteProm emits. CI's check-metrics step scrapes a live fidrd
+// and runs this over the page, so an encoder regression (invalid name,
+// duplicate series, malformed sample) fails the build instead of
+// silently producing an unscrapable endpoint.
+
+// promNameValid reports whether s is a valid Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promNameValid(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promLabelNameValid reports whether s is a valid label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelNameValid(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lexPromSample splits one sample line into (series name, rest after the
+// optional label block). It validates the label block syntax.
+func lexPromSample(line string) (name, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("no value on line %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch rest[j] {
+			case '\\':
+				if inQuote {
+					j++ // skip the escaped rune
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = j
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := lexPromLabels(rest[1:end]); err != nil {
+			return "", "", fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", fmt.Errorf("no value on line %q", line)
+	}
+	// A timestamp may follow the value; WriteProm never emits one, but
+	// accept it for generality.
+	if f := strings.Fields(value); len(f) > 0 {
+		value = f[0]
+	}
+	return name, value, nil
+}
+
+// lexPromLabels validates a comma-separated label list (the text between
+// the braces).
+func lexPromLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '='")
+		}
+		if !promLabelNameValid(s[:eq]) {
+			return fmt.Errorf("invalid label name %q", s[:eq])
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		end := -1
+		for j := 1; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				continue
+			}
+			if s[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[end+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("garbage after label value")
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// ValidatePromText lexes a Prometheus text exposition page, returning an
+// error describing the first malformed line, invalid metric name,
+// unparsable sample value, or duplicate TYPE declaration. A nil return
+// means a Prometheus scraper would accept the page.
+func ValidatePromText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := make(map[string]bool)
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && (f[1] == "TYPE" || f[1] == "HELP") {
+				if len(f) < 3 || !promNameValid(f[2]) {
+					return fmt.Errorf("line %d: malformed %s comment %q", lineNo, f[1], line)
+				}
+				if f[1] == "TYPE" {
+					if typed[f[2]] {
+						return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, f[2])
+					}
+					typed[f[2]] = true
+				}
+			}
+			continue
+		}
+		name, value, err := lexPromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !promNameValid(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		switch value {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}

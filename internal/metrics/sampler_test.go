@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func sampleAt(s *Sampler, base time.Time, secs ...int) {
+	for _, sec := range secs {
+		s.Sample(base.Add(time.Duration(sec) * time.Second))
+	}
+}
+
+func findSeries(t *testing.T, d SeriesDump, name string) Series {
+	t.Helper()
+	for _, se := range d.Series {
+		if se.Name == name {
+			return se
+		}
+	}
+	t.Fatalf("series %q not found in %d series", name, len(d.Series))
+	return Series{}
+}
+
+func TestSamplerWindowStats(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("dev.bytes")
+	g := reg.Gauge("dev.queue_depth")
+	s := NewSampler(reg, 16)
+	base := time.Unix(1000, 0)
+
+	for i, v := range []float64{4, 2, 8} {
+		c.Add(1000)
+		g.Set(v)
+		s.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+
+	d := s.Dump("", 0)
+	if d.Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", d.Samples)
+	}
+	if d.WindowSeconds != 2 {
+		t.Fatalf("WindowSeconds = %v, want 2", d.WindowSeconds)
+	}
+	q := findSeries(t, d, "dev.queue_depth")
+	if q.Min != 2 || q.Max != 8 || q.Last != 8 {
+		t.Fatalf("gauge window = min %v max %v last %v, want 2/8/8", q.Min, q.Max, q.Last)
+	}
+	if q.Mean < 4.6 || q.Mean > 4.7 {
+		t.Fatalf("gauge mean = %v, want ~4.667", q.Mean)
+	}
+	b := findSeries(t, d, "dev.bytes")
+	// 1000 -> 3000 over 2 s.
+	if b.RatePerSec != 1000 {
+		t.Fatalf("counter rate = %v, want 1000", b.RatePerSec)
+	}
+	if b.Duty != nil {
+		t.Fatalf("non-busy counter got a duty cycle")
+	}
+}
+
+func TestSamplerDutyCycle(t *testing.T) {
+	reg := NewRegistry()
+	busy := reg.Counter("ssd.data-ssd.busy_ns")
+	s := NewSampler(reg, 8)
+	base := time.Unix(0, 0)
+
+	s.Sample(base)
+	busy.Add(5e8) // 0.5 s busy over a 1 s window
+	s.Sample(base.Add(time.Second))
+
+	se := findSeries(t, s.Dump("ssd.", 0), "ssd.data-ssd.busy_ns")
+	if se.Duty == nil {
+		t.Fatal("busy_ns series has no duty cycle")
+	}
+	if *se.Duty < 0.49 || *se.Duty > 0.51 {
+		t.Fatalf("duty = %v, want ~0.5", *se.Duty)
+	}
+
+	// Duty clamps at 1 even if the model accumulates busy time faster
+	// than wall time (overlapping commands).
+	busy.Add(10e9)
+	s.Sample(base.Add(2 * time.Second))
+	se = findSeries(t, s.Dump("", 0), "ssd.data-ssd.busy_ns")
+	if *se.Duty != 1 {
+		t.Fatalf("duty = %v, want clamped 1", *se.Duty)
+	}
+}
+
+func TestSamplerRingWraps(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n")
+	s := NewSampler(reg, 4)
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		s.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	d := s.Dump("", 0)
+	if d.Samples != 4 {
+		t.Fatalf("Samples = %d, want capacity 4", d.Samples)
+	}
+	se := findSeries(t, d, "n")
+	if len(se.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(se.Points))
+	}
+	// Oldest retained sample is the 7th (counter value 7).
+	if se.Points[0].V != 7 || se.Last != 10 {
+		t.Fatalf("window = [%v..%v], want [7..10]", se.Points[0].V, se.Last)
+	}
+	for i := 1; i < len(se.Points); i++ {
+		if se.Points[i].UnixNS <= se.Points[i-1].UnixNS {
+			t.Fatalf("points out of order: %v", se.Points)
+		}
+	}
+}
+
+func TestSamplerHistogramCount(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("stage.hash.ns")
+	s := NewSampler(reg, 8)
+	h.Observe(10)
+	h.Observe(20)
+	s.Sample(time.Unix(0, 0))
+	se := findSeries(t, s.Dump("", 0), "stage.hash.ns.count")
+	if se.Last != 2 || se.Kind != "counter" {
+		t.Fatalf("hist count series = %+v, want last 2 counter", se)
+	}
+}
+
+func TestSamplerHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.bytes").Add(5)
+	reg.Gauge("b.depth").Set(3)
+	s := NewSampler(reg, 8)
+	sampleAt(s, time.Unix(0, 0), 0, 1)
+
+	srv := httptest.NewServer(Handler(reg, HandlerOptions{Sampler: s}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics/series?prefix=a.&last=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var d SeriesDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 1 || d.Series[0].Name != "a.bytes" {
+		t.Fatalf("filtered series = %+v, want only a.bytes", d.Series)
+	}
+	if len(d.Series[0].Points) != 1 {
+		t.Fatalf("last=1 returned %d points", len(d.Series[0].Points))
+	}
+
+	if resp, err := srv.Client().Get(srv.URL + "/metrics/series?last=x"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("bad last parameter: status %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerHealthReady(t *testing.T) {
+	reg := NewRegistry()
+	ready := false
+	srv := httptest.NewServer(Handler(reg, HandlerOptions{Ready: func() bool { return ready }}))
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != 200 {
+		t.Fatalf("/healthz = %d", got)
+	}
+	if got := get("/readyz"); got != 503 {
+		t.Fatalf("/readyz before ready = %d, want 503", got)
+	}
+	ready = true
+	if got := get("/readyz"); got != 200 {
+		t.Fatalf("/readyz after ready = %d, want 200", got)
+	}
+}

@@ -15,6 +15,7 @@ package nic
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fidr/internal/fingerprint"
 	"fidr/internal/metrics"
@@ -68,18 +69,27 @@ type nicObs struct {
 	readLookups, readHits  *metrics.Counter
 	batches, uniqueSent    *metrics.Counter
 	dupDrops               *metrics.Counter
+	// busyNS accumulates hash-core busy time; its windowed rate is the
+	// NIC's duty cycle in the sampler.
+	busyNS *metrics.Counter
+	// queueDepth / bufferedBytes track in-NIC buffer occupancy live.
+	queueDepth    *metrics.Gauge
+	bufferedBytes *metrics.Gauge
 }
 
 func newNICObs(reg *metrics.Registry) *nicObs {
 	return &nicObs{
-		writes:      reg.Counter("nic.writes_buffered"),
-		bytes:       reg.Counter("nic.bytes_buffered"),
-		hashOps:     reg.Counter("nic.hash_ops"),
-		readLookups: reg.Counter("nic.read_lookups"),
-		readHits:    reg.Counter("nic.read_hits"),
-		batches:     reg.Counter("nic.batches_made"),
-		uniqueSent:  reg.Counter("nic.unique_sent"),
-		dupDrops:    reg.Counter("nic.duplicate_drops"),
+		writes:        reg.Counter("nic.writes_buffered"),
+		bytes:         reg.Counter("nic.bytes_buffered"),
+		hashOps:       reg.Counter("nic.hash_ops"),
+		readLookups:   reg.Counter("nic.read_lookups"),
+		readHits:      reg.Counter("nic.read_hits"),
+		batches:       reg.Counter("nic.batches_made"),
+		uniqueSent:    reg.Counter("nic.unique_sent"),
+		dupDrops:      reg.Counter("nic.duplicate_drops"),
+		busyNS:        reg.Counter("nic.busy_ns"),
+		queueDepth:    reg.Gauge("nic.queue_depth"),
+		bufferedBytes: reg.Gauge("nic.buffered_bytes"),
 	}
 }
 
@@ -112,6 +122,8 @@ func (n *FIDR) BufferWrite(lba uint64, data []byte) error {
 	if n.obs != nil {
 		n.obs.writes.Inc()
 		n.obs.bytes.Add(uint64(len(data)))
+		n.obs.queueDepth.Set(float64(len(n.buffer)))
+		n.obs.bufferedBytes.Set(float64(n.buffered))
 	}
 	return nil
 }
@@ -126,12 +138,15 @@ func (n *FIDR) BufferedBytes() int { return n.buffered }
 // returns the (LBA, fingerprint) pairs to send to the host — the only
 // write-path data that touches host memory in FIDR.
 func (n *FIDR) HashAll() []WriteEntry {
+	start := time.Now()
+	hashed := false
 	out := make([]WriteEntry, 0, len(n.buffer))
 	for i := range n.buffer {
 		e := &n.buffer[i]
 		if !e.Hashed {
 			e.FP = fingerprint.Of(e.Data)
 			e.Hashed = true
+			hashed = true
 			n.stats.HashOps++
 			n.stats.HashBytes += uint64(len(e.Data))
 			if n.obs != nil {
@@ -139,6 +154,9 @@ func (n *FIDR) HashAll() []WriteEntry {
 			}
 		}
 		out = append(out, *e)
+	}
+	if hashed && n.obs != nil {
+		n.obs.busyNS.Add(uint64(time.Since(start)))
 	}
 	return out
 }
@@ -192,6 +210,10 @@ func (n *FIDR) ScheduleBatch(flags []bool) ([]WriteEntry, error) {
 	n.buffer = n.buffer[:0]
 	n.buffered = 0
 	n.lbaIndex = make(map[uint64]int)
+	if n.obs != nil {
+		n.obs.queueDepth.Set(0)
+		n.obs.bufferedBytes.Set(0)
+	}
 	return unique, nil
 }
 

@@ -12,7 +12,10 @@ package pcie
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+
+	"fidr/internal/metrics"
 )
 
 // DeviceID names an endpoint.
@@ -50,6 +53,14 @@ type Topology struct {
 	bytes    map[Link]uint64
 	p2p      uint64 // bytes moved without crossing the root complex
 	viaRoot  uint64 // bytes that crossed the root complex
+
+	// Registry mirrors, nil until Instrument. routeCtr is keyed by the
+	// directed (src, dst) pair — direction matters for accounting even
+	// though link charging is bidirectional.
+	reg      *metrics.Registry
+	obsP2P   *metrics.Counter
+	obsRoot  *metrics.Counter
+	routeCtr map[Link]*metrics.Counter
 }
 
 // NewTopology returns a fabric with only the root complex and host memory.
@@ -158,7 +169,53 @@ func (t *Topology) Transfer(src, dst DeviceID, n uint64) (p2p bool, err error) {
 	} else {
 		t.p2p += n
 	}
+	if t.reg != nil {
+		if crossesRoot {
+			t.obsRoot.Add(n)
+		} else {
+			t.obsP2P.Add(n)
+		}
+		key := Link{From: string(src), To: string(dst)}
+		c := t.routeCtr[key]
+		if c == nil {
+			c = t.reg.Counter("pcie.route." + routeSlug(string(src)) + "_to_" + routeSlug(string(dst)) + ".bytes")
+			t.routeCtr[key] = c
+		}
+		c.Add(n)
+	}
 	return !crossesRoot, nil
+}
+
+// routeSlug makes a device name safe inside a dotted metric name.
+func routeSlug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// Instrument mirrors the fabric's ledgers into reg:
+//
+//	pcie.p2p_bytes                       bytes moved peer-to-peer under switches
+//	pcie.root_bytes                      bytes that crossed the root complex
+//	pcie.route.<src>_to_<dst>.bytes      bytes per directed device pair
+//
+// Call once, before serving traffic: mirrors count transfers from the
+// call onward and do not backfill earlier totals. The FIDR datapath
+// claim (§5.6) is then scrapeable: under FIDR architectures the
+// nic→engine→SSD payload routes accumulate in p2p_bytes while
+// root_bytes stays metadata-only.
+func (t *Topology) Instrument(reg *metrics.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg = reg
+	t.obsP2P = reg.Counter("pcie.p2p_bytes")
+	t.obsRoot = reg.Counter("pcie.root_bytes")
+	t.routeCtr = make(map[Link]*metrics.Counter)
 }
 
 // LinkBytes returns bytes carried by each link, sorted by link name.

@@ -98,7 +98,7 @@ func sketch(data []byte) uint64 {
 // predictor's CPU time and its read of the chunk from the host buffer.
 func (p *Predictor) Predict(data []byte) bool {
 	p.ledger.CPU(hostmodel.CompPredictor, p.costs.PredictorPerChunkNs)
-	p.ledger.Mem(hostmodel.PathPredictor, uint64(len(data)))
+	p.ledger.MemPayload(hostmodel.PathPredictor, uint64(len(data)))
 	p.stats.Predictions++
 
 	k := sketch(data)

@@ -92,6 +92,11 @@ type SSD struct {
 	obsReads, obsWrites         *metrics.Counter
 	obsReadBytes, obsWriteBytes *metrics.Counter
 	obsAccess                   *metrics.Histogram
+	// obsBusy mirrors modeled device busy time; its windowed rate is the
+	// device's duty cycle. obsQueue tracks NVMe queue occupancy (driven
+	// by QueuePair Submit/Reap on devices fronted by queues).
+	obsBusy  *metrics.Counter
+	obsQueue *metrics.Gauge
 
 	// fault injection (tests): remaining IOs to fail and the error.
 	faultMu    sync.Mutex
@@ -150,6 +155,8 @@ func (s *SSD) Instrument(reg *metrics.Registry) {
 	s.obsReadBytes = reg.Counter(p + "read_bytes")
 	s.obsWriteBytes = reg.Counter(p + "write_bytes")
 	s.obsAccess = reg.Histogram(p + "access_ns")
+	s.obsBusy = reg.Counter(p + "busy_ns")
+	s.obsQueue = reg.Gauge(p + "queue_depth")
 }
 
 // InjectFaults makes the next nReads read commands and nWrites write
@@ -200,6 +207,7 @@ func (s *SSD) Write(off uint64, data []byte) error {
 		s.obsWrites.Inc()
 		s.obsWriteBytes.Add(uint64(len(data)))
 		s.obsAccess.Observe(float64(at.Nanoseconds()))
+		s.obsBusy.Add(uint64(at.Nanoseconds()))
 	}
 	return nil
 }
@@ -229,8 +237,16 @@ func (s *SSD) Read(off uint64, n int) ([]byte, error) {
 		s.obsReads.Inc()
 		s.obsReadBytes.Add(uint64(n))
 		s.obsAccess.Observe(float64(at.Nanoseconds()))
+		s.obsBusy.Add(uint64(at.Nanoseconds()))
 	}
 	return out, nil
+}
+
+// setQueueDepth publishes NVMe queue occupancy; no-op until Instrument.
+func (s *SSD) setQueueDepth(n int) {
+	if s.obsQueue != nil {
+		s.obsQueue.Set(float64(n))
+	}
 }
 
 // AccessTime models one command's device time: fixed command latency plus
