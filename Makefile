@@ -1,7 +1,7 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check check-metrics fmt bench microbench
+.PHONY: all build test vet race check check-metrics fmt bench bench-go microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
@@ -35,6 +35,15 @@ check-metrics:
 # (throughput, reduction ratios, p50/p90/p99 stage latencies).
 bench:
 	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench
+
+# bench-go runs the root workload and accelerator-lane benchmarks with
+# benchstat-compatible output (pipe COUNT>=10 runs into benchstat to
+# compare commits). BENCH_COUNT sets -count.
+BENCH_COUNT ?= 5
+bench-go:
+	$(GO) test -run '^$$' \
+		-bench '^(BenchmarkWriteH|BenchmarkWriteM|BenchmarkWriteL|BenchmarkReadMixed|BenchmarkHashLanes|BenchmarkCompressLanes)$$' \
+		-benchmem -count $(BENCH_COUNT) .
 
 # microbench runs the Go testing benchmarks.
 microbench:

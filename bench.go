@@ -12,6 +12,7 @@ import (
 	"fidr/internal/blockcomp"
 	"fidr/internal/core"
 	"fidr/internal/experiments"
+	"fidr/internal/lanes"
 	"fidr/internal/metrics"
 	"fidr/internal/trace"
 )
@@ -54,6 +55,11 @@ type BenchArtifact struct {
 	IOs        int    `json:"ios"`
 	Groups     int    `json:"groups"`
 
+	// HashLanes / CompressLanes record the accelerator lane-array widths
+	// the run used (hash cores and compression pipelines).
+	HashLanes     int `json:"hash_lanes"`
+	CompressLanes int `json:"compress_lanes"`
+
 	WallSeconds    float64 `json:"wall_seconds"`
 	ThroughputMBps float64 `json:"throughput_mbps"`
 
@@ -84,13 +90,27 @@ type BenchArtifact struct {
 	Shards              []BenchShard `json:"shards,omitempty"`
 	ShardImbalance      float64      `json:"shard_imbalance,omitempty"`
 	CrossShardDupChunks uint64       `json:"cross_shard_dup_chunks,omitempty"`
+
+	// Lane-sweep runs only: per-lane-count measurements of the same
+	// workload, and the widest/serial throughput ratio. Throughput
+	// scaling depends on the host's core count; outputs are identical.
+	LanePoints  []BenchLanePoint `json:"lane_points,omitempty"`
+	LaneSpeedup float64          `json:"lane_speedup,omitempty"`
+}
+
+// BenchLanePoint is one lane-count measurement from the lane sweep.
+type BenchLanePoint struct {
+	Lanes          int     `json:"lanes"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	ThroughputMBps float64 `json:"throughput_mbps"`
 }
 
 // benchSpec names one bench experiment.
 type benchSpec struct {
-	workload string
-	arch     Arch
-	groups   int
+	workload  string
+	arch      Arch
+	groups    int
+	laneSweep bool
 }
 
 var benchSpecs = map[string]benchSpec{
@@ -99,6 +119,7 @@ var benchSpecs = map[string]benchSpec{
 	"writel":    {workload: "Write-L", arch: FIDRFull, groups: 1},
 	"readmixed": {workload: "Read-Mixed", arch: FIDRFull, groups: 1},
 	"cluster4":  {workload: "Write-H", arch: FIDRFull, groups: 4},
+	"lanes":     {workload: "Write-L", arch: FIDRFull, groups: 1, laneSweep: true},
 }
 
 // BenchExperiments lists bench experiment names, sorted.
@@ -138,12 +159,47 @@ func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
 		IOs:        ios,
 		Groups:     spec.groups,
 	}
-	if spec.groups > 1 {
+	art.HashLanes = lanes.Normalize(cfg.HashLanes)
+	art.CompressLanes = lanes.Normalize(cfg.CompressLanes)
+	switch {
+	case spec.laneSweep:
+		err = runBenchLaneSweep(cfg, wp, &art)
+	case spec.groups > 1:
 		err = runBenchCluster(cfg, wp, spec.groups, &art)
-	} else {
+	default:
 		err = runBenchSingle(cfg, wp, &art)
 	}
 	return art, err
+}
+
+// runBenchLaneSweep runs the workload at 1, 2, 4 and 8 accelerator
+// lanes. The widest run fills the artifact body; every point lands in
+// LanePoints and LaneSpeedup is widest over serial throughput.
+func runBenchLaneSweep(cfg Config, wp Workload, art *BenchArtifact) error {
+	widths := []int{1, 2, 4, 8}
+	for i, n := range widths {
+		c := cfg
+		c.HashLanes = n
+		c.CompressLanes = n
+		target := &BenchArtifact{}
+		if i == len(widths)-1 {
+			target = art
+		}
+		if err := runBenchSingle(c, wp, target); err != nil {
+			return err
+		}
+		art.LanePoints = append(art.LanePoints, BenchLanePoint{
+			Lanes:          n,
+			WallSeconds:    target.WallSeconds,
+			ThroughputMBps: target.ThroughputMBps,
+		})
+	}
+	art.HashLanes = widths[len(widths)-1]
+	art.CompressLanes = widths[len(widths)-1]
+	if serial := art.LanePoints[0].ThroughputMBps; serial > 0 {
+		art.LaneSpeedup = art.LanePoints[len(art.LanePoints)-1].ThroughputMBps / serial
+	}
+	return nil
 }
 
 func runBenchSingle(cfg Config, wp Workload, art *BenchArtifact) error {

@@ -113,3 +113,42 @@ func TestBenchArtifactRoundTrip(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestBenchArtifactLaneSweep(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("lanes", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.LanePoints) != 4 {
+		t.Fatalf("%d lane points, want 4", len(art.LanePoints))
+	}
+	wantLanes := []int{1, 2, 4, 8}
+	for i, p := range art.LanePoints {
+		if p.Lanes != wantLanes[i] {
+			t.Errorf("point %d lanes = %d, want %d", i, p.Lanes, wantLanes[i])
+		}
+		if p.ThroughputMBps <= 0 || p.WallSeconds <= 0 {
+			t.Errorf("point %d has no measurement: %+v", i, p)
+		}
+	}
+	if art.HashLanes != 8 || art.CompressLanes != 8 {
+		t.Errorf("artifact body lanes = %d/%d, want 8/8", art.HashLanes, art.CompressLanes)
+	}
+	if art.LaneSpeedup <= 0 {
+		t.Errorf("lane speedup %v", art.LaneSpeedup)
+	}
+	// Determinism across the sweep: reduction and dedup are lane-blind.
+	if art.DedupRatio <= 0 || art.ReductionRatio <= 0 {
+		t.Errorf("dedup %v reduction %v", art.DedupRatio, art.ReductionRatio)
+	}
+}
+
+func TestBenchArtifactRecordsLanes(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("writel", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.HashLanes < 1 || art.CompressLanes < 1 {
+		t.Fatalf("lane counts %d/%d not recorded", art.HashLanes, art.CompressLanes)
+	}
+}

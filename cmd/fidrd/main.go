@@ -52,6 +52,8 @@ func main() {
 	arch := flag.String("arch", "fidr", "architecture: fidr, fidr-nic, baseline")
 	batch := flag.Int("batch", 64, "accelerator batch size in chunks")
 	width := flag.Int("width", 4, "HW tree concurrent update width")
+	hashLanes := flag.Int("hash-lanes", 0, "NIC hash-core lanes; 0 = GOMAXPROCS-derived")
+	compressLanes := flag.Int("compress-lanes", 0, "compression-pipeline lanes; 0 = GOMAXPROCS-derived")
 	groups := flag.Int("groups", 1, "device groups; >1 serves a sharded cluster (in-memory only)")
 	dataFile := flag.String("data-file", "", "file-backed data volume (durable); empty = in-memory")
 	tableFile := flag.String("table-file", "", "file-backed table volume (durable); empty = in-memory")
@@ -81,6 +83,8 @@ func main() {
 	cfg := fidr.DefaultConfig(a)
 	cfg.BatchChunks = *batch
 	cfg.UpdateWidth = *width
+	cfg.HashLanes = *hashLanes
+	cfg.CompressLanes = *compressLanes
 	if *groups < 1 {
 		log.Fatalf("fidrd: -groups %d", *groups)
 	}

@@ -3,6 +3,7 @@ package blockcomp
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // LZ is a byte-oriented LZ77 compressor shaped like the greedy,
@@ -36,13 +37,32 @@ func lzHash(v uint32) uint32 {
 	return (v * 2654435761) >> (32 - lzHashBits)
 }
 
+// lzState is the per-call match table. Pooling it keeps the 64-KB table
+// off the stack and out of the allocator when compression lanes run many
+// chunks concurrently; each lane's call checks out its own state.
+type lzState struct {
+	table [1 << lzHashBits]int32
+}
+
+var lzStatePool = sync.Pool{New: func() any { return new(lzState) }}
+
 // Compress implements Compressor.
-func (*LZ) Compress(src []byte) ([]byte, error) {
+func (z *LZ) Compress(src []byte) ([]byte, error) {
+	return z.CompressAppend(nil, src)
+}
+
+// CompressAppend implements AppendCompressor: the token stream is
+// appended to dst, so callers can recycle output buffers across chunks.
+func (*LZ) CompressAppend(dst, src []byte) ([]byte, error) {
 	if len(src) == 0 {
-		return []byte{}, nil
+		if dst == nil {
+			dst = []byte{}
+		}
+		return dst, nil
 	}
-	var dst []byte
-	var table [1 << lzHashBits]int32
+	st := lzStatePool.Get().(*lzState)
+	defer lzStatePool.Put(st)
+	table := &st.table
 	for i := range table {
 		table[i] = -1
 	}

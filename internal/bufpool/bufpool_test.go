@@ -1,0 +1,50 @@
+package bufpool
+
+import "testing"
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(4096)
+	if len(b) != 4096 {
+		t.Fatalf("len %d", len(b))
+	}
+	b[0] = 0xAA
+	Put(b)
+	c := Get(4096)
+	if len(c) != 4096 {
+		t.Fatalf("reused len %d", len(c))
+	}
+	// Contents are unspecified on Get; only the length contract holds.
+	Put(c)
+}
+
+func TestGetZeroAndPutNil(t *testing.T) {
+	if b := Get(0); b != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+	Put(nil) // must not panic
+}
+
+func TestSizeClassesDoNotMix(t *testing.T) {
+	Put(make([]byte, 512))
+	b := Get(4096)
+	if len(b) != 4096 || cap(b) < 4096 {
+		t.Fatalf("got %d/%d buffer for a 4096 request", len(b), cap(b))
+	}
+}
+
+// TestSteadyStateAllocationFree is the satellite regression: once the
+// pool is primed, a copy-Put cycle must not allocate. Without the pool
+// every 4-KB chunk copy was one fresh allocation.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	src := make([]byte, 4096)
+	// Prime one buffer so the free list is nonempty.
+	Put(make([]byte, 4096))
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := Get(4096)
+		copy(b, src)
+		Put(b)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Get/copy/Put allocates %.1f objects per op, want 0", allocs)
+	}
+}

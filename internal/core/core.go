@@ -16,6 +16,7 @@ import (
 	"fidr/internal/fingerprint"
 	"fidr/internal/hashpbn"
 	"fidr/internal/hostmodel"
+	"fidr/internal/lanes"
 	"fidr/internal/lbatable"
 	"fidr/internal/nic"
 	"fidr/internal/pcie"
@@ -70,6 +71,14 @@ type Config struct {
 	CacheLines int
 	// UpdateWidth is the HW tree's concurrent update width (FIDRFull).
 	UpdateWidth int
+	// HashLanes is the modeled SHA-256 core count: batch hashing (the
+	// FIDR NIC's core array, the baseline's FPGA hash array) fans out
+	// across this many worker goroutines. 0 selects a GOMAXPROCS-derived
+	// default. Results are byte-identical at any lane count.
+	HashLanes int
+	// CompressLanes is the modeled compression-pipeline count for the
+	// engine's lane array; same semantics as HashLanes.
+	CompressLanes int
 	// Compressor is the block compressor; nil selects the LZ engine.
 	Compressor blockcomp.Compressor
 	// NICBufferBytes is the FIDR NIC's chunk-buffer capacity.
@@ -134,6 +143,8 @@ func (c *Config) Validate() error {
 	if c.UpdateWidth < 1 {
 		c.UpdateWidth = 1
 	}
+	c.HashLanes = lanes.Normalize(c.HashLanes)
+	c.CompressLanes = lanes.Normalize(c.CompressLanes)
 	if c.Compressor == nil {
 		c.Compressor = blockcomp.NewLZ()
 	}
@@ -312,6 +323,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	comp.SetCompressLanes(cfg.CompressLanes)
 
 	s := &Server{
 		cfg:      cfg,
@@ -334,6 +346,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.fnic.SetHashLanes(cfg.HashLanes)
 	}
 	s.rcache = newReadCache(cfg.ReadCacheChunks)
 	s.latency = newLatencyTracker(DefaultLatency())

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/engine"
+	"fidr/internal/nic"
+)
+
+// TestWithinBatchAllDuplicates is the satellite regression for the
+// within-batch duplicate scan: a batch that is 100% copies of one chunk
+// must admit exactly one unique chunk and resolve every other write to
+// it, at any batch size (the old O(n²) scan is gone; semantics must
+// hold).
+func TestWithinBatchAllDuplicates(t *testing.T) {
+	for _, arch := range []Arch{FIDRNicP2P, FIDRFull} {
+		cfg := DefaultConfig(arch)
+		cfg.BatchChunks = 128
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := blockcomp.NewShaper(0.5).Make(42, 4096)
+		const n = 128
+		for i := uint64(0); i < n; i++ {
+			if err := s.Write(i, data); err != nil {
+				t.Fatalf("%v write %d: %v", arch, i, err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.UniqueChunks != 1 {
+			t.Fatalf("%v: %d unique chunks for an all-duplicate batch, want 1", arch, st.UniqueChunks)
+		}
+		if st.DuplicateChunks != n-1 {
+			t.Fatalf("%v: %d duplicates, want %d", arch, st.DuplicateChunks, n-1)
+		}
+		for i := uint64(0); i < n; i += 17 {
+			got, err := s.Read(i)
+			if err != nil {
+				t.Fatalf("%v read %d: %v", arch, i, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v: LBA %d read back wrong bytes", arch, i)
+			}
+		}
+	}
+}
+
+// laneOutcome is every comparable output of one workload run.
+type laneOutcome struct {
+	server Stats
+	engine engine.Stats
+	nic    nic.Stats
+	hits   uint64
+}
+
+// laneRun drives one server through a fixed mixed workload, verifies
+// read-back integrity, and returns the run's observable outcome.
+func laneRun(t *testing.T, arch Arch, hashLanes, compressLanes int) laneOutcome {
+	t.Helper()
+	cfg := DefaultConfig(arch)
+	cfg.HashLanes = hashLanes
+	cfg.CompressLanes = compressLanes
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	want := make(map[uint64][]byte)
+	for i := 0; i < 600; i++ {
+		lba := uint64(rng.Intn(300))
+		seed := uint64(rng.Intn(120)) // heavy duplication
+		ratio := 0.5
+		if seed%9 == 0 {
+			ratio = 1.0 // raw-fallback chunks exercise that path too
+		}
+		data := blockcomp.NewShaper(ratio).Make(seed, 4096)
+		if err := s.Write(lba, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		want[lba] = data
+		if i%37 == 0 && len(want) > 0 {
+			if _, err := s.Read(lba); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for lba, data := range want {
+		got, err := s.Read(lba)
+		if err != nil {
+			t.Fatalf("final read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("LBA %d corrupt", lba)
+		}
+	}
+	return laneOutcome{
+		server: s.Stats(),
+		engine: s.EngineStats(),
+		nic:    s.NICStats(),
+		hits:   s.CacheStats().Hits,
+	}
+}
+
+// TestLaneCountDeterminism is the tentpole invariant at server scope:
+// the same workload at 1, 2 and 8 hash/compress lanes yields identical
+// server stats, identical accelerator stats and identical stored bytes.
+func TestLaneCountDeterminism(t *testing.T) {
+	for _, arch := range []Arch{Baseline, FIDRNicP2P, FIDRFull} {
+		ref := laneRun(t, arch, 1, 1)
+		for _, n := range []int{2, 8} {
+			got := laneRun(t, arch, n, n)
+			if got != ref {
+				t.Fatalf("%v lanes=%d outcome diverges:\n got %+v\nwant %+v", arch, n, got, ref)
+			}
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "container/list"
+import (
+	"container/list"
+
+	"fidr/internal/bufpool"
+)
 
 // readCache is the §8 hot-block extension: an LRU of decompressed chunks
 // in host memory, consulted before the backend on FIDR reads. It absorbs
@@ -54,19 +58,27 @@ func (c *readCache) put(lba uint64, data []byte) {
 		return
 	}
 	if el, ok := c.index[lba]; ok {
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		el.Value.(*readCacheEntry).data = cp
+		e := el.Value.(*readCacheEntry)
+		if len(e.data) == len(data) {
+			copy(e.data, data)
+		} else {
+			bufpool.Put(e.data)
+			cp := bufpool.Get(len(data))
+			copy(cp, data)
+			e.data = cp
+		}
 		c.order.MoveToFront(el)
 		return
 	}
-	cp := make([]byte, len(data))
+	cp := bufpool.Get(len(data))
 	copy(cp, data)
 	c.index[lba] = c.order.PushFront(&readCacheEntry{lba: lba, data: cp})
 	if c.order.Len() > c.capacity {
 		back := c.order.Back()
 		c.order.Remove(back)
-		delete(c.index, back.Value.(*readCacheEntry).lba)
+		evicted := back.Value.(*readCacheEntry)
+		delete(c.index, evicted.lba)
+		bufpool.Put(evicted.data)
 	}
 }
 
@@ -78,6 +90,7 @@ func (c *readCache) invalidate(lba uint64) {
 	if el, ok := c.index[lba]; ok {
 		c.order.Remove(el)
 		delete(c.index, lba)
+		bufpool.Put(el.Value.(*readCacheEntry).data)
 	}
 }
 

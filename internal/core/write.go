@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"fidr/internal/bufpool"
 	"fidr/internal/engine"
 	"fidr/internal/fingerprint"
 	"fidr/internal/hostmodel"
+	"fidr/internal/lanes"
 	"fidr/internal/nic"
 	"fidr/internal/pcie"
 )
@@ -73,7 +75,7 @@ func (s *Server) baselineWrite(lba uint64, data []byte, tr *ReqTrace) error {
 	s.ledger.MemPayload(hostmodel.PathNICHost, uint64(len(data)))
 	s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 
-	cp := make([]byte, len(data))
+	cp := bufpool.Get(len(data))
 	copy(cp, data)
 	s.batch = append(s.batch, pending{lba: lba, data: cp, tenant: s.tenant})
 	tr.span(StageNICBuffer, from)
@@ -115,32 +117,46 @@ func (s *Server) processBaselineBatch() error {
 		s.ledger.CPU(hostmodel.CompDMAMgmt, s.costs.DMAMgmtPerChunkNs)
 	}
 
-	// 3. FPGA: hash cores fingerprint every chunk; compression cores
-	// simultaneously compress the predicted-unique chunks.
+	// 3. FPGA: the hash-core array fingerprints every chunk, fanning the
+	// batch across the configured hash lanes; the compression-pipeline
+	// array then compresses the predicted-unique chunks. Compressed
+	// results alias engine scratch, which stays valid until the next
+	// CompressMany call — every Pack in this batch happens before that.
 	type result struct {
 		fp    fingerprint.FP
 		cdata []byte
 	}
 	results := make([]result, len(batch))
 	var backBytes uint64
-	var hashDur, compDur time.Duration
-	for i := range batch {
-		t0 := bt.start()
+	t0 := bt.start()
+	lanes.Run(len(batch), lanes.Clamp(s.cfg.HashLanes, len(batch)), func(_, i int) {
 		results[i].fp = fingerprint.Of(batch[i].data)
-		hashDur += bt.since(t0)
-		backBytes += fingerprint.Size
+	})
+	bt.add(StageHash, bt.since(t0))
+	backBytes += uint64(len(batch)) * fingerprint.Size
+	var predIdx []int
+	for i := range batch {
 		if batch[i].predictedUnique {
-			t1 := bt.start()
-			cdata, _, err := s.comp.Compress(batch[i].data)
-			if err != nil {
-				return err
-			}
-			compDur += bt.since(t1)
-			results[i].cdata = cdata
-			backBytes += uint64(len(cdata))
+			predIdx = append(predIdx, i)
 		}
 	}
-	bt.add(StageHash, hashDur)
+	var compDur time.Duration
+	if len(predIdx) > 0 {
+		datas := make([][]byte, len(predIdx))
+		for j, i := range predIdx {
+			datas[j] = batch[i].data
+		}
+		t1 := bt.start()
+		rs, err := s.comp.CompressMany(datas)
+		if err != nil {
+			return err
+		}
+		compDur += bt.since(t1)
+		for j, i := range predIdx {
+			results[i].cdata = rs[j].Data
+			backBytes += uint64(len(rs[j].Data))
+		}
+	}
 	// 4. Hashes and compressed predicted-uniques return to host memory.
 	s.transfer(devFPGA, pcie.HostMemory, backBytes)
 	s.ledger.MemPayload(hostmodel.PathHostFPGA, backBytes)
@@ -195,7 +211,15 @@ func (s *Server) processBaselineBatch() error {
 	}
 	bt.add(StageDedupLookup, bt.since(from)-(compDur-compBefore))
 	bt.add(StageCompress, compDur)
-	return s.writeSealed(bt)
+	if err := s.writeSealed(bt); err != nil {
+		return err
+	}
+	// All chunk bytes are packed (containers copy) or dropped; recycle
+	// the batch's host buffers.
+	for i := range batch {
+		bufpool.Put(batch[i].data)
+	}
+	return nil
 }
 
 // --- FIDR (§5.3) ---
@@ -271,26 +295,25 @@ func (s *Server) processFIDRBatch() error {
 	from = bt.start()
 	flags := make([]bool, len(entries))
 	dupPBN := make([]uint64, len(entries))
+	// Within-batch duplicates: the first occurrence claims uniqueness;
+	// later identical chunks must see it. firstClaim indexes claimed
+	// fingerprints so the scan stays O(batch) instead of O(batch²).
+	firstClaim := make(map[fingerprint.FP]struct{}, len(entries))
 	for i, e := range entries {
 		s.cache.SetTenant(tenantAt(i))
 		pbn, found, err := s.cache.Lookup(e.FP)
 		if err != nil {
 			return err
 		}
-		if found {
+		switch {
+		case found:
 			dupPBN[i] = pbn
-		} else {
-			flags[i] = true
-			// Within-batch duplicates: the first occurrence claims
-			// uniqueness; later identical chunks must see it. Insert
-			// a provisional mapping after admission (below), so here
-			// check prior entries of this batch.
-			for j := 0; j < i; j++ {
-				if flags[j] && entries[j].FP == e.FP {
-					flags[i] = false
-					dupPBN[i] = provisionalPBN
-					break
-				}
+		default:
+			if _, claimed := firstClaim[e.FP]; claimed {
+				dupPBN[i] = provisionalPBN
+			} else {
+				flags[i] = true
+				firstClaim[e.FP] = struct{}{}
 			}
 		}
 	}
@@ -324,21 +347,36 @@ func (s *Server) processFIDRBatch() error {
 	}
 	from = bt.start()
 	fpToPBN := make(map[fingerprint.FP]uint64, len(unique))
-	for ui, u := range unique {
-		s.cache.SetTenant(uniqueTenants[ui])
-		cdata, _, err := s.comp.Compress(u.Data)
+	if len(unique) > 0 {
+		// The compression-pipeline array runs the whole unique batch
+		// across the configured lanes; packing and table updates then
+		// commit strictly in batch order, so containers and ledgers are
+		// byte-identical at any lane count.
+		datas := make([][]byte, len(unique))
+		for i := range unique {
+			datas[i] = unique[i].Data
+		}
+		rs, err := s.comp.CompressMany(datas)
 		if err != nil {
 			return err
 		}
-		meta, err := s.comp.Pack(u.LBA, u.FP, cdata, len(u.Data))
-		if err != nil {
-			return err
+		for ui, u := range unique {
+			s.cache.SetTenant(uniqueTenants[ui])
+			meta, err := s.comp.Pack(u.LBA, u.FP, rs[ui].Data, len(u.Data))
+			if err != nil {
+				return err
+			}
+			pbn, err := s.recordUnique(meta)
+			if err != nil {
+				return err
+			}
+			fpToPBN[u.FP] = pbn
 		}
-		pbn, err := s.recordUnique(meta)
-		if err != nil {
-			return err
+		// Pack copied every chunk into a container; the NIC buffer
+		// memory handed over by ScheduleBatch is recycled here.
+		for i := range unique {
+			bufpool.Put(unique[i].Data)
 		}
-		fpToPBN[u.FP] = pbn
 	}
 	bt.span(StageCompress, from)
 	metaBytes := uint64(len(unique)) * 16

@@ -21,6 +21,7 @@ import (
 
 	"fidr/internal/blockcomp"
 	"fidr/internal/fingerprint"
+	"fidr/internal/lanes"
 	"fidr/internal/lbatable"
 	"fidr/internal/metrics"
 )
@@ -70,14 +71,25 @@ type Compression struct {
 	sealed []SealedContainer
 	stats  Stats
 
+	// compressLanes is the modeled LZ77-pipeline count: CompressMany
+	// fans a batch across this many worker goroutines (1 = serial).
+	compressLanes int
+	// scratch holds one recycled output buffer per batch slot; slot i
+	// is only ever touched by the lane that owns item i, and the
+	// buffers stay valid until the next CompressMany call.
+	scratch [][]byte
+
 	// Live observability: nil unless Instrument attached a registry.
 	obsChunksIn, obsBytesIn *metrics.Counter
 	obsBytesCompressed      *metrics.Counter
 	obsRawStored, obsSealed *metrics.Counter
-	// obsBusyNS accumulates compression-core busy time (duty-cycle
-	// source); obsQueueDepth tracks sealed containers awaiting P2P
-	// pickup by the data SSD.
+	// obsBusyNS accumulates compression-section wall time (duty-cycle
+	// source); obsLaneBusyNS sums per-lane busy time across the
+	// pipeline array; obsQueueDepth tracks sealed containers awaiting
+	// P2P pickup by the data SSD.
 	obsBusyNS     *metrics.Counter
+	obsLaneBusyNS *metrics.Counter
+	obsLanesG     *metrics.Gauge
 	obsQueueDepth *metrics.Gauge
 }
 
@@ -90,8 +102,24 @@ func (e *Compression) Instrument(reg *metrics.Registry) {
 	e.obsRawStored = reg.Counter("engine.raw_stored")
 	e.obsSealed = reg.Counter("engine.containers_sealed")
 	e.obsBusyNS = reg.Counter("engine.busy_ns")
+	e.obsLaneBusyNS = reg.Counter("engine.compress_lane_busy_ns")
+	e.obsLanesG = reg.Gauge("engine.compress_lanes")
+	e.obsLanesG.Set(float64(e.compressLanes))
 	e.obsQueueDepth = reg.Gauge("engine.queue_depth")
 }
+
+// SetCompressLanes sets the modeled compression-pipeline count that
+// CompressMany fans out across. n <= 0 selects the GOMAXPROCS-derived
+// default. Results are byte-identical at any lane count.
+func (e *Compression) SetCompressLanes(count int) {
+	e.compressLanes = lanes.Normalize(count)
+	if e.obsLanesG != nil {
+		e.obsLanesG.Set(float64(e.compressLanes))
+	}
+}
+
+// CompressLanes returns the configured compression-lane count.
+func (e *Compression) CompressLanes() int { return e.compressLanes }
 
 // NewCompression creates an engine producing containers of containerSize
 // bytes using comp.
@@ -107,7 +135,7 @@ func NewCompressionAt(comp blockcomp.Compressor, containerSize int, firstContain
 	if err != nil {
 		return nil, err
 	}
-	return &Compression{comp: comp, builder: b}, nil
+	return &Compression{comp: comp, builder: b, compressLanes: 1}, nil
 }
 
 // In is one chunk entering the engine.
@@ -120,15 +148,19 @@ type In struct {
 // Compress runs the compression cores over one chunk without packing it.
 // Incompressible chunks fall back to their raw bytes. The baseline needs
 // this split: it compresses *predicted*-unique chunks speculatively but
-// packs only chunks that dedup validates as unique.
+// packs only chunks that dedup validates as unique. The returned slice
+// is caller-owned (batched callers should prefer CompressMany, which
+// recycles output buffers).
 func (e *Compression) Compress(data []byte) (cdata []byte, raw bool, err error) {
 	if len(data) == 0 {
 		return nil, false, fmt.Errorf("engine: empty chunk")
 	}
 	start := time.Now()
 	cdata, err = e.comp.Compress(data)
+	elapsed := time.Since(start)
 	if e.obsBusyNS != nil {
-		e.obsBusyNS.Add(uint64(time.Since(start)))
+		e.obsBusyNS.Add(uint64(elapsed))
+		e.obsLaneBusyNS.Add(uint64(elapsed))
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("engine: compress: %w", err)
@@ -155,6 +187,82 @@ func (e *Compression) Compress(data []byte) (cdata []byte, raw bool, err error) 
 	return cdata, false, nil
 }
 
+// Compressed is one CompressMany result. Raw marks an incompressible
+// chunk stored as its original bytes; Data then aliases the caller's
+// input. Otherwise Data aliases engine-owned scratch that stays valid
+// only until the next CompressMany call — Pack (which copies into the
+// container) must run before then.
+type Compressed struct {
+	Data []byte
+	Raw  bool
+}
+
+// CompressMany runs the compression-pipeline array over a batch of
+// chunks: chunk i runs on lane i mod lanes with a recycled per-slot
+// output buffer, and stats are committed strictly in batch order after
+// the join. Output bytes, stats and error selection (lowest failing
+// index) are byte-identical to compressing the batch serially.
+func (e *Compression) CompressMany(datas [][]byte) ([]Compressed, error) {
+	if len(datas) == 0 {
+		return nil, nil
+	}
+	for len(e.scratch) < len(datas) {
+		e.scratch = append(e.scratch, nil)
+	}
+	results := make([]Compressed, len(datas))
+	errs := make([]error, len(datas))
+	start := time.Now()
+	k := lanes.Clamp(e.compressLanes, len(datas))
+	busy := lanes.Run(len(datas), k, func(_, i int) {
+		src := datas[i]
+		if len(src) == 0 {
+			errs[i] = fmt.Errorf("engine: chunk %d: empty chunk", i)
+			return
+		}
+		cdata, err := blockcomp.CompressAppend(e.comp, e.scratch[i][:0], src)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: chunk %d: compress: %w", i, err)
+			return
+		}
+		e.scratch[i] = cdata
+		if len(cdata) >= len(src) {
+			results[i] = Compressed{Data: src, Raw: true}
+		} else {
+			results[i] = Compressed{Data: cdata}
+		}
+	})
+	wall := time.Since(start)
+	// In-order commit: identical counter evolution to the serial path,
+	// and the error for the lowest failing index wins deterministically.
+	var bytesIn, bytesOut, rawStored uint64
+	for i := range datas {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		e.stats.ChunksIn++
+		e.stats.BytesIn += uint64(len(datas[i]))
+		bytesIn += uint64(len(datas[i]))
+		out := uint64(len(results[i].Data))
+		e.stats.BytesCompressed += out
+		bytesOut += out
+		if results[i].Raw {
+			e.stats.RawStored++
+			rawStored++
+		}
+	}
+	if e.obsChunksIn != nil {
+		e.obsChunksIn.Add(uint64(len(datas)))
+		e.obsBytesIn.Add(bytesIn)
+		e.obsBytesCompressed.Add(bytesOut)
+		e.obsRawStored.Add(rawStored)
+	}
+	if e.obsBusyNS != nil {
+		e.obsBusyNS.Add(uint64(wall))
+		e.obsLaneBusyNS.Add(uint64(lanes.Total(busy)))
+	}
+	return results, nil
+}
+
 // Pack places an already-compressed chunk into the open container,
 // sealing full containers as needed, and returns its metadata.
 func (e *Compression) Pack(lba uint64, fp fingerprint.FP, cdata []byte, rawSize int) (ChunkMeta, error) {
@@ -175,17 +283,22 @@ func (e *Compression) Pack(lba uint64, fp fingerprint.FP, cdata []byte, rawSize 
 	}, nil
 }
 
-// CompressBatch compresses a batch of unique chunks, packing them into
-// containers. It returns per-chunk metadata; sealed containers accumulate
-// until TakeSealed.
+// CompressBatch compresses a batch of unique chunks across the lane
+// array, packing them into containers strictly in batch order. It
+// returns per-chunk metadata; sealed containers accumulate until
+// TakeSealed.
 func (e *Compression) CompressBatch(batch []In) ([]ChunkMeta, error) {
+	datas := make([][]byte, len(batch))
+	for i := range batch {
+		datas[i] = batch[i].Data
+	}
+	rs, err := e.CompressMany(datas)
+	if err != nil {
+		return nil, err
+	}
 	metas := make([]ChunkMeta, 0, len(batch))
-	for _, in := range batch {
-		cdata, _, err := e.Compress(in.Data)
-		if err != nil {
-			return nil, fmt.Errorf("engine: LBA %d: %w", in.LBA, err)
-		}
-		m, err := e.Pack(in.LBA, in.FP, cdata, len(in.Data))
+	for i, in := range batch {
+		m, err := e.Pack(in.LBA, in.FP, rs[i].Data, len(in.Data))
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"fidr/internal/blockcomp"
@@ -175,5 +176,103 @@ func BenchmarkCompressBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 		e.TakeSealed()
+	}
+}
+
+// TestCompressManyMatchesSerial asserts the tentpole invariant: the lane
+// array produces byte-identical output and stats at any lane count.
+func TestCompressManyMatchesSerial(t *testing.T) {
+	var datas [][]byte
+	for i := uint64(0); i < 33; i++ {
+		ratio := 0.5
+		if i%5 == 0 {
+			ratio = 1.0 // sprinkle raw-fallback chunks into the batch
+		}
+		sh := blockcomp.NewShaper(ratio)
+		datas = append(datas, sh.Make(i, 4096))
+	}
+	ref := newEngine(t, 1<<20)
+	want, err := ref.CompressMany(datas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := make([][]byte, len(want))
+	for i, c := range want {
+		wantBytes[i] = append([]byte(nil), c.Data...)
+	}
+	for _, n := range []int{2, 3, 8} {
+		e := newEngine(t, 1<<20)
+		e.SetCompressLanes(n)
+		if e.CompressLanes() != n {
+			t.Fatalf("lanes %d", e.CompressLanes())
+		}
+		got, err := e.CompressMany(datas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Raw != want[i].Raw || !bytes.Equal(got[i].Data, wantBytes[i]) {
+				t.Fatalf("lanes=%d chunk %d differs from serial result", n, i)
+			}
+		}
+		if ref.Stats() != e.Stats() {
+			t.Fatalf("lanes=%d stats %+v != serial %+v", n, e.Stats(), ref.Stats())
+		}
+	}
+}
+
+// TestCompressManyScratchReuse checks the documented aliasing contract:
+// results are valid until the next CompressMany call, which recycles the
+// per-slot scratch buffers instead of allocating fresh ones.
+func TestCompressManyScratchReuse(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	sh := blockcomp.NewShaper(0.5)
+	first, err := e.CompressMany([][]byte{sh.Make(1, 4096)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := &first[0].Data[0]
+	second, err := e.CompressMany([][]byte{sh.Make(1, 4096)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &second[0].Data[0] != p0 {
+		t.Fatal("scratch buffer was not reused across CompressMany calls")
+	}
+}
+
+func TestCompressManyEmptyChunkError(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	sh := blockcomp.NewShaper(0.5)
+	if _, err := e.CompressMany([][]byte{sh.Make(1, 4096), nil}); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	// Chunks before the failing index commit, matching the serial path.
+	if st := e.Stats(); st.ChunksIn != 1 {
+		t.Fatalf("prefix commit: ChunksIn = %d, want 1", st.ChunksIn)
+	}
+}
+
+func BenchmarkCompressLanes(b *testing.B) {
+	sh := blockcomp.NewShaper(0.5)
+	var datas [][]byte
+	for i := uint64(0); i < 64; i++ {
+		datas = append(datas, sh.Make(i, 4096))
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", n), func(b *testing.B) {
+			e, err := NewCompression(blockcomp.NewLZ(), 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.SetCompressLanes(n)
+			b.SetBytes(int64(len(datas) * 4096))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.CompressMany(datas); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

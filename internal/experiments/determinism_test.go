@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"fidr/internal/core"
+)
+
+// TestTable3LaneDeterminism is the experiment-plane half of the lane
+// invariant: the full Table 3 evaluation — every workload through a real
+// baseline server — renders byte-identical output and identical server
+// stats at 1, 2 and 8 accelerator lanes.
+func TestTable3LaneDeterminism(t *testing.T) {
+	sc := TestScale()
+	refRows, refTab, err := Table3(sc, WithLanes(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := refTab.String()
+	if refOut == "" {
+		t.Fatal("empty rendered table")
+	}
+	for _, n := range []int{2, 8} {
+		rows, tab, err := Table3(sc, WithLanes(n, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.String(); got != refOut {
+			t.Fatalf("lanes=%d rendered output differs:\n%s\n--- want ---\n%s", n, got, refOut)
+		}
+		if len(rows) != len(refRows) {
+			t.Fatalf("lanes=%d row count %d != %d", n, len(rows), len(refRows))
+		}
+		for i := range rows {
+			if rows[i] != refRows[i] {
+				t.Fatalf("lanes=%d row %d differs: %+v != %+v", n, i, rows[i], refRows[i])
+			}
+		}
+	}
+}
+
+// TestRunLaneDeterminism checks the per-run stats contract Table 3 rests
+// on: identical RunResult server stats and ledger snapshot across lane
+// counts, for both architectures of the Write-L workload the bench lane
+// sweep uses.
+func TestRunLaneDeterminism(t *testing.T) {
+	sc := TestScale()
+	for _, arch := range []core.Arch{core.Baseline, core.FIDRFull} {
+		ref, err := Run(arch, "Write-L", sc, WithLanes(1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 8} {
+			r, err := Run(arch, "Write-L", sc, WithLanes(n, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Server != ref.Server {
+				t.Fatalf("%v lanes=%d server stats diverge", arch, n)
+			}
+			if r.Cache != ref.Cache {
+				t.Fatalf("%v lanes=%d cache stats diverge", arch, n)
+			}
+			if r.Snapshot != ref.Snapshot {
+				t.Fatalf("%v lanes=%d ledger snapshot diverges", arch, n)
+			}
+			if r.P2PBytes != ref.P2PBytes || r.RootBytes != ref.RootBytes {
+				t.Fatalf("%v lanes=%d PCIe byte counts diverge", arch, n)
+			}
+		}
+	}
+}

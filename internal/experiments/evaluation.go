@@ -27,7 +27,7 @@ type Table3Row struct {
 // Table3 generates the four workloads, runs them through the baseline
 // and reports measured dedup ratio, compression ratio and cache hit rate
 // against the paper's targets.
-func Table3(sc Scale) ([]Table3Row, *metrics.Table, error) {
+func Table3(sc Scale, opts ...func(*runOptions)) ([]Table3Row, *metrics.Table, error) {
 	targets := map[string][2]float64{ // dedup, hit
 		"Write-H":    {0.88, 0.90},
 		"Write-M":    {0.84, 0.81},
@@ -39,7 +39,7 @@ func Table3(sc Scale) ([]Table3Row, *metrics.Table, error) {
 		"workload", "dedup target", "dedup measured", "comp measured",
 		"hit target", "hit measured")
 	for _, name := range EvalWorkloads() {
-		r, err := Run(core.Baseline, name, sc)
+		r, err := Run(core.Baseline, name, sc, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -133,11 +133,17 @@ func (r RunResult) CPUNsPerByte() float64 { return r.Snapshot.CPUNanosPerClientB
 type runOptions struct {
 	cacheFrac float64
 	width     int
+	// hashLanes / compressLanes size the accelerator lane arrays.
+	// Experiments pin both to 1 by default so published artifacts never
+	// depend on the host's core count; results are byte-identical at any
+	// lane count regardless (see WithLanes).
+	hashLanes     int
+	compressLanes int
 }
 
 func defaultRunOptions() runOptions {
 	// The paper caches 2.8% of the table (§7.1 factor 5).
-	return runOptions{cacheFrac: 0.028, width: 4}
+	return runOptions{cacheFrac: 0.028, width: 4, hashLanes: 1, compressLanes: 1}
 }
 
 // Run executes workload wl on architecture arch at the given scale and
@@ -151,6 +157,8 @@ func Run(arch core.Arch, workload string, sc Scale, opts ...func(*runOptions)) (
 	if err != nil {
 		return RunResult{}, err
 	}
+	cfg.HashLanes = o.hashLanes
+	cfg.CompressLanes = o.compressLanes
 	wp, err := workloadFor(workload, sc.IOs, cfg.CacheLines)
 	if err != nil {
 		return RunResult{}, err
@@ -231,6 +239,17 @@ func WithCacheFrac(f float64) func(*runOptions) {
 // WithWidth overrides the HW tree's concurrent update width.
 func WithWidth(w int) func(*runOptions) {
 	return func(o *runOptions) { o.width = w }
+}
+
+// WithLanes overrides the accelerator lane counts (hash cores and
+// compression pipelines). 0 selects the GOMAXPROCS-derived default.
+// Lane count changes wall time only: every rendered table, figure and
+// stats snapshot is byte-identical across lane counts.
+func WithLanes(hash, compress int) func(*runOptions) {
+	return func(o *runOptions) {
+		o.hashLanes = hash
+		o.compressLanes = compress
+	}
 }
 
 // profilingCacheFrac calibrates the §3.2 profiling runs: the paper's

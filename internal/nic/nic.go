@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"time"
 
+	"fidr/internal/bufpool"
 	"fidr/internal/fingerprint"
+	"fidr/internal/lanes"
 	"fidr/internal/metrics"
 )
 
@@ -58,6 +60,9 @@ type FIDR struct {
 	// lbaIndex finds the most recent buffered entry per LBA for the
 	// read fast path (§5.3 read step 2).
 	lbaIndex map[uint64]int
+	// hashLanes is the modeled SHA-256 core count: HashAll fans the
+	// batch across this many worker goroutines (1 = serial).
+	hashLanes int
 
 	stats Stats
 	obs   *nicObs
@@ -69,9 +74,13 @@ type nicObs struct {
 	readLookups, readHits  *metrics.Counter
 	batches, uniqueSent    *metrics.Counter
 	dupDrops               *metrics.Counter
-	// busyNS accumulates hash-core busy time; its windowed rate is the
-	// NIC's duty cycle in the sampler.
-	busyNS *metrics.Counter
+	// busyNS accumulates hash-section wall time; its windowed rate is
+	// the NIC's duty cycle in the sampler. hashLaneBusyNS sums per-lane
+	// busy time across the SHA-core array (exceeds busyNS when lanes
+	// overlap); hashLanesG reports the configured lane count.
+	busyNS         *metrics.Counter
+	hashLaneBusyNS *metrics.Counter
+	hashLanesG     *metrics.Gauge
 	// queueDepth / bufferedBytes track in-NIC buffer occupancy live.
 	queueDepth    *metrics.Gauge
 	bufferedBytes *metrics.Gauge
@@ -79,31 +88,51 @@ type nicObs struct {
 
 func newNICObs(reg *metrics.Registry) *nicObs {
 	return &nicObs{
-		writes:        reg.Counter("nic.writes_buffered"),
-		bytes:         reg.Counter("nic.bytes_buffered"),
-		hashOps:       reg.Counter("nic.hash_ops"),
-		readLookups:   reg.Counter("nic.read_lookups"),
-		readHits:      reg.Counter("nic.read_hits"),
-		batches:       reg.Counter("nic.batches_made"),
-		uniqueSent:    reg.Counter("nic.unique_sent"),
-		dupDrops:      reg.Counter("nic.duplicate_drops"),
-		busyNS:        reg.Counter("nic.busy_ns"),
-		queueDepth:    reg.Gauge("nic.queue_depth"),
-		bufferedBytes: reg.Gauge("nic.buffered_bytes"),
+		writes:         reg.Counter("nic.writes_buffered"),
+		bytes:          reg.Counter("nic.bytes_buffered"),
+		hashOps:        reg.Counter("nic.hash_ops"),
+		readLookups:    reg.Counter("nic.read_lookups"),
+		readHits:       reg.Counter("nic.read_hits"),
+		batches:        reg.Counter("nic.batches_made"),
+		uniqueSent:     reg.Counter("nic.unique_sent"),
+		dupDrops:       reg.Counter("nic.duplicate_drops"),
+		busyNS:         reg.Counter("nic.busy_ns"),
+		hashLaneBusyNS: reg.Counter("nic.hash_lane_busy_ns"),
+		hashLanesG:     reg.Gauge("nic.hash_lanes"),
+		queueDepth:     reg.Gauge("nic.queue_depth"),
+		bufferedBytes:  reg.Gauge("nic.buffered_bytes"),
 	}
 }
 
 // Instrument mirrors NIC activity into reg under "nic.*". Call once,
 // before serving traffic.
-func (n *FIDR) Instrument(reg *metrics.Registry) { n.obs = newNICObs(reg) }
+func (n *FIDR) Instrument(reg *metrics.Registry) {
+	n.obs = newNICObs(reg)
+	n.obs.hashLanesG.Set(float64(n.hashLanes))
+}
 
 // NewFIDR creates a FIDR NIC with the given buffer capacity in bytes.
+// The NIC starts with one hash lane (serial); SetHashLanes widens the
+// SHA-core array.
 func NewFIDR(bufferCap int) (*FIDR, error) {
 	if bufferCap < 4096 {
 		return nil, fmt.Errorf("nic: buffer capacity %d too small", bufferCap)
 	}
-	return &FIDR{bufferCap: bufferCap, lbaIndex: make(map[uint64]int)}, nil
+	return &FIDR{bufferCap: bufferCap, lbaIndex: make(map[uint64]int), hashLanes: 1}, nil
 }
+
+// SetHashLanes sets the modeled SHA-256 core count HashAll fans out
+// across. n <= 0 selects the GOMAXPROCS-derived default. Results are
+// byte-identical at any lane count; only wall time changes.
+func (n *FIDR) SetHashLanes(count int) {
+	n.hashLanes = lanes.Normalize(count)
+	if n.obs != nil {
+		n.obs.hashLanesG.Set(float64(n.hashLanes))
+	}
+}
+
+// HashLanes returns the configured SHA-core lane count.
+func (n *FIDR) HashLanes() int { return n.hashLanes }
 
 // BufferWrite accepts one chunk into the in-NIC buffer. The data is
 // copied (the NIC owns its buffer memory). Returns ErrBufferFull when the
@@ -112,7 +141,7 @@ func (n *FIDR) BufferWrite(lba uint64, data []byte) error {
 	if n.buffered+len(data) > n.bufferCap {
 		return ErrBufferFull
 	}
-	cp := make([]byte, len(data))
+	cp := bufpool.Get(len(data))
 	copy(cp, data)
 	n.buffer = append(n.buffer, WriteEntry{LBA: lba, Data: cp})
 	n.lbaIndex[lba] = len(n.buffer) - 1
@@ -134,29 +163,48 @@ func (n *FIDR) Buffered() int { return len(n.buffer) }
 // BufferedBytes returns the bytes held in the in-NIC buffer.
 func (n *FIDR) BufferedBytes() int { return n.buffered }
 
-// HashAll runs the NIC's SHA-256 cores over unhashed buffered chunks and
-// returns the (LBA, fingerprint) pairs to send to the host — the only
-// write-path data that touches host memory in FIDR.
+// HashAll runs the NIC's SHA-256 core array over unhashed buffered
+// chunks and returns the (LBA, fingerprint) pairs to send to the host —
+// the only write-path data that touches host memory in FIDR, so the
+// returned entries carry no chunk bytes (Data is nil; the data itself
+// stays in NIC memory until ScheduleBatch).
+//
+// Unhashed chunks fan out across the configured hash lanes with a
+// deterministic chunk->lane assignment; fingerprints and stats are
+// committed in buffer order after the join, so the result is
+// byte-identical to the serial path at any lane count.
 func (n *FIDR) HashAll() []WriteEntry {
 	start := time.Now()
-	hashed := false
-	out := make([]WriteEntry, 0, len(n.buffer))
+	var pending []int
 	for i := range n.buffer {
-		e := &n.buffer[i]
-		if !e.Hashed {
+		if !n.buffer[i].Hashed {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) > 0 {
+		k := lanes.Clamp(n.hashLanes, len(pending))
+		busy := lanes.Run(len(pending), k, func(_, p int) {
+			e := &n.buffer[pending[p]]
 			e.FP = fingerprint.Of(e.Data)
 			e.Hashed = true
-			hashed = true
+		})
+		// In-order commit: counters advance in buffer order regardless
+		// of which lane hashed which chunk.
+		for _, i := range pending {
 			n.stats.HashOps++
-			n.stats.HashBytes += uint64(len(e.Data))
-			if n.obs != nil {
-				n.obs.hashOps.Inc()
-			}
+			n.stats.HashBytes += uint64(len(n.buffer[i].Data))
 		}
-		out = append(out, *e)
+		if n.obs != nil {
+			n.obs.hashOps.Add(uint64(len(pending)))
+			n.obs.busyNS.Add(uint64(time.Since(start)))
+			n.obs.hashLaneBusyNS.Add(uint64(lanes.Total(busy)))
+		}
 	}
-	if hashed && n.obs != nil {
-		n.obs.busyNS.Add(uint64(time.Since(start)))
+	out := make([]WriteEntry, len(n.buffer))
+	for i := range n.buffer {
+		e := n.buffer[i]
+		e.Data = nil
+		out[i] = e
 	}
 	return out
 }
@@ -197,6 +245,10 @@ func (n *FIDR) ScheduleBatch(flags []bool) ([]WriteEntry, error) {
 				n.obs.uniqueSent.Inc()
 			}
 		} else {
+			// Duplicates never leave the NIC; their buffer memory is
+			// recycled immediately. Unique chunks transfer ownership to
+			// the caller, who releases them after container packing.
+			bufpool.Put(n.buffer[i].Data)
 			n.stats.DuplicateDrops++
 			if n.obs != nil {
 				n.obs.dupDrops.Inc()

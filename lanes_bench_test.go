@@ -1,0 +1,145 @@
+package fidr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fidr"
+	"fidr/internal/blockcomp"
+	"fidr/internal/bufpool"
+	"fidr/internal/core"
+	"fidr/internal/engine"
+	"fidr/internal/experiments"
+	"fidr/internal/nic"
+	"fidr/internal/trace"
+)
+
+// benchWorkload streams one experiment-standard workload through a fresh
+// FIDRFull server per iteration. Compare lane scaling with
+// BenchmarkHashLanes / BenchmarkCompressLanes; these fix the server to
+// the GOMAXPROCS-derived lane default.
+func benchWorkload(b *testing.B, workload string) {
+	const ios = 4000
+	cfg, err := experiments.ConfigFor(core.FIDRFull, ios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wp, err := experiments.WorkloadParams(workload, ios, cfg.CacheLines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ios * cfg.ChunkSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := fidr.NewServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveWorkload(b, srv, wp, cfg.ChunkSize)
+	}
+}
+
+func driveWorkload(b *testing.B, srv *fidr.Server, wp fidr.Workload, chunkSize int) {
+	b.Helper()
+	gen, err := trace.NewGenerator(wp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := blockcomp.NewShaper(wp.CompressRatio)
+	buf := make([]byte, chunkSize)
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		switch req.Op {
+		case trace.OpWrite:
+			sh.Block(req.ContentSeed, buf)
+			if err := srv.Write(req.LBA, buf); err != nil {
+				b.Fatal(err)
+			}
+		case trace.OpRead:
+			if _, err := srv.Read(req.LBA); err != nil && err != core.ErrNotFound {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkWriteH(b *testing.B)    { benchWorkload(b, "Write-H") }
+func BenchmarkWriteM(b *testing.B)    { benchWorkload(b, "Write-M") }
+func BenchmarkWriteL(b *testing.B)    { benchWorkload(b, "Write-L") }
+func BenchmarkReadMixed(b *testing.B) { benchWorkload(b, "Read-Mixed") }
+
+// BenchmarkHashLanes isolates the NIC SHA-core array: buffer a batch,
+// fan HashAll across the lane array, drain. Scaling tracks the host's
+// core count; results are byte-identical at every width.
+func BenchmarkHashLanes(b *testing.B) {
+	const batch = 64
+	sh := blockcomp.NewShaper(0.5)
+	chunks := make([][]byte, batch)
+	for i := range chunks {
+		chunks[i] = sh.Make(uint64(i), 4096)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", n), func(b *testing.B) {
+			fn, err := nic.NewFIDR(batch * 4096 * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fn.SetHashLanes(n)
+			flags := make([]bool, batch)
+			for i := range flags {
+				flags[i] = true
+			}
+			b.SetBytes(batch * 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, c := range chunks {
+					if err := fn.BufferWrite(uint64(j), c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				fn.HashAll()
+				unique, err := fn.ScheduleBatch(flags)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, u := range unique {
+					bufpool.Put(u.Data)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressLanes isolates the compression-pipeline array over a
+// fixed unique batch.
+func BenchmarkCompressLanes(b *testing.B) {
+	const batch = 64
+	sh := blockcomp.NewShaper(0.5)
+	datas := make([][]byte, batch)
+	for i := range datas {
+		datas[i] = sh.Make(uint64(i), 4096)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", n), func(b *testing.B) {
+			e, err := engine.NewCompression(blockcomp.NewLZ(), 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.SetCompressLanes(n)
+			b.SetBytes(batch * 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.CompressMany(datas); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
