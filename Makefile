@@ -1,7 +1,7 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check check-metrics fmt bench bench-go microbench
+.PHONY: all build test vet race check check-metrics check-crash fmt bench bench-archival bench-go microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
@@ -31,10 +31,27 @@ fmt:
 check-metrics:
 	$(GO) test -v -run 'TestMetricsEndpointE2E|TestHostDRAMPayloadInvariantE2E' ./cmd/fidrd
 
+# check-crash runs the durability suite under the race detector: the
+# randomized crash-injection harness (240 seeded crash/recover cycles
+# across four pipeline stages; seeds are fixed inside the test), the
+# checkpoint-vs-concurrent-writes regression, the group-local WAL
+# recovery test, and the WAL unit + fault matrix in internal/core.
+# CRASH_COUNT repeats the whole sweep.
+CRASH_COUNT ?= 1
+check-crash:
+	$(GO) test -race -count $(CRASH_COUNT) \
+		-run 'TestCrashRecoveryRandomized|TestCheckpointRacingWrites|TestGroupLocalWALRecovery' .
+	$(GO) test -race -count $(CRASH_COUNT) -run 'TestWAL|TestRecoverServerTypedErrors' ./internal/core
+
 # bench writes machine-readable BENCH_<experiment>.json artifacts
 # (throughput, reduction ratios, p50/p90/p99 stage latencies).
 bench:
 	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench
+
+# bench-archival writes only BENCH_archival.json: the WAL-attached
+# Archival ingest run plus the recovery-time vs. WAL-length sweep.
+bench-archival:
+	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench archival
 
 # bench-go runs the root workload and accelerator-lane benchmarks with
 # benchstat-compatible output (pipe COUNT>=10 runs into benchstat to

@@ -14,6 +14,7 @@ import (
 	"fidr/internal/experiments"
 	"fidr/internal/lanes"
 	"fidr/internal/metrics"
+	"fidr/internal/ssd"
 	"fidr/internal/trace"
 )
 
@@ -96,6 +97,23 @@ type BenchArtifact struct {
 	// scaling depends on the host's core count; outputs are identical.
 	LanePoints  []BenchLanePoint `json:"lane_points,omitempty"`
 	LaneSpeedup float64          `json:"lane_speedup,omitempty"`
+
+	// WAL-attached runs only: the log's commit totals for the measured
+	// run, and the recovery sweep (crash + RecoverServer + replay timed
+	// against growing post-checkpoint log lengths).
+	WALAppendedRecords uint64               `json:"wal_appended_records,omitempty"`
+	WALDurableBytes    int64                `json:"wal_durable_bytes,omitempty"`
+	RecoveryPoints     []BenchRecoveryPoint `json:"recovery_points,omitempty"`
+}
+
+// BenchRecoveryPoint is one crash-recovery measurement: the server is
+// checkpointed mid-workload, runs WALFraction of the remaining trace,
+// crashes, and is timed through RecoverServer + WAL replay.
+type BenchRecoveryPoint struct {
+	WALFraction     float64 `json:"wal_fraction"`
+	WALBytes        int64   `json:"wal_bytes"`
+	ReplayedRecords int     `json:"replayed_records"`
+	RecoveryMillis  float64 `json:"recovery_ms"`
 }
 
 // BenchLanePoint is one lane-count measurement from the lane sweep.
@@ -111,6 +129,8 @@ type benchSpec struct {
 	arch      Arch
 	groups    int
 	laneSweep bool
+	// archival attaches a WAL and appends the crash-recovery sweep.
+	archival bool
 }
 
 var benchSpecs = map[string]benchSpec{
@@ -120,6 +140,7 @@ var benchSpecs = map[string]benchSpec{
 	"readmixed": {workload: "Read-Mixed", arch: FIDRFull, groups: 1},
 	"cluster4":  {workload: "Write-H", arch: FIDRFull, groups: 4},
 	"lanes":     {workload: "Write-L", arch: FIDRFull, groups: 1, laneSweep: true},
+	"archival":  {workload: "Archival", arch: FIDRFull, groups: 1, archival: true},
 }
 
 // BenchExperiments lists bench experiment names, sorted.
@@ -164,6 +185,8 @@ func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
 	switch {
 	case spec.laneSweep:
 		err = runBenchLaneSweep(cfg, wp, &art)
+	case spec.archival:
+		err = runBenchArchival(cfg, wp, &art)
 	case spec.groups > 1:
 		err = runBenchCluster(cfg, wp, spec.groups, &art)
 	default:
@@ -261,6 +284,128 @@ func runBenchCluster(cfg Config, wp Workload, groups int, art *BenchArtifact) er
 	return nil
 }
 
+// runBenchArchival drives the Archival workload on a WAL-attached
+// server for the artifact body, then measures crash recovery against
+// growing log lengths: for each fraction, a fresh server checkpoints a
+// base of half the trace, runs that fraction of the remainder, loses
+// power (the log device drops everything past its durable image), and
+// is timed through RecoverServer + WAL replay.
+func runBenchArchival(cfg Config, wp Workload, art *BenchArtifact) error {
+	w, err := core.NewWAL(core.NewMemWALDevice())
+	if err != nil {
+		return err
+	}
+	c := cfg
+	c.WAL = w
+	srv, err := NewServer(c)
+	if err != nil {
+		return err
+	}
+	view := srv.EnableObservability(nil, 64)
+	wall, err := driveBench(srv, wp, cfg.ChunkSize)
+	if err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fillBenchArtifact(art, st, srv.CacheStats().HitRate(), wall, view.Snapshot())
+	ws := srv.WALStats()
+	art.WALAppendedRecords = ws.AppendedRecords
+	art.WALDurableBytes = ws.DurableBytes
+
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		pt, err := benchRecoveryPoint(cfg, wp, frac)
+		if err != nil {
+			return fmt.Errorf("fidr: bench recovery sweep at %.2f: %w", frac, err)
+		}
+		art.RecoveryPoints = append(art.RecoveryPoints, pt)
+	}
+	return nil
+}
+
+// benchRecoveryPoint runs one crash/recover cycle and times the
+// recovery. The base (first half of the trace) is checkpointed so only
+// the fraction written after it lives in the WAL at crash time.
+func benchRecoveryPoint(cfg Config, wp Workload, frac float64) (BenchRecoveryPoint, error) {
+	capacity := uint64(wp.TotalIOs) * 4096 * 2
+	if capacity < 1<<28 {
+		capacity = 1 << 28
+	}
+	tssd := ssd.MustNew(ssd.Config{Name: "tssd", CapacityBytes: capacity, PageSize: 4096,
+		ReadBW: 3.5e9, WriteBW: 2.7e9})
+	dssd := ssd.MustNew(ssd.Config{Name: "dssd", CapacityBytes: capacity, PageSize: 4096,
+		ReadBW: 3.5e9, WriteBW: 2.7e9})
+	dev := core.NewMemWALDevice()
+	w, err := core.NewWAL(dev)
+	if err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	c := cfg
+	c.TableSSD, c.DataSSD, c.WAL = tssd, dssd, w
+	srv, err := NewServer(c)
+	if err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+
+	gen, err := trace.NewGenerator(wp)
+	if err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	sh := blockcomp.NewShaper(wp.CompressRatio)
+	buf := make([]byte, cfg.ChunkSize)
+	base := wp.TotalIOs / 2
+	if err := driveBenchN(srv, gen, sh, buf, base); err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	if err := srv.Checkpoint(); err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	extra := int(frac * float64(wp.TotalIOs-base))
+	if err := driveBenchN(srv, gen, sh, buf, extra); err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	if err := srv.Flush(); err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+
+	dev.Crash()
+	w2, err := core.NewWAL(dev)
+	if err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	c.WAL = w2
+	pt := BenchRecoveryPoint{WALFraction: frac, WALBytes: w2.Stats().DurableBytes}
+	start := time.Now()
+	rec, err := core.RecoverServer(c)
+	if err != nil {
+		return BenchRecoveryPoint{}, err
+	}
+	pt.RecoveryMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	pt.ReplayedRecords = rec.LastRecovery().ReplayedRecords
+	return pt, nil
+}
+
+// driveBenchN consumes up to n requests from gen against srv.
+func driveBenchN(srv *Server, gen *trace.Generator, sh *blockcomp.Shaper, buf []byte, n int) error {
+	for i := 0; i < n; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			return nil
+		}
+		switch req.Op {
+		case trace.OpWrite:
+			sh.Block(req.ContentSeed, buf)
+			if err := srv.Write(req.LBA, buf); err != nil {
+				return fmt.Errorf("fidr: bench recovery write: %w", err)
+			}
+		case trace.OpRead:
+			if _, err := srv.Read(req.LBA); err != nil && err != core.ErrNotFound {
+				return fmt.Errorf("fidr: bench recovery read: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
 // driveBench streams the workload synchronously and returns the wall
 // time including the final flush.
 func driveBench(s Store, wp Workload, chunkSize int) (time.Duration, error) {
@@ -339,7 +484,12 @@ func fillBenchArtifact(art *BenchArtifact, st Stats, cacheHit float64, wall time
 		}
 		name, ok := strings.CutSuffix(m.Name, ".ns")
 		if !ok {
-			continue
+			// The WAL names its commit-fsync histogram with an
+			// underscore suffix; surface it alongside request latencies.
+			if m.Name != "wal.fsync_ns" {
+				continue
+			}
+			name = "wal.fsync"
 		}
 		lat := BenchLatency{
 			Count:  m.Hist.Count,
@@ -352,7 +502,8 @@ func fillBenchArtifact(art *BenchArtifact, st Stats, cacheHit float64, wall time
 		switch {
 		case strings.HasPrefix(name, "stage."):
 			art.StageLatencyNS[strings.TrimPrefix(name, "stage.")] = lat
-		case strings.HasPrefix(name, "latency.") || strings.HasPrefix(name, "cluster."):
+		case strings.HasPrefix(name, "latency.") || strings.HasPrefix(name, "cluster.") ||
+			strings.HasPrefix(name, "wal."):
 			art.RequestLatencyNS[name] = lat
 		}
 	}

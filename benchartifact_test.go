@@ -143,6 +143,50 @@ func TestBenchArtifactLaneSweep(t *testing.T) {
 	}
 }
 
+func TestBenchArtifactArchival(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("archival", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Workload != "Archival" {
+		t.Fatalf("workload = %q, want Archival", art.Workload)
+	}
+	if art.WALAppendedRecords == 0 || art.WALDurableBytes <= 0 {
+		t.Fatalf("WAL totals missing: %d records, %d bytes",
+			art.WALAppendedRecords, art.WALDurableBytes)
+	}
+	if lat, ok := art.RequestLatencyNS["wal.fsync"]; !ok || lat.Count == 0 {
+		t.Error("wal.fsync latency missing from artifact")
+	}
+	if len(art.RecoveryPoints) != 4 {
+		t.Fatalf("%d recovery points, want 4", len(art.RecoveryPoints))
+	}
+	prevBytes := int64(-1)
+	for i, p := range art.RecoveryPoints {
+		if p.WALFraction <= 0 || p.WALFraction > 1 {
+			t.Errorf("point %d fraction %v outside (0, 1]", i, p.WALFraction)
+		}
+		if p.WALBytes <= prevBytes {
+			t.Errorf("point %d WAL length %d not longer than previous %d",
+				i, p.WALBytes, prevBytes)
+		}
+		prevBytes = p.WALBytes
+		if p.ReplayedRecords <= 0 {
+			t.Errorf("point %d replayed no records", i)
+		}
+		if p.RecoveryMillis <= 0 {
+			t.Errorf("point %d recovery time %vms", i, p.RecoveryMillis)
+		}
+	}
+	// Longer logs replay more records: the sweep is the recovery-time
+	// vs. WAL-length curve.
+	first, last := art.RecoveryPoints[0], art.RecoveryPoints[3]
+	if last.ReplayedRecords <= first.ReplayedRecords {
+		t.Errorf("replayed records did not grow with WAL length: %d -> %d",
+			first.ReplayedRecords, last.ReplayedRecords)
+	}
+}
+
 func TestBenchArtifactRecordsLanes(t *testing.T) {
 	art, err := fidr.RunBenchExperiment("writel", 2000)
 	if err != nil {

@@ -24,9 +24,16 @@ type Cluster struct {
 }
 
 // NewCluster builds n groups from cfg (each group gets its own devices).
+// A write-ahead log is group-local (like a group's SSDs), so cfg.WAL
+// must be nil: one log shared across groups would interleave unrelated
+// allocation sequences and corrupt every group on replay. Attach a WAL
+// per server via core.Config for durable group setups.
 func NewCluster(cfg Config, n int) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fidr: cluster needs at least one group")
+	}
+	if cfg.WAL != nil && n > 1 {
+		return nil, fmt.Errorf("fidr: a WAL is group-local; cannot share one across %d groups", n)
 	}
 	c := &Cluster{groups: make([]*Server, n)}
 	for i := range c.groups {

@@ -11,6 +11,12 @@
 // device groups, each a full server, with client LBAs sharded across
 // them (in-memory only; incompatible with -data-file/-recover).
 //
+// With -data-file/-table-file the volumes are durable; adding
+// -wal-file writes every table/refcount/LBA mutation to a group-local
+// write-ahead log, so a crash between checkpoints loses nothing that
+// was committed: restart with -recover to replay the log over the last
+// checkpoint (fidrfsck -wal-file checks such a volume offline).
+//
 // With -metrics-addr the server exposes its live metrics over HTTP:
 // GET /metrics dumps counters, gauges and per-stage latency histograms
 // in plain text, GET /metrics?format=prom emits Prometheus text
@@ -57,7 +63,8 @@ func main() {
 	groups := flag.Int("groups", 1, "device groups; >1 serves a sharded cluster (in-memory only)")
 	dataFile := flag.String("data-file", "", "file-backed data volume (durable); empty = in-memory")
 	tableFile := flag.String("table-file", "", "file-backed table volume (durable); empty = in-memory")
-	recover := flag.Bool("recover", false, "recover state from a checkpoint on the table volume")
+	walFile := flag.String("wal-file", "", "write-ahead log file; mutations since the last checkpoint survive a crash (requires -data-file)")
+	recover := flag.Bool("recover", false, "recover state from a checkpoint on the table volume (and replay -wal-file when set)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /traces; empty = disabled")
 	metricsInterval := flag.Duration("metrics-interval", 0, "log a metrics summary at this interval; 0 = disabled")
 	traces := flag.Int("traces", 256, "recent request traces kept for /traces")
@@ -98,8 +105,8 @@ func main() {
 		shutdown func()
 	)
 	if *groups > 1 {
-		if *dataFile != "" || *tableFile != "" || *recover {
-			log.Fatal("fidrd: -groups > 1 is incompatible with -data-file/-table-file/-recover")
+		if *dataFile != "" || *tableFile != "" || *walFile != "" || *recover {
+			log.Fatal("fidrd: -groups > 1 is incompatible with -data-file/-table-file/-wal-file/-recover")
 		}
 		cl, err := fidr.NewCluster(cfg, *groups)
 		if err != nil {
@@ -120,6 +127,25 @@ func main() {
 		if err := attachVolumes(&cfg, *dataFile, *tableFile); err != nil {
 			log.Fatalf("fidrd: %v", err)
 		}
+		var wal *core.WAL
+		if *walFile != "" {
+			if cfg.DataSSD == nil {
+				log.Fatal("fidrd: -wal-file requires -data-file and -table-file")
+			}
+			w, err := core.OpenWALFile(*walFile)
+			if err != nil {
+				log.Fatalf("fidrd: wal: %v", err)
+			}
+			if !*recover {
+				// A fresh start must not replay a previous deployment's
+				// log over an empty server.
+				if err := w.Reset(); err != nil {
+					log.Fatalf("fidrd: wal reset: %v", err)
+				}
+			}
+			cfg.WAL = w
+			wal = w
+		}
 		var srv *fidr.Server
 		var err error
 		if *recover {
@@ -132,6 +158,11 @@ func main() {
 		}
 		if err != nil {
 			log.Fatalf("fidrd: %v", err)
+		}
+		if *recover && wal != nil {
+			rr := srv.LastRecovery()
+			log.Printf("fidrd: replayed %d WAL records (checkpoint seq %d, genesis=%v)",
+				rr.ReplayedRecords, rr.CheckpointSeq, rr.FromGenesis)
 		}
 		durable := cfg.DataSSD != nil && cfg.TableSSD != nil
 		// Attach the live registry before serving: the HTTP endpoint and
@@ -148,6 +179,11 @@ func main() {
 					log.Printf("fidrd: checkpoint: %v", err)
 				} else {
 					log.Printf("fidrd: checkpoint written; restart with -recover to resume")
+				}
+				if wal != nil {
+					if err := wal.Close(); err != nil {
+						log.Printf("fidrd: wal close: %v", err)
+					}
 				}
 			} else if err := srv.Flush(); err != nil {
 				log.Printf("fidrd: flush: %v", err)

@@ -1,20 +1,24 @@
 // Command fidrfsck checks a durable FIDR volume offline: it recovers the
-// server state from the checkpoint on the table volume and runs the full
-// consistency pass (metadata invariants, reference counts, content
-// re-hashing against the Hash-PBN table).
+// server state from the checkpoint on the table volume (replaying the
+// write-ahead log when one is given) and runs the full consistency pass
+// (metadata invariants, reference counts, content re-hashing against the
+// Hash-PBN table).
 //
 // Usage:
 //
-//	fidrfsck -data-file vol.data -table-file vol.table
+//	fidrfsck -data-file vol.data -table-file vol.table [-wal-file vol.wal]
 //
 // Exit status 0 means consistent; 1 means problems were found (each is
-// printed); 2 means the volumes could not be opened or recovered.
+// printed); 2 means the volumes could not be opened or recovered —
+// "no checkpoint" (not a FIDR volume, or never checkpointed) and
+// "corrupt checkpoint" are reported distinctly.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"fidr"
@@ -23,21 +27,32 @@ import (
 )
 
 func main() {
-	dataFile := flag.String("data-file", "", "file-backed data volume (required)")
-	tableFile := flag.String("table-file", "", "file-backed table volume (required)")
-	gc := flag.Bool("gc", false, "also report reclaimable garbage per container")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, recovers the volume
+// and reports, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fidrfsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataFile := fs.String("data-file", "", "file-backed data volume (required)")
+	tableFile := fs.String("table-file", "", "file-backed table volume (required)")
+	walFile := fs.String("wal-file", "", "write-ahead log to replay over the checkpoint (optional)")
+	gc := fs.Bool("gc", false, "also report reclaimable garbage per container")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *dataFile == "" || *tableFile == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	dcfg := ssd.Samsung970Pro("data-ssd")
 	dcfg.BackingFile = *dataFile
 	dev, err := ssd.New(dcfg)
 	if err != nil {
-		log.Printf("fidrfsck: %v", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fidrfsck: %v\n", err)
+		return 2
 	}
 	defer dev.Close()
 	tcfg := ssd.Samsung970Pro("table-ssd")
@@ -45,37 +60,61 @@ func main() {
 	tcfg.CapacityBytes = 1 << 40
 	tdev, err := ssd.New(tcfg)
 	if err != nil {
-		log.Printf("fidrfsck: %v", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fidrfsck: %v\n", err)
+		return 2
 	}
 	defer tdev.Close()
 
 	cfg := fidr.DefaultConfig(fidr.FIDRFull)
 	cfg.DataSSD = dev
 	cfg.TableSSD = tdev
+	if *walFile != "" {
+		w, err := core.OpenWALFile(*walFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "fidrfsck: wal: %v\n", err)
+			return 2
+		}
+		defer w.Close()
+		cfg.WAL = w
+	}
 	srv, err := core.RecoverServer(cfg)
-	if err != nil {
-		log.Printf("fidrfsck: recover: %v", err)
-		os.Exit(2)
+	switch {
+	case errors.Is(err, core.ErrNoCheckpoint):
+		fmt.Fprintf(stderr, "fidrfsck: no volume: %v\n", err)
+		return 2
+	case errors.Is(err, core.ErrCorruptCheckpoint):
+		fmt.Fprintf(stderr, "fidrfsck: corrupt volume: %v\n", err)
+		return 2
+	case err != nil:
+		fmt.Fprintf(stderr, "fidrfsck: recover: %v\n", err)
+		return 2
+	}
+	if rr := srv.LastRecovery(); cfg.WAL != nil {
+		fmt.Fprintf(stdout, "fidrfsck: replayed %d WAL records (checkpoint seq %d, genesis=%v)\n",
+			rr.ReplayedRecords, rr.CheckpointSeq, rr.FromGenesis)
+		if rr.StaleTableEntriesDropped > 0 || rr.OrphanedContainersCleared > 0 {
+			fmt.Fprintf(stdout, "fidrfsck: repaired %d stale table entries, %d orphaned containers\n",
+				rr.StaleTableEntriesDropped, rr.OrphanedContainersCleared)
+		}
 	}
 
 	rep, err := srv.Verify()
 	if err != nil {
-		log.Printf("fidrfsck: verify: %v", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fidrfsck: verify: %v\n", err)
+		return 2
 	}
-	fmt.Printf("fidrfsck: %d mappings, %d chunks checked\n", rep.MappingsChecked, rep.ChunksChecked)
+	fmt.Fprintf(stdout, "fidrfsck: %d mappings, %d chunks checked\n", rep.MappingsChecked, rep.ChunksChecked)
 	if *gc {
 		g := srv.Garbage()
-		fmt.Printf("fidrfsck: %d reclaimable bytes across %d containers\n",
+		fmt.Fprintf(stdout, "fidrfsck: %d reclaimable bytes across %d containers\n",
 			g.TotalDeadBytes, len(g.DeadBytesByContainer))
 	}
 	if rep.OK() {
-		fmt.Println("fidrfsck: volume is consistent")
-		return
+		fmt.Fprintln(stdout, "fidrfsck: volume is consistent")
+		return 0
 	}
 	for _, p := range rep.Problems {
-		fmt.Printf("fidrfsck: PROBLEM: %s\n", p)
+		fmt.Fprintf(stdout, "fidrfsck: PROBLEM: %s\n", p)
 	}
-	os.Exit(1)
+	return 1
 }

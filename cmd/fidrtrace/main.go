@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "write-h", "write-h, write-m, write-l, read-mixed")
+	workload := flag.String("workload", "write-h", "write-h, write-m, write-l, read-mixed, archival")
 	ios := flag.Int("ios", 100000, "number of requests")
 	out := flag.String("out", "", "output trace file (required)")
 	flag.Parse()
@@ -34,6 +34,8 @@ func main() {
 		p = trace.WriteL(*ios)
 	case "read-mixed":
 		p = trace.ReadMixed(*ios)
+	case "archival":
+		p = trace.Archival(*ios)
 	default:
 		log.Fatalf("fidrtrace: unknown workload %q", *workload)
 	}

@@ -1,0 +1,479 @@
+package fidr_test
+
+// Crash-recovery harness (durability issue): deterministic, seedable
+// crash injection at named pipeline stages, under concurrent multi-lane
+// writes through the async front-end. Every cycle kills the server at an
+// armed crash point, reopens the devices, recovers via checkpoint + WAL
+// replay, and holds recovery to the fsck invariants plus a per-LBA value
+// oracle. Run with -race; the harness is the regression net for the
+// WAL's commit-ordering rules.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fidr"
+	"fidr/internal/core"
+	"fidr/internal/ssd"
+)
+
+// crashCfg sizes a server small enough that containers seal, cache lines
+// evict and checkpoints stay cheap within a few hundred writes.
+func crashCfg(arch fidr.Arch, tssd, dssd *ssd.SSD, w *core.WAL) fidr.Config {
+	cfg := fidr.DefaultConfig(arch)
+	cfg.ContainerSize = 32 << 10
+	cfg.UniqueChunkCapacity = 1 << 12
+	cfg.CacheLines = 32
+	cfg.BatchChunks = 8
+	cfg.HashLanes = 2
+	cfg.CompressLanes = 2
+	cfg.TableSSD = tssd
+	cfg.DataSSD = dssd
+	cfg.WAL = w
+	return cfg
+}
+
+func crashDevices() (*ssd.SSD, *ssd.SSD) {
+	tssd := ssd.MustNew(ssd.Config{Name: "tssd", CapacityBytes: 1 << 28, PageSize: 4096,
+		ReadBW: 3.5e9, WriteBW: 2.7e9})
+	dssd := ssd.MustNew(ssd.Config{Name: "dssd", CapacityBytes: 1 << 28, PageSize: 4096,
+		ReadBW: 3.5e9, WriteBW: 2.7e9})
+	return tssd, dssd
+}
+
+// lbaHistory records every content seed ever submitted for an LBA; a
+// recovered value must be one of them.
+type lbaHistory map[uint64][]uint64
+
+func (h lbaHistory) note(lba, seed uint64) { h[lba] = append(h[lba], seed) }
+
+func (h lbaHistory) contains(lba uint64, data []byte) bool {
+	for _, seed := range h[lba] {
+		if bytes.Equal(data, fidr.MakeChunk(seed, 0.5)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCrashRecoveryRandomized is the heart of the durability PR: for
+// each pipeline stage, dozens of seeded cycles arm a crash at a random
+// hit count, run concurrent submitters over the async front-end until
+// the server dies, then recover from the surviving devices and check
+//
+//   - Verify() holds every fsck invariant (refcounts, LBA map,
+//     container index, stale table entries, orphaned containers);
+//   - the pre-crash durable floor (drained + flushed phase-1 writes)
+//     reads back a value from its write history;
+//   - any other readable LBA returns a value from its write history
+//     (never invented or cross-wired data);
+//   - the dedup domain survived: re-writing durable content stores no
+//     new unique chunk.
+func TestCrashRecoveryRandomized(t *testing.T) {
+	stages := []core.CrashStage{
+		core.CrashPostHash,
+		core.CrashPrePack,
+		core.CrashMidContainerFlush,
+		core.CrashMidCheckpoint,
+	}
+	perStage := 60 // 4 x 60 = 240 seeded crash points
+	if testing.Short() {
+		perStage = 8
+	}
+	for _, stage := range stages {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			for seed := 0; seed < perStage; seed++ {
+				if err := runCrashCycle(stage, int64(seed)); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// runCrashCycle is one seeded crash/recover cycle. Returning an error
+// (rather than calling t.Fatal) keeps it usable from subtests and
+// benchmarks alike.
+func runCrashCycle(stage core.CrashStage, seed int64) error {
+	rng := rand.New(rand.NewSource(seed<<8 | int64(stage)))
+	arch := fidr.FIDRFull
+	if seed%5 == 4 {
+		arch = fidr.Baseline // the WAL must hold for both architectures
+	}
+	tssd, dssd := crashDevices()
+	dev := core.NewMemWALDevice()
+	w, err := core.NewWAL(dev)
+	if err != nil {
+		return err
+	}
+	cfg := crashCfg(arch, tssd, dssd, w)
+	srv, err := fidr.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	a, err := fidr.NewAsync(srv, 16)
+	if err != nil {
+		return err
+	}
+
+	// Two submitters with disjoint LBA ranges; each tracks its own
+	// write history (merged after the join point).
+	const rangeSize = 1000
+	histories := []lbaHistory{make(lbaHistory), make(lbaHistory)}
+
+	// Phase 1: a durable floor. Written through the front-end, drained,
+	// flushed — committed to the WAL (and sometimes checkpointed), so it
+	// must survive any later crash.
+	floor := make([]uint64, 0, 48)
+	for k := 0; k < 2; k++ {
+		for i := uint64(0); i < 24; i++ {
+			lba := uint64(k)*rangeSize + i
+			cs := uint64(rng.Intn(64)) // small seed space: duplicates
+			if err := a.Write(lba, fidr.MakeChunk(cs, 0.5)); err != nil {
+				return fmt.Errorf("phase-1 write: %w", err)
+			}
+			histories[k].note(lba, cs)
+			floor = append(floor, lba)
+		}
+	}
+	// The front-end is drained (every done channel received), so the
+	// worker is idle and the test goroutine may touch the server.
+	if err := srv.Flush(); err != nil {
+		return fmt.Errorf("phase-1 flush: %w", err)
+	}
+	ckpt := rng.Intn(2) == 0
+	if ckpt {
+		if err := srv.Checkpoint(); err != nil {
+			return fmt.Errorf("phase-1 checkpoint: %w", err)
+		}
+	}
+
+	// Arm the crash. Write-path stages fire during phase 2; the
+	// checkpoint stage fires in the explicit Checkpoint below (hit 1 =
+	// before the image write, hit 2 = after image, before truncation).
+	switch stage {
+	case core.CrashMidCheckpoint:
+		srv.ArmCrash(stage, 1+rng.Intn(2))
+	case core.CrashMidContainerFlush:
+		// Fires once per sealed container; phase 2 seals a handful.
+		srv.ArmCrash(stage, 1+rng.Intn(3))
+	default:
+		srv.ArmCrash(stage, 1+rng.Intn(6))
+	}
+
+	// Phase 2: concurrent submitters, overwrites included. Ops may fail
+	// once the crash fires; results are classified after the join.
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		k := k
+		sub := rand.New(rand.NewSource(seed<<16 | int64(k)<<8 | int64(stage)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := histories[k]
+			for op := 0; op < 56; op++ {
+				lba := uint64(k)*rangeSize + uint64(sub.Intn(40))
+				if sub.Intn(8) == 0 { // occasional read
+					res := <-a.ReadAsync(lba)
+					if res.Err == nil && len(h[lba]) > 0 && !h.contains(lba, res.Data) {
+						panic(fmt.Sprintf("live read of lba %d returned un-written content", lba))
+					}
+					continue
+				}
+				// 1-in-4 writes duplicate the shared phase-1 seed
+				// space; the rest are fresh content so containers
+				// keep sealing (the mid-flush stage needs them).
+				cs := uint64(sub.Intn(64))
+				if sub.Intn(4) != 0 {
+					cs = 1_000 + uint64(sub.Intn(4096))
+				}
+				h.note(lba, cs)
+				<-a.WriteAsync(lba, fidr.MakeChunk(cs, 0.5))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if stage == core.CrashMidCheckpoint {
+		if err := srv.Checkpoint(); !errors.Is(err, core.ErrCrashInjected) {
+			return fmt.Errorf("mid-checkpoint crash did not fire: %v", err)
+		}
+	}
+	a.Close() // the worker's shutdown Flush fails on the dead server
+	if !srv.Crashed() {
+		return fmt.Errorf("stage %v never fired under the phase-2 load", stage)
+	}
+
+	// Recover over the same devices: the WAL device drops everything
+	// after its last synced commit, like a real power cut.
+	dev.Crash()
+	w2, err := core.NewWAL(dev)
+	if err != nil {
+		return fmt.Errorf("reopen WAL: %w", err)
+	}
+	cfg.WAL = w2
+	rec, err := core.RecoverServer(cfg)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	rep, err := rec.Verify()
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("fsck invariants violated after recovery: %v", rep.Problems)
+	}
+	history := histories[0]
+	for lba, seeds := range histories[1] {
+		history[lba] = seeds
+	}
+	// Durable floor: phase-1 LBAs must exist and carry a historic value.
+	for _, lba := range floor {
+		data, err := rec.Read(lba)
+		if err != nil {
+			return fmt.Errorf("floor lba %d unreadable after recovery: %w", lba, err)
+		}
+		if !history.contains(lba, data) {
+			return fmt.Errorf("floor lba %d recovered to un-written content", lba)
+		}
+	}
+	// Any other mapped LBA must also resolve to a historic value; LBAs
+	// first written after the last commit may be lost, nothing else.
+	for lba := range history {
+		data, err := rec.Read(lba)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			return fmt.Errorf("lba %d: recovered volume returned %w", lba, err)
+		}
+		if !history.contains(lba, data) {
+			return fmt.Errorf("lba %d recovered to un-written content", lba)
+		}
+	}
+	// The mid-checkpoint stage crashes after everything was flushed, so
+	// nothing at all may be lost — and the checkpoint floor holds
+	// whichever of the two images (old or new) survived.
+	if stage == core.CrashMidCheckpoint {
+		for lba, seeds := range history {
+			data, err := rec.Read(lba)
+			if err != nil {
+				return fmt.Errorf("mid-checkpoint crash lost lba %d: %w", lba, err)
+			}
+			want := fidr.MakeChunk(seeds[len(seeds)-1], 0.5)
+			if !bytes.Equal(data, want) {
+				return fmt.Errorf("lba %d not at its final value after mid-checkpoint crash", lba)
+			}
+		}
+	}
+	// Dedup domain: re-writing a durable chunk's content must hit the
+	// recovered Hash-PBN table, not store a new unique chunk.
+	floorData, err := rec.Read(floor[0])
+	if err != nil {
+		return err
+	}
+	if err := rec.Write(999_999, floorData); err != nil {
+		return err
+	}
+	if err := rec.Flush(); err != nil {
+		return err
+	}
+	if st := rec.Stats(); st.UniqueChunks != 0 {
+		return fmt.Errorf("dedup domain lost: duplicate content stored as a new chunk")
+	}
+	return nil
+}
+
+// TestCheckpointRacingWrites interleaves Checkpoint() with rounds of
+// concurrent front-end writes (the only safe interleaving for a
+// single-owner server: drain, checkpoint, resume) and verifies the
+// resulting volume via RecoverServer — the regression test for the
+// checkpoint's walSeq cut-off and truncation rules.
+func TestCheckpointRacingWrites(t *testing.T) {
+	tssd, dssd := crashDevices()
+	dev := core.NewMemWALDevice()
+	w, err := core.NewWAL(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crashCfg(fidr.FIDRFull, tssd, dssd, w)
+	srv, err := fidr.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fidr.NewAsync(srv, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[uint64]uint64)
+	for round := 0; round < 5; round++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for k := 0; k < 2; k++ {
+			k := k
+			rng := rand.New(rand.NewSource(int64(round*2 + k)))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for op := 0; op < 40; op++ {
+					lba := uint64(k)*500 + uint64(rng.Intn(60))
+					cs := uint64(rng.Intn(48))
+					if err := a.Write(lba, fidr.MakeChunk(cs, 0.5)); err != nil {
+						panic(err)
+					}
+					mu.Lock()
+					last[lba] = cs
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		// Queues drained: checkpoint mid-stream, with the open batch and
+		// open container still hot. Rounds after this one keep writing
+		// into the truncated log.
+		if round < 4 {
+			if err := srv.Checkpoint(); err != nil {
+				t.Fatalf("round %d checkpoint: %v", round, err)
+			}
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.WALStats()
+	if st.AppendedRecords == 0 || st.Syncs == 0 {
+		t.Fatalf("WAL saw no traffic: %+v", st)
+	}
+
+	// Recover from the files: the last round was never checkpointed, so
+	// this exercises checkpoint + replay together.
+	dev.Crash()
+	w2, err := core.NewWAL(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WAL = w2
+	rec, err := core.RecoverServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rec.LastRecovery()
+	if rr.FromGenesis {
+		t.Fatal("recovery ignored the checkpoints")
+	}
+	if rr.ReplayedRecords == 0 {
+		t.Fatal("final un-checkpointed round was not replayed")
+	}
+	rep, err := rec.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("fsck after checkpoint-interleaved run: %v %v", err, rep.Problems)
+	}
+	for lba, cs := range last {
+		got, err := rec.Read(lba)
+		if err != nil {
+			t.Fatalf("lba %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, fidr.MakeChunk(cs, 0.5)) {
+			t.Fatalf("lba %d lost its final pre-close value", lba)
+		}
+	}
+}
+
+// TestGroupLocalWALRecovery runs two groups, each with its own WAL and
+// devices (the paper's scale-out unit), crashes them at different
+// stages, and recovers each independently — group A's crash must never
+// need group B's log.
+func TestGroupLocalWALRecovery(t *testing.T) {
+	type group struct {
+		tssd, dssd *ssd.SSD
+		dev        *core.MemWALDevice
+		cfg        fidr.Config
+		srv        *fidr.Server
+		history    lbaHistory
+		floor      []uint64
+	}
+	stages := []core.CrashStage{core.CrashPostHash, core.CrashMidContainerFlush}
+	groups := make([]*group, 2)
+	for i := range groups {
+		g := &group{history: make(lbaHistory)}
+		g.tssd, g.dssd = crashDevices()
+		g.dev = core.NewMemWALDevice()
+		w, err := core.NewWAL(g.dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.cfg = crashCfg(fidr.FIDRFull, g.tssd, g.dssd, w)
+		g.srv, err = fidr.NewServer(g.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+	// Each group is driven by its own goroutine (single-owner rule),
+	// both running concurrently like cluster shards.
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		i, g := i, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(77 + i)))
+			for n := uint64(0); n < 32; n++ {
+				cs := uint64(rng.Intn(40))
+				if err := g.srv.Write(n, fidr.MakeChunk(cs, 0.5)); err != nil {
+					panic(err)
+				}
+				g.history.note(n, cs)
+				g.floor = append(g.floor, n)
+			}
+			if err := g.srv.Flush(); err != nil {
+				panic(err)
+			}
+			g.srv.ArmCrash(stages[i], 1+rng.Intn(3))
+			for n := uint64(0); n < 200 && !g.srv.Crashed(); n++ {
+				lba := uint64(rng.Intn(60))
+				cs := uint64(rng.Intn(40))
+				g.history.note(lba, cs)
+				g.srv.Write(lba, fidr.MakeChunk(cs, 0.5))
+			}
+		}()
+	}
+	wg.Wait()
+	for i, g := range groups {
+		if !g.srv.Crashed() {
+			t.Fatalf("group %d never crashed", i)
+		}
+		g.dev.Crash()
+		w, err := core.NewWAL(g.dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.cfg.WAL = w
+		rec, err := core.RecoverServer(g.cfg)
+		if err != nil {
+			t.Fatalf("group %d recovery: %v", i, err)
+		}
+		rep, err := rec.Verify()
+		if err != nil || !rep.OK() {
+			t.Fatalf("group %d fsck: %v %v", i, err, rep.Problems)
+		}
+		for _, lba := range g.floor {
+			data, err := rec.Read(lba)
+			if err != nil {
+				t.Fatalf("group %d floor lba %d: %v", i, lba, err)
+			}
+			if !g.history.contains(lba, data) {
+				t.Fatalf("group %d lba %d recovered to un-written content", i, lba)
+			}
+		}
+	}
+	// The cluster constructor enforces group-locality.
+	if _, err := fidr.NewCluster(groups[0].cfg, 2); err == nil {
+		t.Fatal("NewCluster accepted one WAL shared across groups")
+	}
+}

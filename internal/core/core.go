@@ -105,6 +105,10 @@ type Config struct {
 	// UniqueChunkCapacity (the table geometry must match).
 	TableSSD *ssd.SSD
 	DataSSD  *ssd.SSD
+	// WAL, when set, write-ahead-logs every table/refcount/LBA mutation
+	// so RecoverServer can replay past the last checkpoint (wal.go).
+	// WALs are group-local: never share one across servers.
+	WAL *WAL
 }
 
 // DefaultConfig returns a test-scale configuration (the paper-scale knobs
@@ -228,6 +232,12 @@ type Server struct {
 	rcache  *readCache
 	latency latencyTracker
 	stats   Stats
+	// wal is the group-local write-ahead log (nil disables logging).
+	wal *WAL
+	// crash is the injection state for the crash-recovery harness.
+	crash crashState
+	// recovery reports what the last RecoverServer pass did.
+	recovery RecoveryReport
 	// obs is the live observability hookup; nil (disabled) unless
 	// EnableObservability was called. All hooks are nil-safe.
 	obs *Observer
@@ -337,6 +347,7 @@ func New(cfg Config) (*Server, error) {
 		lba:      lba,
 		dataSSD:  dataSSD,
 		tableSSD: tableSSD,
+		wal:      cfg.WAL,
 	}
 	if cfg.Arch == Baseline {
 		s.pnic = nic.NewPlain()
@@ -442,6 +453,14 @@ func (s *Server) NICStats() nic.Stats {
 // DataSSDStats and TableSSDStats expose device counters.
 func (s *Server) DataSSDStats() ssd.Stats  { return s.dataSSD.Stats() }
 func (s *Server) TableSSDStats() ssd.Stats { return s.tableSSD.Stats() }
+
+// WALStats returns write-ahead-log counters (zero without a WAL).
+func (s *Server) WALStats() WALStats {
+	if s.wal == nil {
+		return WALStats{}
+	}
+	return s.wal.Stats()
+}
 
 // transfer moves bytes on the PCIe fabric, panicking on topology bugs
 // (all devices are registered at construction).

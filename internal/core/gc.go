@@ -52,6 +52,9 @@ type CompactResult struct {
 // and container writes all land in the stage histograms.
 func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 	var res CompactResult
+	if err := s.failIfCrashed(); err != nil {
+		return res, err
+	}
 	tr := s.obs.begin("gc", 0)
 	defer tr.done()
 	dead := s.lba.DeadBytes()
@@ -68,10 +71,24 @@ func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
+	// The whole pass logs as one atomic WAL group: a dead chunk's
+	// fingerprint deletion must never become durable without the
+	// relocations and retirement it belongs with, or replay would leave
+	// live chunks whose fingerprints are missing from the table.
+	if s.wal != nil {
+		s.wal.BeginGroup()
+	}
+	var passErr error
 	for _, c := range candidates {
-		if err := s.compactOne(c, &res, tr); err != nil {
-			return res, err
+		if passErr = s.compactOne(c, &res, tr); passErr != nil {
+			break
 		}
+	}
+	if s.wal != nil {
+		s.wal.EndGroup()
+	}
+	if passErr != nil {
+		return res, passErr
 	}
 	// Containers sealed during compaction go to the SSDs as usual.
 	if err := s.writeSealed(tr); err != nil {
@@ -93,6 +110,7 @@ func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
 		if _, err := s.cache.Delete(fp); err != nil {
 			return err
 		}
+		s.walDeleteFP(fp)
 		res.ChunksDropped++
 	}
 	tr.span(StageDedupLookup, from)
@@ -127,11 +145,13 @@ func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
 		if err := s.lba.Relocate(pbn, meta.Container, meta.Offset); err != nil {
 			return err
 		}
+		s.walRelocate(pbn, meta.Container, meta.Offset)
 		s.ledger.CPU(hostmodel.CompDeviceMgr, s.costs.DeviceMgrPerChunkNs)
 		res.ChunksMoved++
 		res.BytesMoved += uint64(len(cdata))
 	}
 	s.lba.RetireContainer(c)
+	s.walRetire(c)
 	s.reclaimed = append(s.reclaimed, c)
 	res.ContainersCompacted++
 	res.BytesReclaimed += uint64(s.cfg.ContainerSize)

@@ -381,6 +381,9 @@ func (s *Server) EnableObservability(reg *metrics.Registry, recentTraces int) *m
 	s.comp.Instrument(reg)
 	s.ledger.Instrument(reg)
 	s.topo.Instrument(reg)
+	if s.wal != nil {
+		s.wal.Instrument(reg)
+	}
 	return reg
 }
 

@@ -21,6 +21,9 @@ func (s *Server) Read(lba uint64) ([]byte, error) {
 
 // ReadTraced is Read with a front-end trace context (see WriteTraced).
 func (s *Server) ReadTraced(lba uint64, tc *TraceContext) ([]byte, error) {
+	if err := s.failIfCrashed(); err != nil {
+		return nil, err
+	}
 	s.stats.ClientReads++
 	s.stats.ClientBytes += uint64(s.cfg.ChunkSize)
 	s.ledger.Client(uint64(s.cfg.ChunkSize))

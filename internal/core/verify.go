@@ -126,5 +126,38 @@ func (s *Server) Verify() (VerifyReport, error) {
 			rep.problemf("pbn %d: Hash-PBN table maps its fingerprint to pbn %d", pbn, found)
 		}
 	}
+
+	// Invariant 4: no stale Hash-PBN entries — the full table must not
+	// index chunks the metadata does not know about. A crash can leave
+	// these behind (write-back bucket evictions outrun the checkpoint);
+	// left in place they silently dedup new writes onto wrong chunks.
+	if err := s.cache.Range(func(fp fingerprint.FP, pbn uint64) {
+		if pbn >= s.lba.Chunks() || pbn >= uint64(len(s.pbnFP)) || s.pbnFP[pbn] != fp {
+			rep.problemf("stale Hash-PBN entry: fingerprint %x -> pbn %d (allocated chunks: %d)",
+				fp[:4], pbn, s.lba.Chunks())
+		}
+	}); err != nil {
+		return rep, err
+	}
+
+	// Invariant 5: container index — no orphaned container data beyond
+	// the allocation frontier. A crash between a container's data write
+	// and its metadata commit leaves such orphans.
+	open := s.comp.OpenContainer()
+	csize := uint64(s.cfg.ContainerSize)
+	for c := open; c < open+orphanScanWindow; c++ {
+		off := c * csize
+		if off+csize > s.dataSSD.Config().CapacityBytes {
+			break
+		}
+		data, err := s.dataSSD.Read(off, s.cfg.ContainerSize)
+		if err != nil {
+			return rep, err
+		}
+		if allZero(data) {
+			break
+		}
+		rep.problemf("container %d: orphaned data on data SSD beyond allocation frontier %d", c, open)
+	}
 	return rep, nil
 }

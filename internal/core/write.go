@@ -24,6 +24,9 @@ func (s *Server) Write(lba uint64, data []byte) error {
 // already measured (async queue wait, cluster routing) join this
 // request's trace and stage histograms. tc may be nil.
 func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
+	if err := s.failIfCrashed(); err != nil {
+		return err
+	}
 	if len(data) != s.cfg.ChunkSize {
 		return fmt.Errorf("core: write of %d bytes, chunk size is %d", len(data), s.cfg.ChunkSize)
 	}
@@ -49,6 +52,9 @@ func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
 // data SSDs. Call at end of workload (and before relying on SSD-resident
 // state).
 func (s *Server) Flush() error {
+	if err := s.failIfCrashed(); err != nil {
+		return err
+	}
 	var err error
 	switch s.cfg.Arch {
 	case Baseline:
@@ -133,6 +139,9 @@ func (s *Server) processBaselineBatch() error {
 		results[i].fp = fingerprint.Of(batch[i].data)
 	})
 	bt.add(StageHash, bt.since(t0))
+	if err := s.crashPoint(CrashPostHash); err != nil {
+		return err
+	}
 	backBytes += uint64(len(batch)) * fingerprint.Size
 	var predIdx []int
 	for i := range batch {
@@ -160,6 +169,9 @@ func (s *Server) processBaselineBatch() error {
 	// 4. Hashes and compressed predicted-uniques return to host memory.
 	s.transfer(devFPGA, pcie.HostMemory, backBytes)
 	s.ledger.MemPayload(hostmodel.PathHostFPGA, backBytes)
+	if err := s.crashPoint(CrashPrePack); err != nil {
+		return err
+	}
 
 	// 5. Software table management validates predictions against the
 	// Hash-PBN table cache. Misprediction repair compresses inline; that
@@ -182,6 +194,7 @@ func (s *Server) processBaselineBatch() error {
 			if err := s.lba.MapLBA(p.lba, pbn); err != nil {
 				return err
 			}
+			s.walMapLBA(p.lba, pbn)
 			s.stats.DuplicateChunks++
 			s.obs.onDup()
 			continue
@@ -266,6 +279,9 @@ func (s *Server) processFIDRBatch() error {
 	from := bt.start()
 	entries := s.fnic.HashAll()
 	bt.span(StageHash, from)
+	if err := s.crashPoint(CrashPostHash); err != nil {
+		return err
+	}
 	hashBytes := uint64(len(entries)) * fingerprint.Size
 	s.transfer(devNIC, pcie.HostMemory, hashBytes)
 	s.ledger.Mem(hostmodel.PathNICHost, hashBytes)
@@ -360,6 +376,9 @@ func (s *Server) processFIDRBatch() error {
 		if err != nil {
 			return err
 		}
+		if err := s.crashPoint(CrashPrePack); err != nil {
+			return err
+		}
 		for ui, u := range unique {
 			s.cache.SetTenant(uniqueTenants[ui])
 			meta, err := s.comp.Pack(u.LBA, u.FP, rs[ui].Data, len(u.Data))
@@ -412,6 +431,11 @@ func (s *Server) processFIDRBatch() error {
 		if err := s.lba.MapLBA(e.LBA, pbn); err != nil {
 			return err
 		}
+		// Log every mapping — including ones AppendChunk already
+		// created — so replay reproduces same-LBA ordering exactly (a
+		// duplicate followed by a unique write of the same LBA must
+		// replay in that order).
+		s.walMapLBA(e.LBA, pbn)
 	}
 
 	// Steps 9-10: sealed containers go engine -> data SSD peer-to-peer.
@@ -448,6 +472,7 @@ func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
 		s.pbnFP = append(s.pbnFP, fingerprint.FP{})
 	}
 	s.pbnFP[pbn] = meta.FP
+	s.walAppend(meta, pbn)
 	s.stats.UniqueChunks++
 	s.stats.StoredBytes += uint64(meta.CSize)
 	s.obs.onUnique(uint64(meta.CSize))
@@ -459,27 +484,79 @@ func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
 // transfers engine -> SSD peer-to-peer under the switch.
 func (s *Server) writeSealed(tr *ReqTrace) error {
 	sealed := s.comp.TakeSealed()
-	if len(sealed) == 0 {
+	if len(sealed) > 0 {
+		from := tr.start()
+		for _, sc := range sealed {
+			off := sc.Index * uint64(len(sc.Data))
+			if err := s.dataSSD.Write(off, sc.Data); err != nil {
+				return err
+			}
+			if err := s.crashPoint(CrashMidContainerFlush); err != nil {
+				return err
+			}
+			n := uint64(len(sc.Data))
+			if s.cfg.Arch == Baseline {
+				s.transfer(pcie.HostMemory, devDataSSD, n)
+				s.ledger.MemPayload(hostmodel.PathHostSSD, n)
+			} else {
+				s.transfer(devComp, devDataSSD, n)
+			}
+			// Data-SSD queues live in host memory in both architectures;
+			// container writes are sequential and batched, so the stack
+			// cost is per container, not per chunk.
+			s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
+		}
+		tr.span(StageSSDIO, from)
+	}
+	// WAL fsync batching: one commit per batch, after the containers the
+	// staged records reference are on the data SSD.
+	return s.walCommit()
+}
+
+// --- WAL glue (no-ops when no WAL is attached) ---
+
+func (s *Server) walAppend(meta engine.ChunkMeta, pbn uint64) {
+	if s.wal == nil {
+		return
+	}
+	s.wal.stage(WALRecord{
+		Kind: WALAppend, LBA: meta.LBA, PBN: pbn,
+		Container: meta.Container, Offset: meta.Offset, CSize: meta.CSize,
+		FP: meta.FP,
+	}, meta.Container+1)
+}
+
+func (s *Server) walMapLBA(lba, pbn uint64) {
+	if s.wal == nil {
+		return
+	}
+	s.wal.stage(WALRecord{Kind: WALMapLBA, LBA: lba, PBN: pbn}, 0)
+}
+
+func (s *Server) walRelocate(pbn, container uint64, off uint32) {
+	if s.wal == nil {
+		return
+	}
+	s.wal.stage(WALRecord{Kind: WALRelocate, PBN: pbn, Container: container, Offset: off}, container+1)
+}
+
+func (s *Server) walRetire(container uint64) {
+	if s.wal == nil {
+		return
+	}
+	s.wal.stage(WALRecord{Kind: WALRetire, Container: container}, 0)
+}
+
+func (s *Server) walDeleteFP(fp fingerprint.FP) {
+	if s.wal == nil {
+		return
+	}
+	s.wal.stage(WALRecord{Kind: WALDeleteFP, FP: fp}, 0)
+}
+
+func (s *Server) walCommit() error {
+	if s.wal == nil {
 		return nil
 	}
-	from := tr.start()
-	for _, sc := range sealed {
-		off := sc.Index * uint64(len(sc.Data))
-		if err := s.dataSSD.Write(off, sc.Data); err != nil {
-			return err
-		}
-		n := uint64(len(sc.Data))
-		if s.cfg.Arch == Baseline {
-			s.transfer(pcie.HostMemory, devDataSSD, n)
-			s.ledger.MemPayload(hostmodel.PathHostSSD, n)
-		} else {
-			s.transfer(devComp, devDataSSD, n)
-		}
-		// Data-SSD queues live in host memory in both architectures;
-		// container writes are sequential and batched, so the stack
-		// cost is per container, not per chunk.
-		s.ledger.CPU(hostmodel.CompDataSSDIO, s.costs.DataSSDPerIONs)
-	}
-	tr.span(StageSSDIO, from)
-	return nil
+	return s.wal.commit(s.comp.OpenContainer())
 }

@@ -94,6 +94,11 @@ func workloadFor(name string, n, cacheLines int) (trace.Params, error) {
 		p.Name = "Read-Skewed"
 		p.ReuseWindow = cacheLines / 4
 		p.ReadSkew = 1.4
+	case "Archival":
+		// Durability extension: append-heavy backup ingest with long
+		// sequential runs; drives the WAL/recovery benchmarks.
+		p = trace.Archival(n)
+		p.ReuseWindow = cacheLines / 4
 	case "Profiling-Write", "Profiling-Mixed":
 		// §3.2 profiling workloads: dedup and compression both 50%.
 		p = trace.WriteH(n)

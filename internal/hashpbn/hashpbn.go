@@ -116,6 +116,19 @@ func (b Bucket) Delete(fp fingerprint.FP) bool {
 	return false
 }
 
+// ForEach calls fn for every occupied entry in the bucket.
+func (b Bucket) ForEach(fn func(fp fingerprint.FP, pbn uint64)) {
+	for i := 0; i < EntriesPerBucket; i++ {
+		e := entryAt(b, i)
+		var h fingerprint.FP
+		copy(h[:], e[:HashSize])
+		if h.IsZero() {
+			return
+		}
+		fn(h, pbnFromBytes(e[HashSize:]))
+	}
+}
+
 // Count returns the number of occupied slots.
 func (b Bucket) Count() int {
 	for i := 0; i < EntriesPerBucket; i++ {

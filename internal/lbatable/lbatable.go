@@ -75,6 +75,13 @@ type Table struct {
 	refs      []uint32
 	deadBytes map[uint64]uint64
 	relocated map[uint64]pbnLoc
+
+	// frontier is one past the highest container index seen via Relocate.
+	// Compaction packs live chunks into containers that may never receive
+	// an AppendChunk, so startPBN alone under-reports the allocation
+	// frontier (and NextContainer would hand out a container that already
+	// holds relocated data).
+	frontier uint64
 }
 
 // New creates a Table for the given container size.
@@ -147,11 +154,17 @@ func (t *Table) AppendChunk(lba uint64, container uint64, off uint32, csize uint
 	defer t.mu.Unlock()
 	pbn = uint64(len(t.entries))
 	// Track container boundaries: PBNs are allocated in container order.
+	// Containers between len(startPBN) and container hold only relocated
+	// chunks (GC packs into containers that never see an append); pad
+	// their start markers so the binary search in locate stays valid —
+	// duplicate start values make the empty containers unreachable.
 	if n := len(t.startPBN); n == 0 || uint64(n-1) != container {
-		if uint64(len(t.startPBN)) != container {
+		if uint64(len(t.startPBN)) > container {
 			return 0, fmt.Errorf("lbatable: container %d appended out of order (next is %d)", container, len(t.startPBN))
 		}
-		t.startPBN = append(t.startPBN, pbn)
+		for uint64(len(t.startPBN)) <= container {
+			t.startPBN = append(t.startPBN, pbn)
+		}
 	}
 	t.entries = append(t.entries, pbnEntry{
 		offsetUnits: uint16(off / OffsetUnit),

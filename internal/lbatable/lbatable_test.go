@@ -79,8 +79,21 @@ func TestAppendValidation(t *testing.T) {
 	if _, err := tb.AppendChunk(1, 0, 4032, 100); err == nil {
 		t.Error("overflow chunk accepted")
 	}
-	if _, err := tb.AppendChunk(1, 5, 0, 100); err == nil {
-		t.Error("out-of-order container accepted")
+	// Appends may skip forward over containers that hold only relocated
+	// chunks (GC packs without appending), but never go back into a
+	// closed container.
+	pbn, err := tb.AppendChunk(1, 2, 0, 100)
+	if err != nil {
+		t.Errorf("forward container gap rejected: %v", err)
+	}
+	if pba, err := tb.Resolve(pbn); err != nil || pba.Container != 2 {
+		t.Errorf("chunk after gap resolved to %+v, %v", pba, err)
+	}
+	if tb.NextContainer() != 3 {
+		t.Errorf("NextContainer %d after gap, want 3", tb.NextContainer())
+	}
+	if _, err := tb.AppendChunk(1, 0, 0, 100); err == nil {
+		t.Error("append into closed container accepted")
 	}
 }
 

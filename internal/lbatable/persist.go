@@ -139,6 +139,9 @@ func RestoreTable(data []byte) (*Table, error) {
 			return nil, fmt.Errorf("lbatable: relocations truncated: %w", err)
 		}
 		t.relocated[pbn] = pbnLoc{container: container, offsetUnits: off}
+		if container+1 > t.frontier {
+			t.frontier = container + 1
+		}
 	}
 	if err := rd(&n); err != nil || n > sanity {
 		return nil, fmt.Errorf("lbatable: dead list invalid")
@@ -160,9 +163,13 @@ func RestoreTable(data []byte) (*Table, error) {
 }
 
 // NextContainer returns the container index that should be allocated
-// next after restore (one past the highest seen).
+// next after restore (one past the highest seen, counting containers
+// that hold only relocated chunks).
 func (t *Table) NextContainer() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.frontier > uint64(len(t.startPBN)) {
+		return t.frontier
+	}
 	return uint64(len(t.startPBN))
 }

@@ -193,6 +193,9 @@ func (t *Table) Relocate(pbn, newContainer uint64, newOff uint32) error {
 		t.relocated = make(map[uint64]pbnLoc)
 	}
 	t.relocated[pbn] = pbnLoc{container: newContainer, offsetUnits: uint16(newOff / OffsetUnit)}
+	if newContainer+1 > t.frontier {
+		t.frontier = newContainer + 1
+	}
 	return nil
 }
 

@@ -178,3 +178,38 @@ func TestRefcountsRandomizedInvariant(t *testing.T) {
 		t.Fatalf("refcount sum %d != mapped LBAs %d", sum, tb.MappedLBAs())
 	}
 }
+
+func TestRelocateAdvancesFrontier(t *testing.T) {
+	tb, _ := New(4096)
+	pbn, err := tb.AppendChunk(1, 0, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NextContainer() != 1 {
+		t.Fatalf("NextContainer %d, want 1", tb.NextContainer())
+	}
+	// GC packs the chunk into container 7, which never sees an append.
+	if err := tb.Relocate(pbn, 7, 64); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NextContainer() != 8 {
+		t.Fatalf("NextContainer %d after relocation, want 8 (container 7 holds live data)", tb.NextContainer())
+	}
+	// The frontier must survive a snapshot/restore cycle, or recovery
+	// would allocate container 7 again and overwrite the relocated chunk.
+	restored, err := RestoreTable(tb.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NextContainer() != 8 {
+		t.Fatalf("restored NextContainer %d, want 8", restored.NextContainer())
+	}
+	pba, err := restored.Resolve(pbn)
+	if err != nil || pba.Container != 7 || pba.Offset != 64 {
+		t.Fatalf("restored relocation lost: %+v, %v", pba, err)
+	}
+	// Post-GC appends continue past the frontier.
+	if _, err := restored.AppendChunk(2, 8, 0, 512); err != nil {
+		t.Fatalf("append after relocated frontier: %v", err)
+	}
+}

@@ -447,6 +447,51 @@ func (c *Cache) chargeSSDIO() {
 	}
 }
 
+// Range iterates every entry of the full Hash-PBN table — not just the
+// cached portion — pulling each bucket through the cache. Used by
+// offline verification; the pass thrashes the cache by design (each of
+// the table's buckets is touched once) and does not enter the hit/miss
+// statistics.
+func (c *Cache) Range(fn func(fp fingerprint.FP, pbn uint64)) error {
+	for b := uint64(0); b < c.geom.NumBuckets; b++ {
+		line, err := c.getLine(b, false)
+		if err != nil {
+			return err
+		}
+		hashpbn.Bucket(c.lines[line]).ForEach(fn)
+	}
+	return nil
+}
+
+// Scrub walks the full table and deletes every entry keep rejects,
+// returning how many were dropped. Crash recovery uses it to drop stale
+// entries the write-back cache made durable ahead of the recovered
+// metadata. Modified buckets are marked dirty and reach the table SSD
+// through the normal write-back path.
+func (c *Cache) Scrub(keep func(fp fingerprint.FP, pbn uint64) bool) (int, error) {
+	dropped := 0
+	for b := uint64(0); b < c.geom.NumBuckets; b++ {
+		line, err := c.getLine(b, false)
+		if err != nil {
+			return dropped, err
+		}
+		bucket := hashpbn.Bucket(c.lines[line])
+		var victims []fingerprint.FP
+		bucket.ForEach(func(fp fingerprint.FP, pbn uint64) {
+			if !keep(fp, pbn) {
+				victims = append(victims, fp)
+			}
+		})
+		for _, fp := range victims {
+			if bucket.Delete(fp) {
+				c.dirty[line] = true
+				dropped++
+			}
+		}
+	}
+	return dropped, nil
+}
+
 // FlushAll writes every dirty line to the table SSD (shutdown path).
 func (c *Cache) FlushAll() error {
 	for line := range c.lines {

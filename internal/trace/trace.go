@@ -190,6 +190,30 @@ func ReadMixed(scale int) Params {
 	return p
 }
 
+// Archival is a backup/archival skeleton (durability extension):
+// append-heavy sequential ingest with moderate cross-generation dedup
+// (~55% of writes repeat an earlier backup's content), long sequential
+// runs, a light restore-read stream, and a generation boundary every
+// quarter of the trace. It drives the crash-recovery benchmarks: long
+// intervals between checkpoints make the WAL the durability story.
+func Archival(scale int) Params {
+	return Params{
+		Name:             "Archival",
+		TotalIOs:         scale,
+		BlockSize:        4096,
+		DedupRatio:       0.55,
+		ReuseWindow:      1 << 16,
+		FarReuseFraction: 0.3, // restores reach back across generations
+		AddressBlocks:    1 << 22,
+		SeqRunLen:        64, // streaming backup ingest
+		CompressRatio:    0.5,
+		ReadFraction:     0.15,
+		ReadSkew:         1.2, // recent generations restored most
+		ReplicateEvery:   scale / 4,
+		Seed:             0x1D05,
+	}
+}
+
 // Workloads returns all four Table 3 workloads at the given scale.
 func Workloads(scale int) []Params {
 	return []Params{WriteH(scale), WriteM(scale), WriteL(scale), ReadMixed(scale)}
