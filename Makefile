@@ -1,7 +1,7 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check check-metrics check-crash fmt bench bench-archival bench-go microbench
+.PHONY: all build test vet race check check-metrics check-crash check-trace fmt bench bench-archival bench-tracing bench-go microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
@@ -43,6 +43,13 @@ check-crash:
 		-run 'TestCrashRecoveryRandomized|TestCheckpointRacingWrites|TestGroupLocalWALRecovery' .
 	$(GO) test -race -count $(CRASH_COUNT) -run 'TestWAL|TestRecoverServerTypedErrors' ./internal/core
 
+# check-trace boots a 2-group fidrd with group-local WALs, drives
+# traced writes through the real CLI, and asserts the returned trace ID
+# resolves to a span tree covering proto, async queue, core, batch and
+# WAL stages — plus exemplar resolution and the SLO endpoints.
+check-trace:
+	$(GO) test -v -run TestTraceE2E ./cmd/fidrd
+
 # bench writes machine-readable BENCH_<experiment>.json artifacts
 # (throughput, reduction ratios, p50/p90/p99 stage latencies).
 bench:
@@ -52,6 +59,12 @@ bench:
 # Archival ingest run plus the recovery-time vs. WAL-length sweep.
 bench-archival:
 	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench archival
+
+# bench-tracing writes only BENCH_tracing.json: each Table 3 workload
+# run with the span plane off vs. head-sampled on, recording the
+# throughput overhead (acceptance: <= ~5% on write workloads).
+bench-tracing:
+	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench tracing
 
 # bench-go runs the root workload and accelerator-lane benchmarks with
 # benchstat-compatible output (pipe COUNT>=10 runs into benchstat to

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fidr/internal/metrics"
+	"fidr/internal/trace/span"
 )
 
 // Store is the chunk-store surface shared by Server and Cluster.
@@ -47,6 +48,9 @@ type Async struct {
 	writes, reads *metrics.Counter
 	queueWaitNS   *metrics.Histogram
 	inflight      *metrics.Gauge
+	// col, when set, receives one "async.queue" span per sampled traced
+	// request (the queue-wait link in the distributed trace tree).
+	col *span.Collector
 
 	mu       sync.Mutex
 	closed   bool
@@ -58,6 +62,7 @@ type asyncReq struct {
 	lba    uint64
 	data   []byte
 	submit time.Time // enqueue time; queue wait = dequeue - submit
+	ctx    span.Context
 	done   chan AsyncResult
 }
 
@@ -105,6 +110,10 @@ func (a *Async) EnableObservability(reg *metrics.Registry) {
 	a.inflight = reg.Gauge("async.inflight")
 }
 
+// SetSpanCollector publishes the front-end's queue spans into col.
+// Call before submitting traffic.
+func (a *Async) SetSpanCollector(col *span.Collector) { a.col = col }
+
 func (a *Async) worker(s Store, q chan asyncReq) {
 	defer a.wg.Done()
 	ts, traced := s.(tracedStore)
@@ -119,6 +128,23 @@ func (a *Async) worker(s Store, q chan asyncReq) {
 			tc := &TraceContext{
 				Start: req.submit,
 				Spans: []Span{{Stage: StageQueueWait, Dur: wait}},
+			}
+			if req.ctx.Valid() {
+				// The queue gets its own tree span between the caller's
+				// span and the core request, so the rendered trace shows
+				// where the request sat. The core request then parents
+				// under the queue span.
+				queueID := span.NewSpanID()
+				if req.ctx.Sampled && a.col != nil {
+					a.col.Add(span.Span{
+						Trace: req.ctx.Trace, ID: queueID, Parent: req.ctx.Parent,
+						Name: "async.queue", Start: req.submit, Dur: wait,
+						QueueDepth: len(q) + 1, LBA: req.lba,
+					})
+				}
+				tc.Trace = req.ctx.Trace
+				tc.Parent = queueID
+				tc.Sampled = req.ctx.Sampled
 			}
 			if req.write {
 				tc.Op = "awrite"
@@ -151,6 +177,12 @@ func (a *Async) worker(s Store, q chan asyncReq) {
 // WriteAsync submits a write; the returned channel delivers one result.
 // The data slice is copied before submission.
 func (a *Async) WriteAsync(lba uint64, data []byte) <-chan AsyncResult {
+	return a.WriteCtx(lba, data, span.Context{})
+}
+
+// WriteCtx is WriteAsync carrying a wire trace context through the
+// queue into the back-end pipeline.
+func (a *Async) WriteCtx(lba uint64, data []byte, sc span.Context) <-chan AsyncResult {
 	done := make(chan AsyncResult, 1)
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -166,12 +198,17 @@ func (a *Async) WriteAsync(lba uint64, data []byte) <-chan AsyncResult {
 		a.writes.Inc()
 		a.inflight.Add(1)
 	}
-	q <- asyncReq{write: true, lba: lba, data: cp, submit: time.Now(), done: done}
+	q <- asyncReq{write: true, lba: lba, data: cp, submit: time.Now(), ctx: sc, done: done}
 	return done
 }
 
 // ReadAsync submits a read; the returned channel delivers the payload.
 func (a *Async) ReadAsync(lba uint64) <-chan AsyncResult {
+	return a.ReadCtx(lba, span.Context{})
+}
+
+// ReadCtx is ReadAsync carrying a wire trace context.
+func (a *Async) ReadCtx(lba uint64, sc span.Context) <-chan AsyncResult {
 	done := make(chan AsyncResult, 1)
 	a.mu.Lock()
 	if a.closed {
@@ -185,7 +222,7 @@ func (a *Async) ReadAsync(lba uint64) <-chan AsyncResult {
 		a.reads.Inc()
 		a.inflight.Add(1)
 	}
-	q <- asyncReq{lba: lba, submit: time.Now(), done: done}
+	q <- asyncReq{lba: lba, submit: time.Now(), ctx: sc, done: done}
 	return done
 }
 

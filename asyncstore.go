@@ -1,0 +1,78 @@
+package fidr
+
+import (
+	"fmt"
+
+	"fidr/internal/trace/span"
+)
+
+// AsyncStore adapts an Async front-end to the chunk-store surface the
+// protocol listener serves (proto.Store plus its traced extension).
+// With this front, the listener no longer needs its cross-connection
+// mutex: submissions are queue sends, and the per-group workers own the
+// servers — pass proto.WithConcurrentStore when serving one.
+type AsyncStore struct {
+	a         *Async
+	chunkSize int
+}
+
+// NewAsyncStore wraps a. chunkSize must match the underlying store's
+// chunk size.
+func NewAsyncStore(a *Async, chunkSize int) (*AsyncStore, error) {
+	if chunkSize < 1 {
+		return nil, fmt.Errorf("fidr: chunk size %d", chunkSize)
+	}
+	return &AsyncStore{a: a, chunkSize: chunkSize}, nil
+}
+
+// ChunkSize reports the store's chunk size.
+func (s *AsyncStore) ChunkSize() int { return s.chunkSize }
+
+// Write submits through the queue and waits.
+func (s *AsyncStore) Write(lba uint64, data []byte) error {
+	return (<-s.a.WriteCtx(lba, data, span.Context{})).Err
+}
+
+// Read submits through the queue and waits.
+func (s *AsyncStore) Read(lba uint64) ([]byte, error) {
+	r := <-s.a.ReadCtx(lba, span.Context{})
+	return r.Data, r.Err
+}
+
+// ReadRange fans the chunk reads through the queues (they may resolve
+// on different groups) and concatenates in LBA order.
+func (s *AsyncStore) ReadRange(lba uint64, n int) ([]byte, error) {
+	return s.ReadRangeSpan(lba, n, span.Context{})
+}
+
+// WriteSpan is Write with a wire trace context.
+func (s *AsyncStore) WriteSpan(lba uint64, data []byte, sc span.Context) error {
+	return (<-s.a.WriteCtx(lba, data, sc)).Err
+}
+
+// ReadSpan is Read with a wire trace context.
+func (s *AsyncStore) ReadSpan(lba uint64, sc span.Context) ([]byte, error) {
+	r := <-s.a.ReadCtx(lba, sc)
+	return r.Data, r.Err
+}
+
+// ReadRangeSpan is ReadRange with a wire trace context shared by every
+// chunk read.
+func (s *AsyncStore) ReadRangeSpan(lba uint64, n int, sc span.Context) ([]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fidr: read of %d chunks", n)
+	}
+	chans := make([]<-chan AsyncResult, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.a.ReadCtx(lba+uint64(i), sc)
+	}
+	out := make([]byte, 0, n*s.chunkSize)
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			return nil, fmt.Errorf("fidr: range chunk %d: %w", i, r.Err)
+		}
+		out = append(out, r.Data...)
+	}
+	return out, nil
+}

@@ -16,6 +16,7 @@ import (
 	"fidr/internal/metrics"
 	"fidr/internal/ssd"
 	"fidr/internal/trace"
+	"fidr/internal/trace/span"
 )
 
 // Bench artifact pipeline: machine-readable benchmark results. Each
@@ -104,6 +105,23 @@ type BenchArtifact struct {
 	WALAppendedRecords uint64               `json:"wal_appended_records,omitempty"`
 	WALDurableBytes    int64                `json:"wal_durable_bytes,omitempty"`
 	RecoveryPoints     []BenchRecoveryPoint `json:"recovery_points,omitempty"`
+
+	// Tracing runs only: per-workload throughput with the span plane off
+	// vs. head-sampled on, and the worst write-workload overhead.
+	// Acceptance: sampled tracing should cost <= ~5% write throughput.
+	TracePoints           []BenchTracePoint `json:"trace_points,omitempty"`
+	TraceWriteOverheadPct float64           `json:"trace_write_overhead_pct,omitempty"`
+}
+
+// BenchTracePoint compares one workload's throughput with distributed
+// tracing off vs. on (head-sampled, every 16th request). OverheadPct is
+// the relative throughput loss in percent; small negative values are
+// run-to-run noise.
+type BenchTracePoint struct {
+	Workload    string  `json:"workload"`
+	OffMBps     float64 `json:"off_mbps"`
+	OnMBps      float64 `json:"on_mbps"`
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // BenchRecoveryPoint is one crash-recovery measurement: the server is
@@ -131,6 +149,9 @@ type benchSpec struct {
 	laneSweep bool
 	// archival attaches a WAL and appends the crash-recovery sweep.
 	archival bool
+	// tracing runs every Table 3 workload twice — span plane off, then
+	// head-sampled on — and records the throughput deltas.
+	tracing bool
 }
 
 var benchSpecs = map[string]benchSpec{
@@ -141,6 +162,7 @@ var benchSpecs = map[string]benchSpec{
 	"cluster4":  {workload: "Write-H", arch: FIDRFull, groups: 4},
 	"lanes":     {workload: "Write-L", arch: FIDRFull, groups: 1, laneSweep: true},
 	"archival":  {workload: "Archival", arch: FIDRFull, groups: 1, archival: true},
+	"tracing":   {workload: "Write-H", arch: FIDRFull, groups: 1, tracing: true},
 }
 
 // BenchExperiments lists bench experiment names, sorted.
@@ -183,6 +205,8 @@ func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
 	art.HashLanes = lanes.Normalize(cfg.HashLanes)
 	art.CompressLanes = lanes.Normalize(cfg.CompressLanes)
 	switch {
+	case spec.tracing:
+		err = runBenchTracing(cfg, ios, &art)
 	case spec.laneSweep:
 		err = runBenchLaneSweep(cfg, wp, &art)
 	case spec.archival:
@@ -222,6 +246,62 @@ func runBenchLaneSweep(cfg Config, wp Workload, art *BenchArtifact) error {
 	if serial := art.LanePoints[0].ThroughputMBps; serial > 0 {
 		art.LaneSpeedup = art.LanePoints[len(art.LanePoints)-1].ThroughputMBps / serial
 	}
+	return nil
+}
+
+// runBenchTracing measures the cost of the distributed-tracing plane.
+// Each Table 3 workload runs twice on identically configured servers —
+// span plane off, then head-sampled tracing on (every 16th request
+// feeds a span collector) — and the throughput delta lands in
+// TracePoints. The traced Write-H run fills the artifact body, and
+// TraceWriteOverheadPct records the worst write-workload overhead
+// against the <= ~5% acceptance bar.
+func runBenchTracing(cfg Config, ios int, art *BenchArtifact) error {
+	for _, name := range []string{"Write-H", "Write-M", "Write-L", "Read-Mixed"} {
+		wp, err := experiments.WorkloadParams(name, ios, cfg.CacheLines)
+		if err != nil {
+			return err
+		}
+		off := &BenchArtifact{}
+		if err := benchTracingPass(cfg, wp, false, off); err != nil {
+			return err
+		}
+		on := &BenchArtifact{}
+		if name == art.Workload {
+			on = art
+		}
+		if err := benchTracingPass(cfg, wp, true, on); err != nil {
+			return err
+		}
+		pt := BenchTracePoint{Workload: name, OffMBps: off.ThroughputMBps, OnMBps: on.ThroughputMBps}
+		if pt.OffMBps > 0 {
+			pt.OverheadPct = (pt.OffMBps - pt.OnMBps) / pt.OffMBps * 100
+		}
+		art.TracePoints = append(art.TracePoints, pt)
+		if strings.HasPrefix(name, "Write") && pt.OverheadPct > art.TraceWriteOverheadPct {
+			art.TraceWriteOverheadPct = pt.OverheadPct
+		}
+	}
+	return nil
+}
+
+// benchTracingPass is runBenchSingle with the span plane optionally
+// armed before traffic.
+func benchTracingPass(cfg Config, wp Workload, traced bool, art *BenchArtifact) error {
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	view := srv.EnableObservability(nil, 64)
+	if traced {
+		srv.SetSpanCollector(span.NewCollector(512), 0)
+		srv.SetTraceSampling(16)
+	}
+	wall, err := driveBench(srv, wp, cfg.ChunkSize)
+	if err != nil {
+		return err
+	}
+	fillBenchArtifact(art, srv.Stats(), srv.CacheStats().HitRate(), wall, view.Snapshot())
 	return nil
 }
 

@@ -196,3 +196,39 @@ func TestBenchArtifactRecordsLanes(t *testing.T) {
 		t.Fatalf("lane counts %d/%d not recorded", art.HashLanes, art.CompressLanes)
 	}
 }
+
+func TestBenchArtifactTracing(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("tracing", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Experiment != "tracing" || art.Workload != "Write-H" {
+		t.Fatalf("experiment/workload = %q/%q", art.Experiment, art.Workload)
+	}
+	if len(art.TracePoints) != 4 {
+		t.Fatalf("got %d trace points, want 4", len(art.TracePoints))
+	}
+	want := map[string]bool{"Write-H": true, "Write-M": true, "Write-L": true, "Read-Mixed": true}
+	for _, pt := range art.TracePoints {
+		if !want[pt.Workload] {
+			t.Errorf("unexpected trace point workload %q", pt.Workload)
+		}
+		delete(want, pt.Workload)
+		if pt.OffMBps <= 0 || pt.OnMBps <= 0 {
+			t.Errorf("%s: throughputs %v off / %v on, want both positive", pt.Workload, pt.OffMBps, pt.OnMBps)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("workloads missing from trace points: %v", want)
+	}
+	// The artifact body comes from the traced Write-H pass.
+	if art.ThroughputMBps <= 0 || art.WallSeconds <= 0 {
+		t.Fatalf("throughput %v over %vs", art.ThroughputMBps, art.WallSeconds)
+	}
+	// At test scale the runs are short and noisy, so the acceptance bar
+	// gets headroom; the committed artifact at full scale is what the
+	// <= ~5% criterion judges.
+	if art.TraceWriteOverheadPct > 25 {
+		t.Errorf("sampled tracing write overhead %.1f%%, want small", art.TraceWriteOverheadPct)
+	}
+}

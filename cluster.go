@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"fidr/internal/core"
 	"fidr/internal/hostmodel"
+	"fidr/internal/trace/span"
 )
 
 // Cluster implements §5.6's scale-out arrangement: multiple groups of
@@ -38,6 +40,35 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 	c := &Cluster{groups: make([]*Server, n)}
 	for i := range c.groups {
 		g, err := NewServer(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fidr: group %d: %w", i, err)
+		}
+		c.groups[i] = g
+	}
+	return c, nil
+}
+
+// NewClusterWAL is NewCluster with a group-local write-ahead log per
+// group: walAt(i) opens (or creates) group i's log. The logs make the
+// groups' commit paths durable and observable (each batch fsyncs its
+// own log); cluster-mode recovery is not implemented yet, so fresh
+// starts should Reset each log before handing it over.
+func NewClusterWAL(cfg Config, n int, walAt func(group int) (*core.WAL, error)) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fidr: cluster needs at least one group")
+	}
+	if cfg.WAL != nil {
+		return nil, fmt.Errorf("fidr: cfg.WAL must be nil when walAt supplies per-group logs")
+	}
+	c := &Cluster{groups: make([]*Server, n)}
+	for i := range c.groups {
+		gcfg := cfg
+		w, err := walAt(i)
+		if err != nil {
+			return nil, fmt.Errorf("fidr: group %d wal: %w", i, err)
+		}
+		gcfg.WAL = w
+		g, err := NewServer(gcfg)
 		if err != nil {
 			return nil, fmt.Errorf("fidr: group %d: %w", i, err)
 		}
@@ -132,6 +163,60 @@ func (c *Cluster) ReadRange(lba uint64, n int) ([]byte, error) {
 
 // ChunkSize returns the cluster's chunk size (uniform across groups).
 func (c *Cluster) ChunkSize() int { return c.groups[0].ChunkSize() }
+
+// SetSpanCollector shares one span collector across every group, each
+// tagging its spans with its group index. Call after
+// EnableObservability.
+func (c *Cluster) SetSpanCollector(col *span.Collector) {
+	for i, g := range c.groups {
+		g.SetSpanCollector(col, i)
+	}
+}
+
+// SetTraceSampling head-samples untraced requests on every group: one
+// request in every `every` gets a trace (0 disables).
+func (c *Cluster) SetTraceSampling(every int) {
+	for _, g := range c.groups {
+		g.SetTraceSampling(every)
+	}
+}
+
+// clusterTC lifts a wire span context into a front-end TraceContext
+// (nil when untraced), mirroring the unexported core adapter.
+func clusterTC(sc span.Context) *TraceContext {
+	if !sc.Valid() {
+		return nil
+	}
+	return &TraceContext{Trace: sc.Trace, Parent: sc.Parent, Sampled: sc.Sampled}
+}
+
+// WriteSpan is Write carrying a wire trace context to the shard.
+func (c *Cluster) WriteSpan(lba uint64, data []byte, sc span.Context) error {
+	return c.WriteTraced(lba, data, clusterTC(sc))
+}
+
+// ReadSpan is Read carrying a wire trace context.
+func (c *Cluster) ReadSpan(lba uint64, sc span.Context) ([]byte, error) {
+	return c.ReadTraced(lba, clusterTC(sc))
+}
+
+// ReadRangeSpan is ReadRange with a wire trace context shared by every
+// chunk read (each resolves on its own shard, all in one trace).
+func (c *Cluster) ReadRangeSpan(lba uint64, n int, sc span.Context) ([]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fidr: range read of %d chunks", n)
+	}
+	tc := clusterTC(sc)
+	out := make([]byte, 0, n*c.ChunkSize())
+	for i := 0; i < n; i++ {
+		chunk, err := c.ReadTraced(lba+uint64(i), tc)
+		if err != nil {
+			return nil, fmt.Errorf("fidr: range chunk %d: %w", i, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
 
 // Flush drains every group.
 func (c *Cluster) Flush() error {

@@ -4,21 +4,27 @@
 //
 // Usage:
 //
-//	fidrcli put    -addr host:9400 -lba 0 -file data.bin
+//	fidrcli put    -addr host:9400 -lba 0 -file data.bin [-traced]
 //	fidrcli get    -addr host:9400 -lba 0 -count 16 -out copy.bin
 //	fidrcli replay -addr host:9400 -trace workload.trc -ratio 0.5
 //	fidrcli stats  -metrics-addr host:9401
 //	fidrcli traces -metrics-addr host:9401
+//	fidrcli trace  -metrics-addr host:9401 <trace-id>
 //	fidrcli slow   -metrics-addr host:9401
+//	fidrcli slo    -metrics-addr host:9401
 //	fidrcli top    -metrics-addr host:9401 [-interval 2s] [-n 0]
 //
-// stats, traces, slow and top talk to the server's -metrics-addr HTTP
-// endpoint: stats fetches /metrics and pretty-prints counters, gauges
-// and per-stage latency histograms; traces fetches and prints the most
-// recent request traces; slow prints the slow-request flight recorder
-// (/traces/slow); top polls /metrics/series and renders a live view of
-// device utilization, queue depths, throughput and data reduction
-// (-n bounds the number of frames, 0 = until interrupted).
+// stats, traces, trace, slow, slo and top talk to the server's
+// -metrics-addr HTTP endpoint: stats fetches /metrics and pretty-prints
+// counters, gauges and per-stage latency histograms; traces fetches and
+// prints the most recent request traces; trace resolves one distributed
+// trace ID (as printed by `put -traced` or scraped from a histogram
+// exemplar) to its span tree (/traces/spans); slow prints the
+// slow-request flight recorder (/traces/slow); slo renders the latency
+// objectives' error budgets and burn rates (/slo); top polls
+// /metrics/series and renders a live view of device utilization, queue
+// depths, throughput and data reduction (-n bounds the number of
+// frames, 0 = until interrupted).
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"fidr/internal/metrics"
 	"fidr/internal/proto"
 	"fidr/internal/trace"
+	"fidr/internal/trace/span"
 )
 
 func main() {
@@ -56,6 +63,7 @@ func main() {
 	ratio := fs.Float64("ratio", 0.5, "content compressibility for replayed writes")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top)")
 	frames := fs.Int("n", 0, "frames to render before exiting (top); 0 = until interrupted")
+	traced := fs.Bool("traced", false, "trace each put batch end to end; prints one trace ID per batch")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -64,8 +72,16 @@ func main() {
 		err = stats(*maddr)
 	case "traces":
 		err = traces(*maddr)
+	case "trace":
+		if fs.NArg() != 1 {
+			err = fmt.Errorf("usage: fidrcli trace [-metrics-addr host:9401] <trace-id>")
+		} else {
+			err = traceByID(*maddr, fs.Arg(0))
+		}
 	case "slow":
 		err = slow(*maddr)
+	case "slo":
+		err = slo(*maddr)
 	case "top":
 		err = top(*maddr, *interval, *frames)
 	case "put", "get", "replay":
@@ -77,7 +93,7 @@ func main() {
 		defer c.Close()
 		switch cmd {
 		case "put":
-			err = put(c, *lba, *file)
+			err = put(c, *lba, *file, *traced)
 		case "get":
 			err = get(c, *lba, *count, *out)
 		case "replay":
@@ -92,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|slow|top [flags]  (see -h per command)")
+	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|trace|slow|slo|top [flags]  (see -h per command)")
 	os.Exit(2)
 }
 
@@ -265,6 +281,35 @@ func slow(addr string) error {
 	return nil
 }
 
+// traceByID resolves one distributed trace ID to its rendered span
+// tree. IDs come from `put -traced`, from histogram exemplars on
+// /metrics?format=prom, or from another trace's output.
+func traceByID(addr, id string) error {
+	if _, err := span.ParseTraceID(id); err != nil {
+		return fmt.Errorf("bad trace ID %q: %v", id, err)
+	}
+	body, err := fetch(addr, "/traces/spans?id="+id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	return nil
+}
+
+// slo fetches the error-budget dump and renders the objective table.
+func slo(addr string) error {
+	body, err := fetch(addr, "/slo")
+	if err != nil {
+		return err
+	}
+	var d metrics.SLODump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		return fmt.Errorf("parse /slo: %w", err)
+	}
+	fmt.Print(metrics.RenderSLO(d))
+	return nil
+}
+
 // top polls /metrics/series and renders a live device view. frames
 // bounds the number of refreshes (0 = until interrupted); a single
 // frame prints without clearing the terminal, so `fidrcli top -n 1`
@@ -359,7 +404,7 @@ func renderTop(d metrics.SeriesDump) string {
 	return b.String()
 }
 
-func put(c *proto.Client, lba uint64, path string) error {
+func put(c *proto.Client, lba uint64, path string, traced bool) error {
 	if path == "" {
 		return fmt.Errorf("-file is required")
 	}
@@ -389,7 +434,14 @@ func put(c *proto.Client, lba uint64, path string) error {
 		if err != nil {
 			return err
 		}
-		if werr := c.WriteBatch(lba+uint64(chunks), buf[:n]); werr != nil {
+		batchLBA := lba + uint64(chunks)
+		if traced {
+			id, werr := c.WriteBatchTraced(batchLBA, buf[:n])
+			if werr != nil {
+				return werr
+			}
+			fmt.Printf("trace %s  batch at LBA %d (%d chunks)\n", id, batchLBA, n/fidr.ChunkSize)
+		} else if werr := c.WriteBatch(batchLBA, buf[:n]); werr != nil {
 			return werr
 		}
 		chunks += n / fidr.ChunkSize

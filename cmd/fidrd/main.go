@@ -9,7 +9,26 @@
 //
 // With -groups N > 1 the daemon serves a §5.6 scale-out cluster: N
 // device groups, each a full server, with client LBAs sharded across
-// them (in-memory only; incompatible with -data-file/-recover).
+// them (in-memory volumes only; incompatible with -data-file/-recover).
+// -wal-file works in cluster mode too: each group journals to its own
+// group-local log at <wal-file>.g<N> (fresh logs every start; cluster
+// recovery is not implemented yet).
+//
+// All requests flow through an async front-end (the software shape of
+// the paper's device manager): bounded per-group queues feed worker-
+// owned servers, so the protocol listener serves connections
+// concurrently. -queue-depth bounds the per-group queue.
+//
+// The daemon traces requests end to end. Wire requests carrying a
+// trace context (fidrcli put -trace, the traced client API) are always
+// traced; -trace-sample N additionally head-samples every Nth
+// untraced request. Completed span trees land in a ring served at
+// /traces/spans?id=<trace-id>, and sampled requests tag latency-
+// histogram buckets with their trace ID (OpenMetrics exemplars on
+// /metrics?format=prom). -slo-spec declares latency objectives
+// (name:hist:threshold:target,...) evaluated into error budgets and
+// multiwindow burn rates at /slo; the default objectives cover the
+// write and read request classes.
 //
 // With -data-file/-table-file the volumes are durable; adding
 // -wal-file writes every table/refcount/LBA mutation to a group-local
@@ -51,6 +70,7 @@ import (
 	"fidr/internal/metrics"
 	"fidr/internal/proto"
 	"fidr/internal/ssd"
+	"fidr/internal/trace/span"
 )
 
 func main() {
@@ -73,6 +93,10 @@ func main() {
 	slowQuantile := flag.Float64("slow-quantile", 0.99, "flight recorder captures requests above this total-latency quantile")
 	slowMin := flag.Duration("slow-min", time.Millisecond, "flight recorder never flags requests faster than this")
 	slowTraces := flag.Int("slow-traces", 64, "slow request captures kept for /traces/slow")
+	queueDepth := flag.Int("queue-depth", 64, "async front-end per-group queue depth")
+	traceSample := flag.Int("trace-sample", 0, "head-sample every Nth untraced request into the span ring; 0 = wire-traced requests only")
+	traceRing := flag.Int("trace-ring", 512, "distinct traces kept for /traces/spans")
+	sloSpec := flag.String("slo-spec", "", "latency objectives as name:hist:threshold:target,...; empty = built-in write/read objectives")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
@@ -97,30 +121,52 @@ func main() {
 	}
 
 	// The store behind the listener, plus its observability surface.
+	// col collects completed span trees from every layer; front holds
+	// the front-end's own series (async queue, proto listener, SLO
+	// gauges) alongside the back-end view.
+	col := span.NewCollector(*traceRing)
+	front := metrics.NewRegistry()
 	var (
-		store    proto.Store
+		backend  fidr.Store
 		view     metrics.Gatherer
 		traceFn  func() string
 		slowFn   func() string
 		shutdown func()
 	)
 	if *groups > 1 {
-		if *dataFile != "" || *tableFile != "" || *walFile != "" || *recover {
-			log.Fatal("fidrd: -groups > 1 is incompatible with -data-file/-table-file/-wal-file/-recover")
+		if *dataFile != "" || *tableFile != "" || *recover {
+			log.Fatal("fidrd: -groups > 1 is incompatible with -data-file/-table-file/-recover")
 		}
-		cl, err := fidr.NewCluster(cfg, *groups)
+		var cl *fidr.Cluster
+		var err error
+		if *walFile != "" {
+			// Group-local logs, like a group's SSDs: one file per group.
+			cl, err = fidr.NewClusterWAL(cfg, *groups, func(g int) (*core.WAL, error) {
+				w, werr := core.OpenWALFile(fmt.Sprintf("%s.g%d", *walFile, g))
+				if werr != nil {
+					return nil, werr
+				}
+				// Cluster mode has no recovery path yet; never replay a
+				// previous deployment's log.
+				if werr := w.Reset(); werr != nil {
+					return nil, werr
+				}
+				return w, nil
+			})
+		} else {
+			cl, err = fidr.NewCluster(cfg, *groups)
+		}
 		if err != nil {
 			log.Fatalf("fidrd: %v", err)
 		}
 		view = cl.EnableObservability(*traces)
 		cl.ConfigureFlightRecorder(*slowQuantile, *slowMin, *slowTraces)
+		cl.SetSpanCollector(col)
+		cl.SetTraceSampling(*traceSample)
 		traceFn = func() string { return core.RenderTraces(cl.RecentTraces()) }
 		slowFn = func() string { return core.RenderSlowTraces(cl.SlowTraces()) }
-		store = cl
+		backend = cl
 		shutdown = func() {
-			if err := cl.Flush(); err != nil {
-				log.Printf("fidrd: flush: %v", err)
-			}
 			report(cl.Stats(), cl.Snapshot(), -1)
 		}
 	} else {
@@ -170,9 +216,11 @@ func main() {
 		// safe alongside the protocol listener.
 		view = srv.EnableObservability(nil, *traces)
 		srv.ConfigureFlightRecorder(*slowQuantile, *slowMin, *slowTraces)
+		srv.SetSpanCollector(col, 0)
+		srv.SetTraceSampling(*traceSample)
 		traceFn = func() string { return core.RenderTraces(srv.RecentTraces()) }
 		slowFn = func() string { return core.RenderSlowTraces(srv.SlowTraces()) }
-		store = srv
+		backend = srv
 		shutdown = func() {
 			if durable {
 				if err := srv.Checkpoint(); err != nil {
@@ -185,18 +233,52 @@ func main() {
 						log.Printf("fidrd: wal close: %v", err)
 					}
 				}
-			} else if err := srv.Flush(); err != nil {
-				log.Printf("fidrd: flush: %v", err)
 			}
 			report(srv.Stats(), srv.Ledger().Snapshot(), srv.CacheStats().HitRate())
 		}
 	}
 
+	// The async front-end owns the store(s): one worker per group, with
+	// bounded queues for backpressure. Its Close drains the queues and
+	// flushes every group, so shutdown needs no explicit Flush.
+	async, err := fidr.NewAsync(backend, *queueDepth)
+	if err != nil {
+		log.Fatalf("fidrd: %v", err)
+	}
+	async.EnableObservability(front)
+	async.SetSpanCollector(col)
+	store, err := fidr.NewAsyncStore(async, cfg.ChunkSize)
+	if err != nil {
+		log.Fatalf("fidrd: %v", err)
+	}
+	view = metrics.Multi(view, front)
+
+	// SLO plane: latency objectives over the request-class histograms,
+	// refreshed on the series cadence.
+	objs := metrics.DefaultObjectives()
+	if *sloSpec != "" {
+		var perr error
+		objs, perr = metrics.ParseObjectives(*sloSpec)
+		if perr != nil {
+			log.Fatalf("fidrd: -slo-spec: %v", perr)
+		}
+	}
+	slo := metrics.NewSLO(view, objs, *seriesSamples)
+	slo.Instrument(front)
+	stopSLO := make(chan struct{})
+	defer close(stopSLO)
+	go slo.Run(*seriesInterval, stopSLO)
+
 	// Readiness flips once the protocol listener is accepting; the
 	// metrics endpoint may come up first and must answer 503 until then.
 	var ready atomic.Bool
 
-	l, err := proto.Serve(store, *addr)
+	l, err := proto.Serve(store, *addr,
+		proto.WithSpanCollector(col),
+		proto.WithMetrics(front),
+		// The async front serializes per group; connections need not
+		// serialize against each other.
+		proto.WithConcurrentStore())
 	if err != nil {
 		log.Fatalf("fidrd: %v", err)
 	}
@@ -217,6 +299,8 @@ func main() {
 			Traces:     traceFn,
 			SlowTraces: slowFn,
 			Sampler:    sampler,
+			Spans:      col,
+			SLO:        slo,
 			Ready:      ready.Load,
 		}))
 		if *pprofFlag {
@@ -242,6 +326,11 @@ func main() {
 	log.Printf("fidrd: shutting down")
 	if err := l.Close(); err != nil {
 		log.Printf("fidrd: close: %v", err)
+	}
+	// Drain the queues and flush every group before the final report
+	// (and, in durable mode, the checkpoint).
+	if err := async.Close(); err != nil {
+		log.Printf("fidrd: flush: %v", err)
 	}
 	shutdown()
 }

@@ -241,6 +241,10 @@ type Server struct {
 	// obs is the live observability hookup; nil (disabled) unless
 	// EnableObservability was called. All hooks are nil-safe.
 	obs *Observer
+	// activeReq is the request trace currently on the stack (the server
+	// is single-writer), so batch flushes triggered mid-request can link
+	// their spans under the tipping request's trace.
+	activeReq *ReqTrace
 
 	// pbnFP records each PBN's fingerprint for garbage collection
 	// (real systems keep it in container metadata).

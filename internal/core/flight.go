@@ -92,7 +92,11 @@ func (f *flightRecorder) currentThreshold() time.Duration {
 // observe feeds one completed trace through the gate, capturing it when
 // slow. Called from ReqTrace.done on every request.
 func (f *flightRecorder) observe(t Trace) {
-	f.totals.Observe(float64(t.Total.Nanoseconds()))
+	if t.Sampled {
+		f.totals.ObserveExemplar(float64(t.Total.Nanoseconds()), t.TraceID.String())
+	} else {
+		f.totals.Observe(float64(t.Total.Nanoseconds()))
+	}
 	th := f.currentThreshold()
 	f.threshold.Set(float64(th.Nanoseconds()))
 	if t.Total < th {

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fidr/internal/metrics"
+	"fidr/internal/trace/span"
 )
 
 // Live observability (in contrast to the after-the-fact experiment
@@ -42,6 +44,9 @@ const (
 	// pipeline's bounded worker queues) before a server accepted the
 	// request. Front-ends inject it via TraceContext.
 	StageQueueWait
+	// StageWALFsync is the group-commit fsync of staged WAL records
+	// after the containers they reference are durable on the data SSD.
+	StageWALFsync
 
 	numStages
 )
@@ -65,15 +70,25 @@ func (st Stage) String() string {
 		return "lba_resolve"
 	case StageQueueWait:
 		return "queue_wait"
+	case StageWALFsync:
+		return "wal_fsync"
 	default:
 		return "unknown"
 	}
 }
 
-// Span is one timed pipeline stage within a request trace.
+// Span is one timed pipeline stage within a request trace. When the
+// trace is sampled into the distributed-tracing plane, the span also
+// carries its tree identity (ID/Parent), its start time and a payload
+// byte annotation; unsampled traces leave those zero and pay nothing.
 type Span struct {
 	Stage Stage
 	Dur   time.Duration
+
+	ID     span.SpanID
+	Parent span.SpanID
+	Start  time.Time
+	Bytes  uint64
 }
 
 // Trace is one completed request (or batch) with its stage spans.
@@ -90,6 +105,16 @@ type Trace struct {
 	// gc and verify touch thousands of chunks; every span still feeds
 	// its stage histogram, only the trace's span list is bounded).
 	DroppedSpans int
+
+	// Distributed-tracing identity: TraceID names the end-to-end tree
+	// this request belongs to, Root is this request's own span, Parent
+	// is the upstream span (proto root, async queue span, or the
+	// triggering request for a deferred batch). Sampled gates span
+	// publication and histogram exemplars.
+	TraceID span.TraceID
+	Root    span.SpanID
+	Parent  span.SpanID
+	Sampled bool
 }
 
 // traceRing keeps the most recent traces in a fixed-size ring.
@@ -142,6 +167,10 @@ type Observer struct {
 
 	stage [numStages]*metrics.Histogram
 
+	// Op-class request-total histograms: the SLO plane's latency inputs
+	// and the primary exemplar carriers.
+	reqWrite, reqRead *metrics.Histogram
+
 	writes, reads, batches   *metrics.Counter
 	clientBytes, storedBytes *metrics.Counter
 	dupChunks, uniqueChunks  *metrics.Counter
@@ -149,6 +178,16 @@ type Observer struct {
 	readCacheHits            *metrics.Counter
 	pendingReads             *metrics.Counter
 	mispredictions           *metrics.Counter
+
+	// Distributed-tracing sink. col is nil until SetSpanCollector;
+	// group labels published spans with the owning cluster shard.
+	// sampleEvery > 0 head-samples every Nth request that arrives
+	// without an upstream trace context (wire contexts carry their own
+	// sampling decision).
+	col         *span.Collector
+	group       int
+	sampleEvery uint32
+	sampleCtr   atomic.Uint32
 }
 
 func newObserver(reg *metrics.Registry, ringSize int) *Observer {
@@ -166,6 +205,8 @@ func newObserver(reg *metrics.Registry, ringSize int) *Observer {
 		readCacheHits:  reg.Counter("core.read_cache_hits"),
 		pendingReads:   reg.Counter("core.pending_reads"),
 		mispredictions: reg.Counter("core.mispredictions"),
+		reqWrite:       reg.Histogram("req.write.ns"),
+		reqRead:        reg.Histogram("req.read.ns"),
 	}
 	for st := Stage(0); st < numStages; st++ {
 		o.stage[st] = reg.Histogram("stage." + st.String() + ".ns")
@@ -244,11 +285,37 @@ func (o *Observer) onMisprediction() {
 
 // begin opens a request trace, or returns nil when observability is off;
 // every ReqTrace method is nil-safe so call sites stay unconditional.
+// Requests arriving without an upstream trace context are head-sampled
+// every sampleEvery-th call; adopt overrides the decision when a
+// context carries one.
 func (o *Observer) begin(op string, lba uint64) *ReqTrace {
 	if o == nil {
 		return nil
 	}
-	return &ReqTrace{obs: o, t: Trace{Op: op, LBA: lba, Start: time.Now()}}
+	tr := &ReqTrace{obs: o, t: Trace{Op: op, LBA: lba, Start: time.Now()}}
+	if n := o.sampleEvery; n > 0 && o.sampleCtr.Add(1)%n == 0 {
+		tr.t.TraceID = span.NewTraceID()
+		tr.t.Root = span.NewSpanID()
+		tr.t.Sampled = true
+	}
+	return tr
+}
+
+// beginLinked opens a trace for deferred work (a batch flush) under the
+// trace of the request that triggered it, so one wire trace covers the
+// hash/compress/WAL/SSD spans its tipping write caused. A nil or
+// unsampled parent leaves begin's own sampling decision in place.
+func (o *Observer) beginLinked(op string, lba uint64, parent *ReqTrace) *ReqTrace {
+	tr := o.begin(op, lba)
+	if tr != nil && parent != nil && parent.t.Sampled {
+		tr.t.TraceID = parent.t.TraceID
+		tr.t.Parent = parent.t.Root
+		tr.t.Sampled = true
+		if tr.t.Root == 0 {
+			tr.t.Root = span.NewSpanID()
+		}
+	}
+	return tr
 }
 
 // ReqTrace accumulates one request's stage spans.
@@ -291,6 +358,33 @@ const maxTraceSpans = 64
 
 // add records an already-measured stage duration.
 func (tr *ReqTrace) add(st Stage, d time.Duration) {
+	tr.addBytes(st, d, 0)
+}
+
+// addBytes is add with a payload-byte annotation on the span.
+func (tr *ReqTrace) addBytes(st Stage, d time.Duration, bytes uint64) {
+	if tr == nil {
+		return
+	}
+	if len(tr.t.Spans) < maxTraceSpans {
+		sp := Span{Stage: st, Dur: d, Bytes: bytes}
+		if tr.t.Sampled {
+			sp.ID = span.NewSpanID()
+			sp.Parent = tr.t.Root
+			sp.Start = time.Now().Add(-d)
+		}
+		tr.t.Spans = append(tr.t.Spans, sp)
+	} else {
+		tr.t.DroppedSpans++
+	}
+	tr.observeStage(st, d)
+}
+
+// addPre records a stage measured by an upstream layer: it feeds the
+// stage histogram and the flat span list but never the span collector
+// (the upstream layer publishes its own tree span with its real
+// parentage, so publishing here would double-count it).
+func (tr *ReqTrace) addPre(st Stage, d time.Duration) {
 	if tr == nil {
 		return
 	}
@@ -299,7 +393,18 @@ func (tr *ReqTrace) add(st Stage, d time.Duration) {
 	} else {
 		tr.t.DroppedSpans++
 	}
-	tr.obs.stage[st].Observe(float64(d.Nanoseconds()))
+	tr.observeStage(st, d)
+}
+
+// observeStage feeds the stage histogram, attaching this trace's ID as
+// a bucket exemplar when the trace is sampled.
+func (tr *ReqTrace) observeStage(st Stage, d time.Duration) {
+	h := tr.obs.stage[st]
+	if tr.t.Sampled {
+		h.ObserveExemplar(float64(d.Nanoseconds()), tr.t.TraceID.String())
+	} else {
+		h.Observe(float64(d.Nanoseconds()))
+	}
 }
 
 // adopt merges a front-end trace context into this trace: pre-measured
@@ -317,8 +422,18 @@ func (tr *ReqTrace) adopt(tc *TraceContext) {
 	if !tc.Start.IsZero() {
 		tr.t.Start = tc.Start
 	}
+	// Wire/front-end trace identity overrides head sampling: the caller
+	// decided whether this request is traced and who the parent span is.
+	if tc.Trace != 0 {
+		tr.t.TraceID = tc.Trace
+		tr.t.Parent = tc.Parent
+		tr.t.Sampled = tc.Sampled
+		if tr.t.Root == 0 {
+			tr.t.Root = span.NewSpanID()
+		}
+	}
 	for _, sp := range tc.Spans {
-		tr.add(sp.Stage, sp.Dur)
+		tr.addPre(sp.Stage, sp.Dur)
 	}
 }
 
@@ -336,10 +451,26 @@ type TraceContext struct {
 	// Spans are stages the front-end already measured (e.g.
 	// StageQueueWait); they are recorded into the stage histograms.
 	Spans []Span
+
+	// Distributed-tracing propagation: when Trace is non-zero the
+	// request joins that trace, parented under Parent (the caller's
+	// active span), and Sampled decides span-collector publication.
+	Trace   span.TraceID
+	Parent  span.SpanID
+	Sampled bool
 }
 
-// done completes the trace, publishes it to the ring and feeds the
-// slow-request flight recorder.
+// SpanContext extracts the propagation half of the context.
+func (tc *TraceContext) SpanContext() span.Context {
+	if tc == nil {
+		return span.Context{}
+	}
+	return span.Context{Trace: tc.Trace, Parent: tc.Parent, Sampled: tc.Sampled}
+}
+
+// done completes the trace, publishes it to the ring, the slow-request
+// flight recorder, the op-class request histograms and (when sampled)
+// the span collector.
 func (tr *ReqTrace) done() {
 	if tr == nil {
 		return
@@ -348,6 +479,51 @@ func (tr *ReqTrace) done() {
 	tr.obs.ring.push(tr.t)
 	if tr.obs.flight != nil {
 		tr.obs.flight.observe(tr.t)
+	}
+	if h := tr.obs.reqClass(tr.t.Op); h != nil {
+		if tr.t.Sampled {
+			h.ObserveExemplar(float64(tr.t.Total.Nanoseconds()), tr.t.TraceID.String())
+		} else {
+			h.Observe(float64(tr.t.Total.Nanoseconds()))
+		}
+	}
+	if tr.t.Sampled && tr.obs.col != nil {
+		tr.publish()
+	}
+}
+
+// reqClass maps an op label to its request-class histogram (nil for
+// internal ops like batch/flush/gc, which are not client requests).
+func (o *Observer) reqClass(op string) *metrics.Histogram {
+	switch op {
+	case "write", "awrite":
+		return o.reqWrite
+	case "read", "aread", "snapshot_read":
+		return o.reqRead
+	}
+	return nil
+}
+
+// publish converts the completed trace into tree spans in the shared
+// collector: one root span for the request, one child per stage span
+// that carries a tree identity (adopted upstream spans publish
+// themselves at their own layer).
+func (tr *ReqTrace) publish() {
+	t := &tr.t
+	tr.obs.col.Add(span.Span{
+		Trace: t.TraceID, ID: t.Root, Parent: t.Parent,
+		Name: "core." + t.Op, Start: t.Start, Dur: t.Total,
+		LBA: t.LBA, Group: tr.obs.group,
+	})
+	for _, sp := range t.Spans {
+		if sp.ID == 0 {
+			continue
+		}
+		tr.obs.col.Add(span.Span{
+			Trace: t.TraceID, ID: sp.ID, Parent: sp.Parent,
+			Name: sp.Stage.String(), Start: sp.Start, Dur: sp.Dur,
+			Bytes: sp.Bytes, Group: tr.obs.group,
+		})
 	}
 }
 
@@ -385,6 +561,33 @@ func (s *Server) EnableObservability(reg *metrics.Registry, recentTraces int) *m
 		s.wal.Instrument(reg)
 	}
 	return reg
+}
+
+// SetSpanCollector attaches the shared distributed-tracing sink.
+// Sampled request traces publish their span trees there; group labels
+// the spans with this server's cluster shard index. Call after
+// EnableObservability and before serving traffic; no-op when
+// observability is disabled.
+func (s *Server) SetSpanCollector(col *span.Collector, group int) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.col = col
+	s.obs.group = group
+}
+
+// SetTraceSampling head-samples every Nth request that arrives without
+// an upstream trace context (N <= 0 disables head sampling; wire
+// contexts always carry their own decision). Call after
+// EnableObservability and before serving traffic.
+func (s *Server) SetTraceSampling(every int) {
+	if s.obs == nil {
+		return
+	}
+	if every < 0 {
+		every = 0
+	}
+	s.obs.sampleEvery = uint32(every)
 }
 
 // MetricsRegistry returns the live registry, or nil when observability

@@ -33,6 +33,8 @@ func (s *Server) ReadTraced(lba uint64, tc *TraceContext) ([]byte, error) {
 	tr := s.obs.begin("read", lba)
 	tr.adopt(tc)
 	defer tr.done()
+	s.activeReq = tr
+	defer func() { s.activeReq = nil }()
 
 	if s.cfg.Arch == Baseline {
 		return s.baselineRead(lba, tr)

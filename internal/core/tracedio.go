@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"fidr/internal/trace/span"
+)
+
+// This file adapts the wire trace context (internal/trace/span.Context,
+// decoded by the proto listener) onto the server's TraceContext-based
+// entry points, satisfying proto.TracedStore. The indirection keeps the
+// import direction one-way: proto depends only on the span package,
+// never on core.
+
+// spanTC lifts a wire span context into a front-end TraceContext. An
+// invalid context yields nil, which the traced entry points treat as
+// untraced.
+func spanTC(sc span.Context) *TraceContext {
+	if !sc.Valid() {
+		return nil
+	}
+	return &TraceContext{Trace: sc.Trace, Parent: sc.Parent, Sampled: sc.Sampled}
+}
+
+// WriteSpan is Write carrying a wire trace context.
+func (s *Server) WriteSpan(lba uint64, data []byte, sc span.Context) error {
+	return s.WriteTraced(lba, data, spanTC(sc))
+}
+
+// ReadSpan is Read carrying a wire trace context.
+func (s *Server) ReadSpan(lba uint64, sc span.Context) ([]byte, error) {
+	return s.ReadTraced(lba, spanTC(sc))
+}
+
+// ReadRangeSpan is ReadRange carrying a wire trace context; each chunk
+// read joins the same trace.
+func (s *Server) ReadRangeSpan(lba uint64, n int, sc span.Context) ([]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: read of %d chunks", n)
+	}
+	tc := spanTC(sc)
+	out := make([]byte, 0, n*s.cfg.ChunkSize)
+	for i := 0; i < n; i++ {
+		chunk, err := s.ReadTraced(lba+uint64(i), tc)
+		if err != nil {
+			return nil, fmt.Errorf("core: range chunk %d: %w", i, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

@@ -41,6 +41,8 @@ func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
 	tr := s.obs.begin("write", lba)
 	tr.adopt(tc)
 	defer tr.done()
+	s.activeReq = tr
+	defer func() { s.activeReq = nil }()
 
 	if s.cfg.Arch == Baseline {
 		return s.baselineWrite(lba, data, tr)
@@ -100,7 +102,7 @@ func (s *Server) processBaselineBatch() error {
 	s.batch = nil
 	s.stats.BatchesProcessed++
 	s.obs.onBatch()
-	bt := s.obs.begin("batch", batch[0].lba)
+	bt := s.obs.beginLinked("batch", batch[0].lba, s.activeReq)
 	defer bt.done()
 
 	// 1. The unique-chunk predictor reads the buffered data and guesses
@@ -271,7 +273,7 @@ func (s *Server) processFIDRBatch() error {
 	}
 	s.stats.BatchesProcessed++
 	s.obs.onBatch()
-	bt := s.obs.begin("batch", 0)
+	bt := s.obs.beginLinked("batch", 0, s.activeReq)
 	defer bt.done()
 
 	// Step 2: NIC hash cores fingerprint the batch; only the hash
@@ -510,7 +512,13 @@ func (s *Server) writeSealed(tr *ReqTrace) error {
 	}
 	// WAL fsync batching: one commit per batch, after the containers the
 	// staged records reference are on the data SSD.
-	return s.walCommit()
+	if s.wal == nil {
+		return nil
+	}
+	from := tr.start()
+	err := s.walCommit()
+	tr.span(StageWALFsync, from)
+	return err
 }
 
 // --- WAL glue (no-ops when no WAL is attached) ---

@@ -3,7 +3,9 @@ package metrics
 import (
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram layout: log-linear ("HDR-style") buckets. Values are split
@@ -63,7 +65,26 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits, CAS-updated
 	minBits atomic.Uint64 // float64 bits; +Inf until first Observe
 	maxBits atomic.Uint64 // float64 bits; -Inf until first Observe
+
+	// Exemplars: a recent sampled trace ID per occupied bucket, so a
+	// scraped p99 bucket resolves to an actual retrievable span tree.
+	// Only ObserveExemplar (sampled requests) touches the map; plain
+	// Observe stays lock-free.
+	exMu sync.Mutex
+	ex   map[int]Exemplar
 }
+
+// Exemplar links one histogram bucket to the trace that last landed in
+// it: the trace ID, the observed value, and the observation time.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	UnixNS  int64
+}
+
+// maxExemplarBuckets bounds the per-histogram exemplar map; when full,
+// a new bucket's exemplar evicts the stalest one.
+const maxExemplarBuckets = 64
 
 // NewHistogram returns an empty histogram. Always use the constructor:
 // the zero value mis-reports Min.
@@ -112,6 +133,50 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one value and tags its bucket with the
+// observing trace's ID. Call it for sampled requests only; the
+// exemplar map is mutex-guarded, so unsampled traffic should use the
+// lock-free Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	clamped := v
+	if clamped < 0 || math.IsNaN(clamped) {
+		clamped = 0
+	}
+	u := uint64(math.MaxUint64)
+	if clamped < math.MaxUint64 {
+		u = uint64(clamped)
+	}
+	idx := bucketIndex(u)
+	now := time.Now().UnixNano()
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make(map[int]Exemplar)
+	}
+	if _, ok := h.ex[idx]; !ok && len(h.ex) >= maxExemplarBuckets {
+		stalest, at := -1, int64(math.MaxInt64)
+		for i, e := range h.ex {
+			if e.UnixNS < at {
+				stalest, at = i, e.UnixNS
+			}
+		}
+		delete(h.ex, stalest)
+	}
+	h.ex[idx] = Exemplar{TraceID: traceID, Value: v, UnixNS: now}
+	h.exMu.Unlock()
+}
+
+// exemplar returns the stored exemplar for a bucket index, if any.
+func (h *Histogram) exemplar(idx int) (Exemplar, bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	e, ok := h.ex[idx]
+	return e, ok
 }
 
 // Count returns the number of observations.
@@ -193,6 +258,9 @@ func (h *Histogram) Percentile(p float64) float64 { return h.Quantile(p / 100) }
 type BucketCount struct {
 	Lower, Upper float64
 	Count        uint64
+	// Exemplar is a recent trace that landed in this bucket (nil when
+	// no sampled request has hit it).
+	Exemplar *Exemplar
 }
 
 // HistogramSnapshot is a point-in-time summary of a histogram.
@@ -226,9 +294,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			continue
 		}
 		lower, upper := bucketBounds(i)
-		s.Buckets = append(s.Buckets, BucketCount{
-			Lower: float64(lower), Upper: float64(upper), Count: c,
-		})
+		bc := BucketCount{Lower: float64(lower), Upper: float64(upper), Count: c}
+		if e, ok := h.exemplar(i); ok {
+			e := e
+			bc.Exemplar = &e
+		}
+		s.Buckets = append(s.Buckets, bc)
 	}
 	return s
 }
@@ -296,6 +367,11 @@ func MergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
 		default: // same bucket
 			m := a.Buckets[i]
 			m.Count += b.Buckets[j].Count
+			// Keep the freshest exemplar across the merged shards.
+			if eb := b.Buckets[j].Exemplar; eb != nil &&
+				(m.Exemplar == nil || eb.UnixNS > m.Exemplar.UnixNS) {
+				m.Exemplar = eb
+			}
 			out.Buckets = append(out.Buckets, m)
 			i++
 			j++

@@ -15,6 +15,11 @@ type HandlerOptions struct {
 	SlowTraces func() string
 	// Sampler serves the sampled time series (GET /metrics/series).
 	Sampler *Sampler
+	// Spans serves the distributed-trace span trees
+	// (GET /traces/spans?id=<trace-id>); usually a *span.Collector.
+	Spans http.Handler
+	// SLO serves the error-budget dashboard (GET /slo); usually an *SLO.
+	SLO http.Handler
 	// Ready reports readiness for GET /readyz: 200 when true, 503
 	// otherwise. When nil, /readyz behaves like /healthz (always ready
 	// once serving).
@@ -63,6 +68,12 @@ func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 			fmt.Fprint(w, opt.SlowTraces())
 		})
 	}
+	if opt.Spans != nil {
+		mux.Handle("/traces/spans", opt.Spans)
+	}
+	if opt.SLO != nil {
+		mux.Handle("/slo", opt.SLO)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -93,6 +104,12 @@ func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 		}
 		if opt.SlowTraces != nil {
 			fmt.Fprintln(w, "  /traces/slow          slow-request flight recorder")
+		}
+		if opt.Spans != nil {
+			fmt.Fprintln(w, "  /traces/spans         distributed-trace span trees (?id=<trace-id>)")
+		}
+		if opt.SLO != nil {
+			fmt.Fprintln(w, "  /slo                  SLO error budgets and burn rates (JSON)")
 		}
 		fmt.Fprintln(w, "  /healthz              liveness probe")
 		fmt.Fprintln(w, "  /readyz               readiness probe")

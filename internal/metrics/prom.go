@@ -91,7 +91,13 @@ func WriteProm(w io.Writer, ms []Metric) error {
 // writePromHistogram expands one histogram snapshot. Cumulative bucket
 // counts come from the snapshot's own buckets, so _count always equals
 // the +Inf bucket even if the source histogram is being written
-// concurrently.
+// concurrently. Buckets with a recorded exemplar append it in
+// OpenMetrics exemplar syntax:
+//
+//	<name>_bucket{le="<upper>"} <cum> # {trace_id="<id>"} <value> <ts>
+//
+// so a scraper (or a human reading the page) can resolve the bucket to
+// a retrievable span tree at /traces/spans?id=<id>.
 func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 		return err
@@ -99,7 +105,16 @@ func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
 	var cum uint64
 	for _, b := range h.Buckets {
 		cum += b.Count
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.Upper), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d", name, promFloat(b.Upper), cum); err != nil {
+			return err
+		}
+		if e := b.Exemplar; e != nil {
+			if _, err := fmt.Fprintf(w, " # {trace_id=%q} %s %.3f",
+				e.TraceID, promFloat(e.Value), float64(e.UnixNS)/1e9); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}

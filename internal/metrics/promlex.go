@@ -54,8 +54,42 @@ func promLabelNameValid(s string) bool {
 	return true
 }
 
-// lexPromSample splits one sample line into (series name, rest after the
-// optional label block). It validates the label block syntax.
+// lexBraceBlock consumes a quote-aware "{...}" block at the start of s,
+// returning the text between the braces and whatever follows the
+// closing brace.
+func lexBraceBlock(s string) (inner, rest string, err error) {
+	if s == "" || s[0] != '{' {
+		return "", "", fmt.Errorf("expected '{'")
+	}
+	end := -1
+	inQuote := false
+	for j := 1; j < len(s); j++ {
+		switch s[j] {
+		case '\\':
+			if inQuote {
+				j++ // skip the escaped rune
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				end = j
+			}
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated label block")
+	}
+	return s[1:end], s[end+1:], nil
+}
+
+// lexPromSample splits one sample line into (series name, sample value).
+// It validates the label block syntax, an optional trailing timestamp,
+// and an optional OpenMetrics exemplar
+// (`# {trace_id="..."} value [ts]`) after the value.
 func lexPromSample(line string) (name, value string, err error) {
 	i := strings.IndexAny(line, "{ ")
 	if i < 0 {
@@ -64,43 +98,80 @@ func lexPromSample(line string) (name, value string, err error) {
 	name = line[:i]
 	rest := line[i:]
 	if rest[0] == '{' {
-		end := -1
-		inQuote := false
-		for j := 1; j < len(rest); j++ {
-			switch rest[j] {
-			case '\\':
-				if inQuote {
-					j++ // skip the escaped rune
-				}
-			case '"':
-				inQuote = !inQuote
-			case '}':
-				if !inQuote {
-					end = j
-				}
-			}
-			if end >= 0 {
-				break
-			}
+		inner, after, berr := lexBraceBlock(rest)
+		if berr != nil {
+			return "", "", fmt.Errorf("%v in %q", berr, line)
 		}
-		if end < 0 {
-			return "", "", fmt.Errorf("unterminated label block in %q", line)
-		}
-		if err := lexPromLabels(rest[1:end]); err != nil {
+		if err := lexPromLabels(inner); err != nil {
 			return "", "", fmt.Errorf("%v in %q", err, line)
 		}
-		rest = rest[end+1:]
+		rest = after
 	}
 	value = strings.TrimSpace(rest)
+	// An exemplar may follow the value (and optional timestamp): the
+	// OpenMetrics form is "# {labels} value [ts]". Quoted label values
+	// may themselves contain '#', but the exemplar marker always
+	// precedes the label block, so the first '#' on the remainder of a
+	// sample line starts the exemplar.
+	if hash := strings.IndexByte(value, '#'); hash >= 0 {
+		ex := strings.TrimSpace(value[hash+1:])
+		value = strings.TrimSpace(value[:hash])
+		if err := lexPromExemplar(ex); err != nil {
+			return "", "", fmt.Errorf("%v in %q", err, line)
+		}
+	}
 	if value == "" {
 		return "", "", fmt.Errorf("no value on line %q", line)
 	}
-	// A timestamp may follow the value; WriteProm never emits one, but
-	// accept it for generality.
-	if f := strings.Fields(value); len(f) > 0 {
-		value = f[0]
+	f := strings.Fields(value)
+	if len(f) > 2 {
+		return "", "", fmt.Errorf("trailing garbage after sample value in %q", line)
 	}
-	return name, value, nil
+	if len(f) == 2 {
+		// Optional timestamp: must at least be numeric.
+		if _, perr := strconv.ParseFloat(f[1], 64); perr != nil {
+			return "", "", fmt.Errorf("bad sample timestamp %q in %q", f[1], line)
+		}
+	}
+	return name, f[0], nil
+}
+
+// lexPromExemplar validates the text after the '#' exemplar marker:
+// a label block ({trace_id="..."}), an exemplar value, and an optional
+// timestamp.
+func lexPromExemplar(s string) error {
+	inner, rest, err := lexBraceBlock(s)
+	if err != nil {
+		return fmt.Errorf("exemplar: %v", err)
+	}
+	if err := lexPromLabels(inner); err != nil {
+		return fmt.Errorf("exemplar: %v", err)
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 || len(f) > 2 {
+		return fmt.Errorf("exemplar needs 'value [timestamp]', got %q", strings.TrimSpace(rest))
+	}
+	if err := promValueValid(f[0]); err != nil {
+		return fmt.Errorf("exemplar: %v", err)
+	}
+	if len(f) == 2 {
+		if _, perr := strconv.ParseFloat(f[1], 64); perr != nil {
+			return fmt.Errorf("exemplar: bad timestamp %q", f[1])
+		}
+	}
+	return nil
+}
+
+// promValueValid checks a sample value the way a scraper would.
+func promValueValid(v string) error {
+	switch v {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	}
+	if _, err := strconv.ParseFloat(v, 64); err != nil {
+		return fmt.Errorf("bad sample value %q", v)
+	}
+	return nil
 }
 
 // lexPromLabels validates a comma-separated label list (the text between
@@ -181,12 +252,8 @@ func ValidatePromText(r io.Reader) error {
 		if !promNameValid(name) {
 			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
 		}
-		switch value {
-		case "+Inf", "-Inf", "NaN":
-		default:
-			if _, err := strconv.ParseFloat(value, 64); err != nil {
-				return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
-			}
+		if err := promValueValid(value); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		samples++
 	}

@@ -117,8 +117,11 @@ type Series struct {
 	Max  float64 `json:"max"`
 	// Last is the newest sampled value.
 	Last float64 `json:"last"`
-	// RatePerSec is (last-first)/(window seconds) for counters; 0 for
-	// gauges and for windows shorter than two samples.
+	// RatePerSec is the counter's windowed increase per second; 0 for
+	// gauges and for windows shorter than two samples. The increase is
+	// the sum of per-interval deltas with negative deltas clamped to
+	// zero, so a counter reset (daemon restart mid-window) dents the
+	// rate instead of zeroing or inverting it.
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
 	// Duty is the windowed duty cycle for "*.busy_ns" counters:
 	// busy-nanoseconds accumulated per wall-nanosecond, clamped to
@@ -204,10 +207,17 @@ func (s *Sampler) Dump(prefix string, last int) SeriesDump {
 		if se.Kind == "counter" && len(se.Points) >= 2 {
 			first, lastP := se.Points[0], se.Points[len(se.Points)-1]
 			if dt := float64(lastP.UnixNS-first.UnixNS) / 1e9; dt > 0 {
-				se.RatePerSec = (lastP.V - first.V) / dt
-				if se.RatePerSec < 0 {
-					se.RatePerSec = 0 // counter reset mid-window
+				// Windowed increase, reset-guarded: sum consecutive
+				// deltas, clamping negative ones (a restarted daemon's
+				// counter dropping back toward zero) to zero, so the
+				// post-reset growth still counts.
+				var inc float64
+				for i := 1; i < len(se.Points); i++ {
+					if d := se.Points[i].V - se.Points[i-1].V; d > 0 {
+						inc += d
+					}
 				}
+				se.RatePerSec = inc / dt
 				if strings.HasSuffix(name, ".busy_ns") {
 					duty := se.RatePerSec / 1e9
 					if duty < 0 {

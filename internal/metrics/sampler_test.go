@@ -61,6 +61,42 @@ func TestSamplerWindowStats(t *testing.T) {
 	}
 }
 
+// TestSamplerCounterReset covers a daemon restart mid-window: the
+// counter drops toward zero between two samples. The negative delta
+// must clamp to zero — post-reset growth still counts and the rate is
+// never negative or zeroed by the end-vs-start comparison.
+func TestSamplerCounterReset(t *testing.T) {
+	var v float64
+	g := GathererFunc(func() []Metric {
+		return []Metric{{Kind: "counter", Name: "dev.ops", Value: v}}
+	})
+	s := NewSampler(g, 16)
+	base := time.Unix(2000, 0)
+	// 100 -> 180 -> (restart) 5 -> 65 over 3 s: increase 80 + 0 + 60.
+	for i, val := range []float64{100, 180, 5, 65} {
+		v = val
+		s.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	se := findSeries(t, s.Dump("", 0), "dev.ops")
+	want := (80.0 + 60.0) / 3.0
+	if se.RatePerSec < want-1e-9 || se.RatePerSec > want+1e-9 {
+		t.Fatalf("reset-guarded rate = %v, want %v", se.RatePerSec, want)
+	}
+
+	// Window that ends below its start (reset near the end): the old
+	// formula (last-first)/dt went negative; now only the pre-reset
+	// growth counts.
+	s2 := NewSampler(g, 16)
+	for i, val := range []float64{100, 160, 5} {
+		v = val
+		s2.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	se2 := findSeries(t, s2.Dump("", 0), "dev.ops")
+	if se2.RatePerSec != 30 {
+		t.Fatalf("rate after trailing reset = %v, want 30", se2.RatePerSec)
+	}
+}
+
 func TestSamplerDutyCycle(t *testing.T) {
 	reg := NewRegistry()
 	busy := reg.Counter("ssd.data-ssd.busy_ns")

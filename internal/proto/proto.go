@@ -5,16 +5,27 @@
 //
 // Frame layout (little endian):
 //
-//	byte  0      opcode (1 write, 2 read, 3 ack, 4 ack+data, 5 error)
+//	byte  0      opcode (1 write, 2 read, 3 ack, 4 ack+data, 5 error);
+//	             bit 7 (0x80) flags a trace-context extension
 //	bytes 1-8    LBA
 //	bytes 9-12   payload length
-//	bytes 13..   payload (write data, read data, or error text)
+//	[bytes 13-29 trace context: trace ID (8), parent span ID (8),
+//	             flags (1) — present only when bit 7 of the opcode is
+//	             set; see internal/trace/span.Context]
+//	bytes ...    payload (write data, read data, or error text)
+//
+// The trace extension is how a client-issued trace ID survives the
+// wire: requests carry the caller's context, responses echo it, and
+// frames without the flag are byte-identical to the pre-tracing
+// protocol.
 package proto
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"fidr/internal/trace/span"
 )
 
 // Op is the frame opcode.
@@ -65,11 +76,17 @@ const MaxPayload = 1 << 20
 
 const headerSize = 13
 
-// Frame is one protocol message.
+// opTraceFlag marks a frame carrying a trace-context extension between
+// the header and the payload.
+const opTraceFlag = 0x80
+
+// Frame is one protocol message. Ctx, when valid, is the distributed
+// trace context riding the frame (encoded as the header extension).
 type Frame struct {
 	Op      Op
 	LBA     uint64
 	Payload []byte
+	Ctx     span.Context
 }
 
 // Write encodes the frame to w.
@@ -77,11 +94,17 @@ func Write(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("proto: payload %d exceeds limit", len(f.Payload))
 	}
-	var hdr [headerSize]byte
+	var hdr [headerSize + span.WireSize]byte
+	n := headerSize
 	hdr[0] = byte(f.Op)
+	if f.Ctx.Valid() {
+		hdr[0] |= opTraceFlag
+		f.Ctx.EncodeWire(hdr[headerSize:])
+		n += span.WireSize
+	}
 	binary.LittleEndian.PutUint64(hdr[1:], f.LBA)
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(f.Payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return fmt.Errorf("proto: write header: %w", err)
 	}
 	if len(f.Payload) > 0 {
@@ -102,7 +125,7 @@ func Read(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("proto: read header: %w", err)
 	}
 	f := Frame{
-		Op:  Op(hdr[0]),
+		Op:  Op(hdr[0] &^ opTraceFlag),
 		LBA: binary.LittleEndian.Uint64(hdr[1:]),
 	}
 	n := binary.LittleEndian.Uint32(hdr[9:])
@@ -111,6 +134,17 @@ func Read(r io.Reader) (Frame, error) {
 	}
 	if f.Op < OpWrite || f.Op > OpReadBatch {
 		return Frame{}, fmt.Errorf("proto: bad opcode %d", hdr[0])
+	}
+	if hdr[0]&opTraceFlag != 0 {
+		var ext [span.WireSize]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("proto: read trace context: %w", err)
+		}
+		ctx, err := span.DecodeWire(ext[:])
+		if err != nil {
+			return Frame{}, fmt.Errorf("proto: %w", err)
+		}
+		f.Ctx = ctx
 	}
 	if n > 0 {
 		f.Payload = make([]byte, n)

@@ -8,6 +8,8 @@ import (
 
 	"fidr/internal/blockcomp"
 	"fidr/internal/core"
+	"fidr/internal/metrics"
+	"fidr/internal/trace/span"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -235,5 +237,164 @@ func BenchmarkWriteReadOverTCP(b *testing.B) {
 		if err := c.WriteChunk(uint64(i), chunk); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestFrameTraceContextOnWire: a frame carrying a trace context
+// round-trips it byte-exactly, and untraced frames stay byte-identical
+// to the pre-tracing wire format.
+func TestFrameTraceContextOnWire(t *testing.T) {
+	ctx := span.Context{Trace: 0xDEADBEEF, Parent: 0x1234, Sampled: true}
+	var buf bytes.Buffer
+	if err := Write(&buf, Frame{Op: OpWrite, LBA: 5, Payload: []byte("data"), Ctx: ctx}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ctx != ctx {
+		t.Fatalf("context mangled: sent %+v, got %+v", ctx, got.Ctx)
+	}
+	if got.Op != OpWrite || got.LBA != 5 || !bytes.Equal(got.Payload, []byte("data")) {
+		t.Fatalf("frame body mangled: %+v", got)
+	}
+
+	// Untraced frames: exactly headerSize+payload bytes, flag bit clear.
+	buf.Reset()
+	if err := Write(&buf, Frame{Op: OpWrite, LBA: 5, Payload: []byte("data")}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != headerSize+4 {
+		t.Fatalf("untraced frame is %d bytes, want %d", buf.Len(), headerSize+4)
+	}
+	if buf.Bytes()[0]&opTraceFlag != 0 {
+		t.Fatal("untraced frame carries the trace flag")
+	}
+}
+
+// TestTracedWireRoundTrip drives a traced write and read through a real
+// TCP listener over a real core server and checks the span tree: the
+// listener's proto root span and the server's core request span share
+// the client-minted trace, with the core span parented under the proto
+// span.
+func TestTracedWireRoundTrip(t *testing.T) {
+	srv, err := core.New(core.DefaultConfig(core.FIDRFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableObservability(nil, 16)
+	col := span.NewCollector(16)
+	srv.SetSpanCollector(col, 0)
+	reg := metrics.NewRegistry()
+	l, err := Serve(srv, "127.0.0.1:0", WithSpanCollector(col), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	data := blockcomp.NewShaper(0.5).Make(1, 4096)
+	id, err := c.WriteChunkTraced(3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero trace ID returned")
+	}
+	got, rid, err := c.ReadChunkTraced(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("traced read corrupted data")
+	}
+	if rid == id {
+		t.Fatal("write and read must mint distinct traces")
+	}
+
+	for _, tid := range []span.TraceID{id, rid} {
+		spans := col.Trace(tid)
+		if len(spans) == 0 {
+			t.Fatalf("trace %s missing from collector", tid)
+		}
+		byName := map[string]span.Span{}
+		for _, sp := range spans {
+			byName[sp.Name] = sp
+		}
+		proto, ok := byName["proto.write"]
+		if !ok {
+			proto, ok = byName["proto.read"]
+		}
+		if !ok {
+			t.Fatalf("trace %s has no proto root span: %v", tid, byName)
+		}
+		core, ok := byName["core.write"]
+		if !ok {
+			core, ok = byName["core.read"]
+		}
+		if !ok {
+			t.Fatalf("trace %s has no core span: %v", tid, byName)
+		}
+		if core.Parent != proto.ID {
+			t.Fatalf("core span parent %s != proto span ID %s", core.Parent, proto.ID)
+		}
+	}
+	if n := reg.Counter("proto.requests").Value(); n != 2 {
+		t.Fatalf("proto.requests = %d, want 2", n)
+	}
+	if n := reg.Counter("proto.errors").Value(); n != 0 {
+		t.Fatalf("proto.errors = %d, want 0", n)
+	}
+}
+
+// TestTracedBatchAndErrors: WriteBatchTraced covers the whole batch
+// under one trace; traced requests that fail still echo the context
+// and count as errors.
+func TestTracedBatchAndErrors(t *testing.T) {
+	srv, err := core.New(core.DefaultConfig(core.FIDRFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableObservability(nil, 16)
+	col := span.NewCollector(16)
+	srv.SetSpanCollector(col, 0)
+	reg := metrics.NewRegistry()
+	l, err := Serve(srv, "127.0.0.1:0", WithSpanCollector(col), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	sh := blockcomp.NewShaper(0.5)
+	batch := append(sh.Make(1, 4096), sh.Make(2, 4096)...)
+	id, err := c.WriteBatchTraced(0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coreSpans int
+	for _, sp := range col.Trace(id) {
+		if sp.Name == "core.write" {
+			coreSpans++
+		}
+	}
+	if coreSpans != 2 {
+		t.Fatalf("batch trace has %d core.write spans, want 2", coreSpans)
+	}
+
+	if _, _, err := c.ReadChunkTraced(9999); err == nil {
+		t.Fatal("traced read of unwritten LBA succeeded")
+	}
+	if n := reg.Counter("proto.errors").Value(); n != 1 {
+		t.Fatalf("proto.errors = %d, want 1", n)
 	}
 }

@@ -8,6 +8,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
+
+	"fidr/internal/metrics"
+	"fidr/internal/trace/span"
 )
 
 // Store is the chunk-store surface the listener serves. Both a single
@@ -19,28 +23,74 @@ type Store interface {
 	ChunkSize() int
 }
 
+// TracedStore is the optional Store extension the listener uses to
+// hand a wire trace context down into the storage pipeline. Server,
+// Cluster and the async front-end adapter all implement it.
+type TracedStore interface {
+	WriteSpan(lba uint64, data []byte, sc span.Context) error
+	ReadSpan(lba uint64, sc span.Context) ([]byte, error)
+	ReadRangeSpan(lba uint64, n int, sc span.Context) ([]byte, error)
+}
+
 // Listener serves the storage protocol over TCP in front of a chunk
-// store. The core server is single-writer; the listener serializes
-// requests across connections (as the FIDR software's device manager
-// serializes the device pipeline).
+// store. The core server is single-writer; by default the listener
+// serializes requests across connections (as the FIDR software's
+// device manager serializes the device pipeline). Fronts that
+// serialize internally (the async queue adapter) can lift that with
+// WithConcurrentStore.
 type Listener struct {
-	srv Store
-	mu  sync.Mutex
-	ln  net.Listener
+	srv    Store
+	traced TracedStore // srv's traced surface, nil when unsupported
+	mu     sync.Mutex
+	serial bool
+	ln     net.Listener
+
+	col               *span.Collector
+	requests, errLogs *metrics.Counter
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 	logf   func(format string, args ...any)
 }
 
+// ServeOption configures a Listener at Serve time.
+type ServeOption func(*Listener)
+
+// WithSpanCollector publishes one "proto.<op>" root span per traced
+// request into col, parented under the client's context.
+func WithSpanCollector(col *span.Collector) ServeOption {
+	return func(l *Listener) { l.col = col }
+}
+
+// WithMetrics registers the listener's own series on reg:
+// proto.requests and proto.errors counters (the SLO plane's
+// availability inputs).
+func WithMetrics(reg *metrics.Registry) ServeOption {
+	return func(l *Listener) {
+		l.requests = reg.Counter("proto.requests")
+		l.errLogs = reg.Counter("proto.errors")
+	}
+}
+
+// WithConcurrentStore lifts the cross-connection serialization mutex.
+// Only safe when the store is concurrent-safe itself (e.g. an async
+// front-end whose per-group workers own the servers).
+func WithConcurrentStore() ServeOption {
+	return func(l *Listener) { l.serial = false }
+}
+
 // Serve starts serving on addr ("host:port"; use ":0" for an ephemeral
 // port) and returns immediately. Close stops it.
-func Serve(srv Store, addr string) (*Listener, error) {
+func Serve(srv Store, addr string, opts ...ServeOption) (*Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("proto: listen: %w", err)
 	}
-	l := &Listener{srv: srv, ln: ln, closed: make(chan struct{}), logf: log.Printf}
+	l := &Listener{srv: srv, ln: ln, serial: true, closed: make(chan struct{}), logf: log.Printf}
+	l.traced, _ = srv.(TracedStore)
+	for _, opt := range opts {
+		opt(l)
+	}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -95,11 +145,70 @@ func (l *Listener) serveConn(conn net.Conn) error {
 }
 
 func (l *Listener) handle(f Frame) Frame {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	if l.serial {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	}
+	if l.requests != nil {
+		l.requests.Inc()
+	}
+	// A traced request gets a listener root span; the store sees a child
+	// context so its own spans nest under "proto.<op>". Responses echo
+	// the request context so the client can verify the round trip.
+	var rootID span.SpanID
+	var start time.Time
+	child := f.Ctx
+	if f.Ctx.Valid() {
+		rootID = span.NewSpanID()
+		child.Parent = rootID
+		start = time.Now()
+	}
+	resp := l.dispatch(f, child)
+	resp.Ctx = f.Ctx
+	if resp.Op == OpError && l.errLogs != nil {
+		l.errLogs.Inc()
+	}
+	if rootID != 0 && f.Ctx.Sampled && l.col != nil {
+		l.col.Add(span.Span{
+			Trace:  f.Ctx.Trace,
+			ID:     rootID,
+			Parent: f.Ctx.Parent,
+			Name:   "proto." + opSlug(f.Op),
+			Start:  start,
+			Dur:    time.Since(start),
+			Bytes:  uint64(len(f.Payload)),
+			LBA:    f.LBA,
+		})
+	}
+	return resp
+}
+
+// opSlug is the span-name form of an opcode ("write-batch" -> "write_batch").
+func opSlug(op Op) string {
+	switch op {
+	case OpWriteBatch:
+		return "write_batch"
+	case OpReadBatch:
+		return "read_batch"
+	default:
+		return op.String()
+	}
+}
+
+func (l *Listener) dispatch(f Frame, sc span.Context) Frame {
+	traced := l.traced
+	if !sc.Valid() {
+		traced = nil
+	}
 	switch f.Op {
 	case OpWrite:
-		if err := l.srv.Write(f.LBA, f.Payload); err != nil {
+		var err error
+		if traced != nil {
+			err = traced.WriteSpan(f.LBA, f.Payload, sc)
+		} else {
+			err = l.srv.Write(f.LBA, f.Payload)
+		}
+		if err != nil {
 			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
 		}
 		return Frame{Op: OpAck, LBA: f.LBA}
@@ -110,13 +219,25 @@ func (l *Listener) handle(f Frame) Frame {
 				Payload: []byte(fmt.Sprintf("batch payload %d not a multiple of chunk size %d", len(f.Payload), cs))}
 		}
 		for i := 0; i*cs < len(f.Payload); i++ {
-			if err := l.srv.Write(f.LBA+uint64(i), f.Payload[i*cs:(i+1)*cs]); err != nil {
+			var err error
+			if traced != nil {
+				err = traced.WriteSpan(f.LBA+uint64(i), f.Payload[i*cs:(i+1)*cs], sc)
+			} else {
+				err = l.srv.Write(f.LBA+uint64(i), f.Payload[i*cs:(i+1)*cs])
+			}
+			if err != nil {
 				return Frame{Op: OpError, LBA: f.LBA + uint64(i), Payload: []byte(err.Error())}
 			}
 		}
 		return Frame{Op: OpAck, LBA: f.LBA}
 	case OpRead:
-		data, err := l.srv.Read(f.LBA)
+		var data []byte
+		var err error
+		if traced != nil {
+			data, err = traced.ReadSpan(f.LBA, sc)
+		} else {
+			data, err = l.srv.Read(f.LBA)
+		}
 		if err != nil {
 			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
 		}
@@ -131,7 +252,13 @@ func (l *Listener) handle(f Frame) Frame {
 			return Frame{Op: OpError, LBA: f.LBA,
 				Payload: []byte(fmt.Sprintf("read-batch count %d out of range", count))}
 		}
-		data, err := l.srv.ReadRange(f.LBA, count)
+		var data []byte
+		var err error
+		if traced != nil {
+			data, err = traced.ReadRangeSpan(f.LBA, count, sc)
+		} else {
+			data, err = l.srv.ReadRange(f.LBA, count)
+		}
 		if err != nil {
 			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
 		}
@@ -231,4 +358,86 @@ func (c *Client) ReadBatch(lba uint64, count int) ([]byte, error) {
 		return nil, fmt.Errorf("proto: unexpected response %v", resp.Op)
 	}
 	return resp.Payload, nil
+}
+
+// tracedTrip mints a sampled trace context, rides it on the request,
+// and verifies the server echoed it back — proof the context survived
+// the wire both ways. Returns the response and the trace ID.
+func (c *Client) tracedTrip(f Frame) (Frame, span.TraceID, error) {
+	ctx := span.Context{Trace: span.NewTraceID(), Parent: span.NewSpanID(), Sampled: true}
+	f.Ctx = ctx
+	resp, err := c.roundTrip(f)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if resp.Op != OpError && resp.Ctx.Trace != ctx.Trace {
+		return Frame{}, 0, fmt.Errorf("proto: trace context lost in round trip (sent %s, got %s)",
+			ctx.Trace, resp.Ctx.Trace)
+	}
+	return resp, ctx.Trace, nil
+}
+
+// WriteChunkTraced is WriteChunk with a fresh sampled trace context
+// riding the frame; it returns the trace ID, resolvable at the
+// server's /traces/spans endpoint.
+func (c *Client) WriteChunkTraced(lba uint64, data []byte) (span.TraceID, error) {
+	resp, id, err := c.tracedTrip(Frame{Op: OpWrite, LBA: lba, Payload: data})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Op == OpError {
+		return 0, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpAck {
+		return 0, fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return id, nil
+}
+
+// WriteBatchTraced is WriteBatch with a trace context; one trace ID
+// covers the whole batch.
+func (c *Client) WriteBatchTraced(lba uint64, data []byte) (span.TraceID, error) {
+	resp, id, err := c.tracedTrip(Frame{Op: OpWriteBatch, LBA: lba, Payload: data})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Op == OpError {
+		return 0, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpAck {
+		return 0, fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return id, nil
+}
+
+// ReadChunkTraced is ReadChunk with a trace context.
+func (c *Client) ReadChunkTraced(lba uint64) ([]byte, span.TraceID, error) {
+	resp, id, err := c.tracedTrip(Frame{Op: OpRead, LBA: lba})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Op == OpError {
+		return nil, 0, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpData {
+		return nil, 0, fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return resp.Payload, id, nil
+}
+
+// ReadBatchTraced is ReadBatch with a trace context.
+func (c *Client) ReadBatchTraced(lba uint64, count int) ([]byte, span.TraceID, error) {
+	var payload [4]byte
+	binary.LittleEndian.PutUint32(payload[:], uint32(count))
+	resp, id, err := c.tracedTrip(Frame{Op: OpReadBatch, LBA: lba, Payload: payload[:]})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Op == OpError {
+		return nil, 0, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpData {
+		return nil, 0, fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return resp.Payload, id, nil
 }

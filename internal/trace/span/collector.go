@@ -1,0 +1,240 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Collector keeps the spans of the most recent sampled traces in a
+// bounded per-trace ring. Layers push completed spans with Add; the
+// /traces/spans endpoint and fidrcli trace resolve a trace ID back to
+// its span tree. Eviction is per trace (oldest trace first), so a
+// trace's spans are kept or dropped together even though they arrive
+// from different layers at different times.
+type Collector struct {
+	mu      sync.Mutex
+	cap     int
+	order   []TraceID // arrival order of first span, oldest first
+	byTrace map[TraceID][]Span
+}
+
+// maxSpansPerTrace bounds one trace's span list against bulk
+// operations (gc, verify) that touch thousands of chunks.
+const maxSpansPerTrace = 512
+
+// NewCollector builds a collector retaining up to capTraces traces
+// (<= 0 selects 512).
+func NewCollector(capTraces int) *Collector {
+	if capTraces <= 0 {
+		capTraces = 512
+	}
+	return &Collector{cap: capTraces, byTrace: make(map[TraceID][]Span)}
+}
+
+// Add records one completed span. Spans with a zero trace ID are
+// dropped (untraced requests never reach the collector).
+func (c *Collector) Add(sp Span) {
+	if c == nil || sp.Trace == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spans, ok := c.byTrace[sp.Trace]
+	if !ok {
+		if len(c.order) >= c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.byTrace, evict)
+		}
+		c.order = append(c.order, sp.Trace)
+	}
+	if len(spans) < maxSpansPerTrace {
+		c.byTrace[sp.Trace] = append(spans, sp)
+	}
+}
+
+// Trace returns a copy of the stored spans for id (nil when unknown
+// or evicted).
+func (c *Collector) Trace(id TraceID) []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spans := c.byTrace[id]
+	if spans == nil {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	return out
+}
+
+// Summary is one line of the trace index: enough to pick a trace ID
+// without fetching every tree.
+type Summary struct {
+	Trace TraceID       `json:"trace"`
+	Root  string        `json:"root"`
+	Total time.Duration `json:"total_ns"`
+	Spans int           `json:"spans"`
+	Start time.Time     `json:"start"`
+}
+
+// Recent returns summaries of the retained traces, newest first,
+// capped at n (<= 0 means all).
+func (c *Collector) Recent(n int) []Summary {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 || n > len(c.order) {
+		n = len(c.order)
+	}
+	out := make([]Summary, 0, n)
+	for i := len(c.order) - 1; i >= 0 && len(out) < n; i-- {
+		id := c.order[i]
+		spans := c.byTrace[id]
+		if len(spans) == 0 {
+			continue
+		}
+		root := rootSpan(spans)
+		out = append(out, Summary{
+			Trace: id,
+			Root:  root.Name,
+			Total: root.Dur,
+			Spans: len(spans),
+			Start: root.Start,
+		})
+	}
+	return out
+}
+
+// rootSpan picks the best root: the span whose parent is absent from
+// the trace, preferring the earliest start among candidates.
+func rootSpan(spans []Span) Span {
+	have := make(map[SpanID]bool, len(spans))
+	for _, sp := range spans {
+		have[sp.ID] = true
+	}
+	best := spans[0]
+	found := false
+	for _, sp := range spans {
+		if sp.Parent != 0 && have[sp.Parent] {
+			continue
+		}
+		if !found || sp.Start.Before(best.Start) {
+			best = sp
+			found = true
+		}
+	}
+	return best
+}
+
+// Render formats a span tree as indented text, children ordered by
+// start time. Orphaned spans (parent evicted or still in flight when
+// snapshotted) surface as extra roots rather than disappearing.
+func Render(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	have := make(map[SpanID]bool, len(spans))
+	for _, sp := range spans {
+		have[sp.ID] = true
+	}
+	children := make(map[SpanID][]Span)
+	var roots []Span
+	for _, sp := range spans {
+		if sp.Parent != 0 && have[sp.Parent] && sp.Parent != sp.ID {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []Span) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	for _, cs := range children {
+		byStart(cs)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s · %d spans\n", spans[0].Trace, len(spans))
+	seen := make(map[SpanID]bool)
+	var walk func(sp Span, depth int)
+	walk = func(sp Span, depth int) {
+		if sp.ID != 0 {
+			if seen[sp.ID] {
+				return
+			}
+			seen[sp.ID] = true
+		}
+		sb.WriteString(strings.Repeat("  ", depth+1))
+		fmt.Fprintf(&sb, "%-24s %12s", sp.Name, sp.Dur.Round(time.Nanosecond))
+		if sp.Bytes > 0 {
+			fmt.Fprintf(&sb, "  bytes=%d", sp.Bytes)
+		}
+		if sp.QueueDepth > 0 {
+			fmt.Fprintf(&sb, "  qdepth=%d", sp.QueueDepth)
+		}
+		if sp.LBA != 0 {
+			fmt.Fprintf(&sb, "  lba=%d", sp.LBA)
+		}
+		if sp.Group > 0 {
+			fmt.Fprintf(&sb, "  group=%d", sp.Group)
+		}
+		sb.WriteByte('\n')
+		for _, ch := range children[sp.ID] {
+			walk(ch, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return sb.String()
+}
+
+// ServeHTTP serves the collector: /traces/spans lists recent trace
+// summaries; ?id=<hex> resolves one span tree (404 with a useful body
+// for unknown IDs); ?format=json switches either view to JSON.
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	asJSON := q.Get("format") == "json"
+	idStr := q.Get("id")
+	if idStr == "" {
+		sums := c.Recent(0)
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(sums)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "retained traces: %d (newest first); fetch one with ?id=<trace>\n", len(sums))
+		for _, s := range sums {
+			fmt.Fprintf(w, "%s  %-20s %12s  %d spans\n", s.Trace, s.Root, s.Total.Round(time.Nanosecond), s.Spans)
+		}
+		return
+	}
+	id, err := ParseTraceID(idStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spans := c.Trace(id)
+	if spans == nil {
+		http.Error(w, fmt.Sprintf("trace %s not found (untraced, unsampled, or evicted from the %d-trace ring)", id, c.cap), http.StatusNotFound)
+		return
+	}
+	if asJSON {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(spans)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, Render(spans))
+}

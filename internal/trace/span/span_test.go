@@ -1,0 +1,120 @@
+package span
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIDsUniqueAndNonZero(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id generated")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := NewTraceID()
+	back, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip %s -> %s", id, back)
+	}
+	if _, err := ParseTraceID("0xdeadbeef"); err != nil {
+		t.Fatalf("0x prefix rejected: %v", err)
+	}
+	for _, bad := range []string{"", "zz", "00000000000000000", "0", " "} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Fatalf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestContextWireRoundTrip(t *testing.T) {
+	c := Context{Trace: NewTraceID(), Parent: NewSpanID(), Sampled: true}
+	var b [WireSize]byte
+	c.EncodeWire(b[:])
+	back, err := DecodeWire(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("wire round trip %+v -> %+v", c, back)
+	}
+	if _, err := DecodeWire(b[:WireSize-1]); err == nil {
+		t.Fatal("truncated context accepted")
+	}
+}
+
+func TestCollectorTreeAndEviction(t *testing.T) {
+	col := NewCollector(2)
+	mk := func(tid TraceID, id, parent SpanID, name string, at int) Span {
+		return Span{Trace: tid, ID: id, Parent: parent, Name: name,
+			Start: time.Unix(0, int64(at)), Dur: time.Duration(at)}
+	}
+	t1 := TraceID(0xaaa)
+	root, child, grand := NewSpanID(), NewSpanID(), NewSpanID()
+	col.Add(mk(t1, root, 0, "proto.write", 1))
+	col.Add(mk(t1, child, root, "core.write", 2))
+	col.Add(mk(t1, grand, child, "hash", 3))
+
+	spans := col.Trace(t1)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	text := Render(spans)
+	// Tree shape: grand-child indented two levels beyond root.
+	if !strings.Contains(text, "proto.write") || !strings.Contains(text, "      hash") {
+		t.Fatalf("render missing tree structure:\n%s", text)
+	}
+
+	// Two more traces evict t1 (capacity 2).
+	col.Add(mk(TraceID(0xbbb), NewSpanID(), 0, "a", 4))
+	col.Add(mk(TraceID(0xccc), NewSpanID(), 0, "b", 5))
+	if col.Trace(t1) != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	if got := len(col.Recent(0)); got != 2 {
+		t.Fatalf("recent = %d traces, want 2", got)
+	}
+}
+
+func TestCollectorHTTP(t *testing.T) {
+	col := NewCollector(8)
+	id := NewTraceID()
+	col.Add(Span{Trace: id, ID: NewSpanID(), Name: "core.write", Start: time.Now(), Dur: time.Millisecond})
+
+	rec := httptest.NewRecorder()
+	col.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/spans?id="+id.String(), nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "core.write") {
+		t.Fatalf("lookup: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	col.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/spans?id=ffffffffffffffff", nil))
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "not found") {
+		t.Fatalf("unknown id: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	col.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/spans?id=nothex", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad id: code=%d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	col.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/spans", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), id.String()) {
+		t.Fatalf("index: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}

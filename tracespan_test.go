@@ -1,0 +1,171 @@
+package fidr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fidr"
+	"fidr/internal/core"
+	"fidr/internal/metrics"
+	"fidr/internal/trace/span"
+)
+
+// TestAsyncTraceTree drives traced writes through the full front-end
+// stack — async queue, worker-owned server, batch pipeline, WAL — and
+// checks the resulting span tree: async.queue parents the core request,
+// the batch trace links under the tipping request, and the WAL fsync
+// appears as a batch child.
+func TestAsyncTraceTree(t *testing.T) {
+	cfg := fidr.DefaultConfig(fidr.FIDRFull)
+	cfg.BatchChunks = 4
+	wal, err := core.OpenWALFile(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WAL = wal
+	srv, err := fidr.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableObservability(nil, 16)
+	col := span.NewCollector(64)
+	srv.SetSpanCollector(col, 0)
+
+	a, err := fidr.NewAsync(srv, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.EnableObservability(metrics.NewRegistry())
+	a.SetSpanCollector(col)
+
+	sc := span.Context{Trace: span.NewTraceID(), Parent: span.NewSpanID(), Sampled: true}
+	for i := uint64(0); i < 4; i++ {
+		if r := <-a.WriteCtx(i, fidr.MakeChunk(i, 0.5), sc); r.Err != nil {
+			t.Fatalf("write %d: %v", i, r.Err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := col.Trace(sc.Trace)
+	if len(spans) == 0 {
+		t.Fatal("trace missing from collector")
+	}
+	byID := map[span.SpanID]span.Span{}
+	count := map[string]int{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		count[sp.Name]++
+	}
+	if count["async.queue"] != 4 || count["core.awrite"] != 4 {
+		t.Fatalf("span counts = %v, want 4 async.queue and 4 core.awrite", count)
+	}
+	for _, want := range []string{"core.batch", "hash", "dedup_lookup", "wal_fsync", "nic_buffer"} {
+		if count[want] == 0 {
+			t.Fatalf("no %q span in trace: %v", want, count)
+		}
+	}
+	// Parentage: every core.awrite hangs under an async.queue span,
+	// every async.queue under the client's context, and the batch under
+	// one of the request roots.
+	var reqRoots []span.SpanID
+	for _, sp := range spans {
+		switch sp.Name {
+		case "core.awrite":
+			p, ok := byID[sp.Parent]
+			if !ok || p.Name != "async.queue" {
+				t.Fatalf("core.awrite parent %s is not an async.queue span", sp.Parent)
+			}
+			reqRoots = append(reqRoots, sp.ID)
+		case "async.queue":
+			if sp.Parent != sc.Parent {
+				t.Fatalf("async.queue parent %s != client span %s", sp.Parent, sc.Parent)
+			}
+		}
+	}
+	for _, sp := range spans {
+		if sp.Name != "core.batch" {
+			continue
+		}
+		ok := false
+		for _, r := range reqRoots {
+			if sp.Parent == r {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("core.batch parent %s is not one of the request roots", sp.Parent)
+		}
+	}
+	// The WAL fsync hangs under the batch span.
+	for _, sp := range spans {
+		if sp.Name != "wal_fsync" {
+			continue
+		}
+		p, ok := byID[sp.Parent]
+		if !ok || p.Name != "core.batch" {
+			t.Fatalf("wal_fsync parent %s is not the batch span", sp.Parent)
+		}
+	}
+
+	// Rendered tree nests the pipeline under the queue spans.
+	text := span.Render(spans)
+	for _, want := range []string{"async.queue", "core.awrite", "core.batch", "wal_fsync"} {
+		if !contains(text, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAsyncStoreRange: the AsyncStore adapter serves the proto.Store
+// surface over the queues, preserving chunk order across groups.
+func TestAsyncStoreRange(t *testing.T) {
+	cl, err := fidr.NewCluster(fidr.DefaultConfig(fidr.FIDRFull), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fidr.NewAsync(cl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fidr.NewAsyncStore(a, cl.ChunkSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunkSize() != cl.ChunkSize() {
+		t.Fatalf("chunk size %d", st.ChunkSize())
+	}
+	want := make([][]byte, 8)
+	for i := range want {
+		want[i] = fidr.MakeChunk(uint64(100+i), 0.5)
+		if err := st.Write(uint64(i), want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.ReadRange(0, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.ChunkSize()
+	for i := range want {
+		if string(got[i*cs:(i+1)*cs]) != string(want[i]) {
+			t.Fatalf("range chunk %d corrupted", i)
+		}
+	}
+	if _, err := st.ReadRange(0, 0); err == nil {
+		t.Fatal("zero-chunk range accepted")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
