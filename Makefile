@@ -1,7 +1,7 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check check-metrics check-crash check-trace fmt bench bench-archival bench-tracing bench-go microbench
+.PHONY: all build test vet race check check-metrics check-crash check-trace check-capacity fmt bench bench-archival bench-tracing bench-capacity bench-go microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
@@ -50,6 +50,13 @@ check-crash:
 check-trace:
 	$(GO) test -v -run TestTraceE2E ./cmd/fidrd
 
+# check-capacity boots a 2-group fidrd, drives mixed dup/unique writes
+# and a GC pass through the real CLI, and asserts the attribution
+# equation balances on a live /capacity scrape, the heatmap reconciles
+# with the garbage ledger, and GC/checkpoint/recovery land in /events.
+check-capacity:
+	$(GO) test -v -run TestCapacityE2E ./cmd/fidrd
+
 # bench writes machine-readable BENCH_<experiment>.json artifacts
 # (throughput, reduction ratios, p50/p90/p99 stage latencies).
 bench:
@@ -65,6 +72,12 @@ bench-archival:
 # throughput overhead (acceptance: <= ~5% on write workloads).
 bench-tracing:
 	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench tracing
+
+# bench-capacity writes only BENCH_capacity.json: the Write-M run plus
+# an overwrite phase and one measured GC pass, recording the
+# reduction-attribution ledger and garbage reclaimed.
+bench-capacity:
+	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench capacity
 
 # bench-go runs the root workload and accelerator-lane benchmarks with
 # benchstat-compatible output (pipe COUNT>=10 runs into benchstat to

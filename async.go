@@ -64,6 +64,10 @@ type asyncReq struct {
 	submit time.Time // enqueue time; queue wait = dequeue - submit
 	ctx    span.Context
 	done   chan AsyncResult
+	// fn, when set, is a maintenance closure run on the worker goroutine
+	// against the store it owns (GC, checkpoint, capacity reporting —
+	// anything that must see quiesced single-writer state).
+	fn func(s Store) error
 }
 
 // AsyncResult carries a completed request's outcome.
@@ -118,6 +122,12 @@ func (a *Async) worker(s Store, q chan asyncReq) {
 	defer a.wg.Done()
 	ts, traced := s.(tracedStore)
 	for req := range q {
+		if req.fn != nil {
+			// Maintenance op: runs with the worker between requests, so
+			// it owns the store exactly like a write does.
+			req.done <- AsyncResult{Err: req.fn(s)}
+			continue
+		}
 		wait := time.Since(req.submit)
 		if a.queueWaitNS != nil {
 			a.queueWaitNS.Observe(float64(wait.Nanoseconds()))
@@ -235,6 +245,33 @@ func (a *Async) Write(lba uint64, data []byte) error {
 func (a *Async) Read(lba uint64) ([]byte, error) {
 	r := <-a.ReadAsync(lba)
 	return r.Data, r.Err
+}
+
+// Maintenance runs fn once per worker, each invocation on the worker
+// goroutine against the store that worker owns (a single Server, or one
+// cluster group per worker). The call waits for every invocation and
+// returns the first error. This is how GC, checkpointing and capacity
+// reporting reach single-writer server state without racing the write
+// path: the closure runs between queued requests, never beside them.
+func (a *Async) Maintenance(fn func(s Store) error) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("fidr: async store closed")
+	}
+	chans := make([]chan AsyncResult, len(a.queues))
+	for i, q := range a.queues {
+		chans[i] = make(chan AsyncResult, 1)
+		q <- asyncReq{fn: fn, done: chans[i]}
+	}
+	a.mu.Unlock()
+	var first error
+	for _, ch := range chans {
+		if res := <-ch; res.Err != nil && first == nil {
+			first = res.Err
+		}
+	}
+	return first
 }
 
 // Close stops accepting requests, drains the queues, flushes every

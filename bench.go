@@ -111,6 +111,32 @@ type BenchArtifact struct {
 	// Acceptance: sampled tracing should cost <= ~5% write throughput.
 	TracePoints           []BenchTracePoint `json:"trace_points,omitempty"`
 	TraceWriteOverheadPct float64           `json:"trace_write_overhead_pct,omitempty"`
+
+	// Capacity runs only: the reduction-attribution ledger and one
+	// measured GC pass (see BenchCapacity).
+	Capacity *BenchCapacity `json:"capacity,omitempty"`
+}
+
+// BenchCapacity captures the capacity experiment: where every client
+// write byte went (the attribution identity logical = dedup + compression
+// + stored must balance exactly after the final flush), the garbage an
+// overwrite phase stranded, and what one Compact pass at GCThreshold
+// reclaimed.
+type BenchCapacity struct {
+	LogicalWriteBytes     uint64  `json:"logical_write_bytes"`
+	DedupSavedBytes       uint64  `json:"dedup_saved_bytes"`
+	CompressionSavedBytes uint64  `json:"compression_saved_bytes"`
+	StoredBytes           uint64  `json:"stored_bytes"`
+	ReductionRatio        float64 `json:"reduction_ratio"`
+
+	GCThreshold          float64 `json:"gc_threshold"`
+	GarbageBeforeGCBytes uint64  `json:"garbage_before_gc_bytes"`
+	GarbageAfterGCBytes  uint64  `json:"garbage_after_gc_bytes"`
+	ReclaimedDeadBytes   uint64  `json:"reclaimed_dead_bytes"`
+	ContainersCompacted  int     `json:"containers_compacted"`
+
+	HeatmapBuckets int `json:"heatmap_buckets"`
+	GCRunEvents    int `json:"gc_run_events"`
 }
 
 // BenchTracePoint compares one workload's throughput with distributed
@@ -152,6 +178,9 @@ type benchSpec struct {
 	// tracing runs every Table 3 workload twice — span plane off, then
 	// head-sampled on — and records the throughput deltas.
 	tracing bool
+	// capacity appends an overwrite phase and a measured GC pass,
+	// recording the attribution ledger (see BenchCapacity).
+	capacity bool
 }
 
 var benchSpecs = map[string]benchSpec{
@@ -163,6 +192,7 @@ var benchSpecs = map[string]benchSpec{
 	"lanes":     {workload: "Write-L", arch: FIDRFull, groups: 1, laneSweep: true},
 	"archival":  {workload: "Archival", arch: FIDRFull, groups: 1, archival: true},
 	"tracing":   {workload: "Write-H", arch: FIDRFull, groups: 1, tracing: true},
+	"capacity":  {workload: "Write-M", arch: FIDRFull, groups: 1, capacity: true},
 }
 
 // BenchExperiments lists bench experiment names, sorted.
@@ -205,6 +235,8 @@ func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
 	art.HashLanes = lanes.Normalize(cfg.HashLanes)
 	art.CompressLanes = lanes.Normalize(cfg.CompressLanes)
 	switch {
+	case spec.capacity:
+		err = runBenchCapacity(cfg, wp, &art)
 	case spec.tracing:
 		err = runBenchTracing(cfg, ios, &art)
 	case spec.laneSweep:
@@ -317,6 +349,111 @@ func runBenchSingle(cfg Config, wp Workload, art *BenchArtifact) error {
 	}
 	st := srv.Stats()
 	fillBenchArtifact(art, st, srv.CacheStats().HitRate(), wall, view.Snapshot())
+	return nil
+}
+
+// runBenchCapacity drives the workload while recording the LBAs it
+// touches, then overwrites half of them with fresh unique content to
+// strand garbage, and runs one Compact pass. The artifact's capacity
+// section records the attribution ledger (which must balance exactly
+// after the flush), the garbage before/after GC, and the journaled
+// gc_run evidence. Smaller containers than the architecture default
+// make sure the bench-scale workload seals enough of them to give the
+// GC real candidates.
+func runBenchCapacity(cfg Config, wp Workload, art *BenchArtifact) error {
+	const threshold = 0.25
+	c := cfg
+	c.ContainerSize = 256 << 10
+	srv, err := NewServer(c)
+	if err != nil {
+		return err
+	}
+	journal := NewEventJournal(256)
+	srv.SetEventJournal(journal, 0)
+	view := srv.EnableObservability(nil, 64)
+
+	gen, err := trace.NewGenerator(wp)
+	if err != nil {
+		return err
+	}
+	sh := blockcomp.NewShaper(wp.CompressRatio)
+	buf := make([]byte, c.ChunkSize)
+	seen := make(map[uint64]bool)
+	var lbas []uint64
+	start := time.Now()
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		switch req.Op {
+		case trace.OpWrite:
+			sh.Block(req.ContentSeed, buf)
+			if err := srv.Write(req.LBA, buf); err != nil {
+				return fmt.Errorf("fidr: bench capacity write: %w", err)
+			}
+			if !seen[req.LBA] {
+				seen[req.LBA] = true
+				lbas = append(lbas, req.LBA)
+			}
+		case trace.OpRead:
+			if _, err := srv.Read(req.LBA); err != nil && err != core.ErrNotFound {
+				return fmt.Errorf("fidr: bench capacity read: %w", err)
+			}
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	// Overwrite phase: most written LBAs get unique, previously unseen
+	// content, retiring their old mappings. Shared dedup chunks only die
+	// once their last referencing LBA is rewritten, so the sweep must
+	// cover nearly all of them; every 16th LBA keeps its data so the GC
+	// pass has survivors to move as well as dead chunks to drop.
+	for i, lba := range lbas {
+		if i%16 == 0 {
+			continue
+		}
+		sh.Block(uint64(1<<40)+uint64(i), buf)
+		if err := srv.Write(lba, buf); err != nil {
+			return fmt.Errorf("fidr: bench capacity overwrite: %w", err)
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		return err
+	}
+
+	before := srv.CapacityReport(threshold)
+	res, err := srv.Compact(threshold)
+	if err != nil {
+		return err
+	}
+	after := srv.CapacityReport(threshold)
+	hm := srv.ContainerHeatmap()
+
+	gcRuns := 0
+	for _, ev := range journal.Since(0) {
+		if ev.Type == "gc_run" {
+			gcRuns++
+		}
+	}
+	art.Capacity = &BenchCapacity{
+		LogicalWriteBytes:     before.LogicalWriteBytes,
+		DedupSavedBytes:       before.DedupSavedBytes,
+		CompressionSavedBytes: before.CompressionSavedBytes,
+		StoredBytes:           before.StoredBytes,
+		ReductionRatio:        before.ReductionRatio,
+		GCThreshold:           threshold,
+		GarbageBeforeGCBytes:  before.GarbageBytes,
+		GarbageAfterGCBytes:   after.GarbageBytes,
+		ReclaimedDeadBytes:    after.ReclaimedDeadBytes,
+		ContainersCompacted:   res.ContainersCompacted,
+		HeatmapBuckets:        len(hm.Buckets),
+		GCRunEvents:           gcRuns,
+	}
+	fillBenchArtifact(art, srv.Stats(), srv.CacheStats().HitRate(), wall, view.Snapshot())
 	return nil
 }
 

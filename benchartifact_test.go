@@ -197,6 +197,59 @@ func TestBenchArtifactRecordsLanes(t *testing.T) {
 	}
 }
 
+func TestBenchArtifactCapacity(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("capacity", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Experiment != "capacity" || art.Workload != "Write-M" {
+		t.Fatalf("experiment/workload = %q/%q", art.Experiment, art.Workload)
+	}
+	c := art.Capacity
+	if c == nil {
+		t.Fatal("capacity section missing from artifact")
+	}
+	// The attribution identity holds exactly in the committed artifact:
+	// the report is taken after the final flush, so there is no slack.
+	if got := c.DedupSavedBytes + c.CompressionSavedBytes + c.StoredBytes; got != c.LogicalWriteBytes {
+		t.Errorf("attribution unbalanced: %d + %d + %d != %d",
+			c.DedupSavedBytes, c.CompressionSavedBytes, c.StoredBytes, c.LogicalWriteBytes)
+	}
+	if c.DedupSavedBytes == 0 || c.CompressionSavedBytes == 0 {
+		t.Errorf("Write-M should save via both dedup and compression: %+v", c)
+	}
+	if c.ReductionRatio <= 1 {
+		t.Errorf("reduction ratio %v on a reducible stream", c.ReductionRatio)
+	}
+	// The overwrite phase stranded garbage and the GC pass reclaimed it.
+	if c.GarbageBeforeGCBytes == 0 {
+		t.Error("overwrite phase stranded no garbage")
+	}
+	if c.GarbageAfterGCBytes >= c.GarbageBeforeGCBytes {
+		t.Errorf("GC did not shrink garbage: %d -> %d",
+			c.GarbageBeforeGCBytes, c.GarbageAfterGCBytes)
+	}
+	if c.ContainersCompacted == 0 || c.ReclaimedDeadBytes == 0 {
+		t.Errorf("GC pass left no trace: %+v", c)
+	}
+	if got := c.GarbageBeforeGCBytes - c.GarbageAfterGCBytes; got != c.ReclaimedDeadBytes {
+		t.Errorf("ledger drop %d != reclaimed dead bytes %d", got, c.ReclaimedDeadBytes)
+	}
+	if c.GCThreshold != 0.25 {
+		t.Errorf("gc threshold %v, want 0.25", c.GCThreshold)
+	}
+	if c.HeatmapBuckets == 0 {
+		t.Error("heatmap has no occupied buckets")
+	}
+	if c.GCRunEvents != 1 {
+		t.Errorf("journal recorded %d gc_run events, want exactly 1", c.GCRunEvents)
+	}
+	// The body still carries the normal throughput/latency measurements.
+	if art.ThroughputMBps <= 0 || art.WallSeconds <= 0 {
+		t.Fatalf("throughput %v over %vs", art.ThroughputMBps, art.WallSeconds)
+	}
+}
+
 func TestBenchArtifactTracing(t *testing.T) {
 	art, err := fidr.RunBenchExperiment("tracing", 1500)
 	if err != nil {

@@ -239,6 +239,11 @@ func (c *Cluster) Stats() Stats {
 		total.DuplicateChunks += s.DuplicateChunks
 		total.UniqueChunks += s.UniqueChunks
 		total.StoredBytes += s.StoredBytes
+		total.LogicalWriteBytes += s.LogicalWriteBytes
+		total.DedupSavedBytes += s.DedupSavedBytes
+		total.CompressionSavedBytes += s.CompressionSavedBytes
+		total.DeletedFingerprints += s.DeletedFingerprints
+		total.ReclaimedDeadBytes += s.ReclaimedDeadBytes
 		total.NICReadHits += s.NICReadHits
 		total.ReadCacheHits += s.ReadCacheHits
 		total.PendingReads += s.PendingReads

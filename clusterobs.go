@@ -58,7 +58,11 @@ func (c *Cluster) EnableObservability(recentTraces int) metrics.Gatherer {
 		o.groupRegs[i] = reg
 		merged[i] = reg
 	}
-	gatherers = append(gatherers, metrics.Merged(merged...))
+	mergedView := metrics.Merged(merged...)
+	gatherers = append(gatherers, mergedView)
+	// Ratios cannot be summed across groups; derive them from the
+	// merged counters at scrape time.
+	gatherers = append(gatherers, metrics.CapacityRatios(mergedView))
 	for i := range c.groups {
 		gatherers = append(gatherers, metrics.Prefixed(groupPrefix(i), o.groupRegs[i]))
 	}

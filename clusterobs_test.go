@@ -81,6 +81,11 @@ func TestClusterStatsAggregation(t *testing.T) {
 		want.PendingReads += s.PendingReads
 		want.BatchesProcessed += s.BatchesProcessed
 		want.Mispredictions += s.Mispredictions
+		want.LogicalWriteBytes += s.LogicalWriteBytes
+		want.DedupSavedBytes += s.DedupSavedBytes
+		want.CompressionSavedBytes += s.CompressionSavedBytes
+		want.DeletedFingerprints += s.DeletedFingerprints
+		want.ReclaimedDeadBytes += s.ReclaimedDeadBytes
 	}
 	got := c.Stats()
 	if got != want {

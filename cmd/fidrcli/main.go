@@ -13,6 +13,10 @@
 //	fidrcli slow   -metrics-addr host:9401
 //	fidrcli slo    -metrics-addr host:9401
 //	fidrcli top    -metrics-addr host:9401 [-interval 2s] [-n 0]
+//	fidrcli capacity -metrics-addr host:9401 [-threshold 0.25]
+//	fidrcli events -metrics-addr host:9401 [-follow] [-type gc_run]
+//	fidrcli gc     -addr host:9400 [-threshold 0.25]
+//	fidrcli checkpoint -addr host:9400
 //
 // stats, traces, trace, slow, slo and top talk to the server's
 // -metrics-addr HTTP endpoint: stats fetches /metrics and pretty-prints
@@ -25,6 +29,14 @@
 // /metrics/series and renders a live view of device utilization, queue
 // depths, throughput and data reduction (-n bounds the number of
 // frames, 0 = until interrupted).
+//
+// capacity renders the reduction-attribution ledger, garbage debt and
+// GC recommendation (/capacity) plus the container heatmap
+// (/capacity/containers); events tails the structured event journal
+// (/events), with -follow polling for new records at -interval; gc and
+// checkpoint speak the storage protocol (OpCompact/OpCheckpoint) to run
+// a GC pass at -threshold dead fraction or persist a metadata
+// checkpoint on a live server.
 package main
 
 import (
@@ -64,6 +76,9 @@ func main() {
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top)")
 	frames := fs.Int("n", 0, "frames to render before exiting (top); 0 = until interrupted")
 	traced := fs.Bool("traced", false, "trace each put batch end to end; prints one trace ID per batch")
+	threshold := fs.Float64("threshold", 0.25, "GC dead-fraction threshold (capacity, gc)")
+	follow := fs.Bool("follow", false, "keep polling for new events (events)")
+	evType := fs.String("type", "", "filter events by type, e.g. gc_run (events)")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -84,7 +99,11 @@ func main() {
 		err = slo(*maddr)
 	case "top":
 		err = top(*maddr, *interval, *frames)
-	case "put", "get", "replay":
+	case "capacity":
+		err = capacity(*maddr, *threshold)
+	case "events":
+		err = eventsCmd(*maddr, *evType, *follow, *interval)
+	case "put", "get", "replay", "gc", "checkpoint":
 		var c *proto.Client
 		c, err = proto.Dial(*addr)
 		if err != nil {
@@ -98,6 +117,10 @@ func main() {
 			err = get(c, *lba, *count, *out)
 		case "replay":
 			err = replay(c, *traceFile, *ratio)
+		case "gc":
+			err = gc(c, *threshold)
+		case "checkpoint":
+			err = checkpoint(c)
 		}
 	default:
 		usage()
@@ -108,7 +131,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|trace|slow|slo|top [flags]  (see -h per command)")
+	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|trace|slow|slo|top|capacity|events|gc|checkpoint [flags]  (see -h per command)")
 	os.Exit(2)
 }
 
@@ -307,6 +330,173 @@ func slo(addr string) error {
 		return fmt.Errorf("parse /slo: %w", err)
 	}
 	fmt.Print(metrics.RenderSLO(d))
+	return nil
+}
+
+// capacity fetches the reduction-attribution ledger and the container
+// heatmap and renders the dashboard: where every client byte went
+// (dedup, compression, stored), the garbage debt against it, the
+// fingerprint-table occupancy, and whether a GC pass at -threshold
+// would pay off.
+func capacity(addr string, threshold float64) error {
+	body, err := fetch(addr, fmt.Sprintf("/capacity?threshold=%g", threshold))
+	if err != nil {
+		return err
+	}
+	var r fidr.CapacityReport
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		return fmt.Errorf("parse /capacity: %w", err)
+	}
+	pct := func(part, whole uint64) string {
+		if whole == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%5.1f%%", float64(part)/float64(whole)*100)
+	}
+
+	attr := metrics.NewTable("reduction attribution", "bucket", "bytes", "of logical")
+	attr.Row("logical writes", metrics.Bytes(r.LogicalWriteBytes), pct(r.LogicalWriteBytes, r.LogicalWriteBytes))
+	attr.Row("dedup saved", metrics.Bytes(r.DedupSavedBytes), pct(r.DedupSavedBytes, r.LogicalWriteBytes))
+	attr.Row("compression saved", metrics.Bytes(r.CompressionSavedBytes), pct(r.CompressionSavedBytes, r.LogicalWriteBytes))
+	attr.Row("stored", metrics.Bytes(r.StoredBytes), pct(r.StoredBytes, r.LogicalWriteBytes))
+	if r.UnattributedBytes > 0 {
+		attr.Row("in flight", metrics.Bytes(r.UnattributedBytes), pct(r.UnattributedBytes, r.LogicalWriteBytes))
+	}
+	attr.Row("reduction ratio", fmt.Sprintf("%.2fx", r.ReductionRatio), "")
+	fmt.Print(attr.String())
+	fmt.Println()
+
+	cap := metrics.NewTable("capacity and garbage", "metric", "value")
+	cap.Row("live bytes", metrics.Bytes(r.LiveBytes))
+	cap.Row("garbage bytes", metrics.Bytes(r.GarbageBytes)+"  ("+pct(r.GarbageBytes, r.StoredBytes)+" of stored)")
+	cap.Row("reclaimed by GC", metrics.Bytes(r.ReclaimedDeadBytes))
+	cap.Row("open container", metrics.Bytes(r.OpenContainerBytes))
+	cap.Row("containers", fmt.Sprintf("%d (%d retired)", r.Containers, r.RetiredContainers))
+	cap.Row("fingerprints live", fmt.Sprintf("%d / %d (%.1f%%)", r.FPLive, r.FPCapacity, r.FPOccupancy*100))
+	cap.Row("fingerprints deleted", fmt.Sprintf("%d", r.DeletedFingerprints))
+	fmt.Print(cap.String())
+	fmt.Println()
+
+	gc := metrics.NewTable("gc advice", "metric", "value")
+	gc.Row("dead-fraction threshold", fmt.Sprintf("%.2f", r.GC.Threshold))
+	gc.Row("candidate containers", fmt.Sprintf("%d", r.GC.CandidateContainers))
+	gc.Row("projected reclaim", metrics.Bytes(r.GC.ProjectedReclaimBytes))
+	if r.GC.Recommended {
+		gc.Row("recommendation", "RUN GC (fidrcli gc -threshold "+fmt.Sprintf("%g", r.GC.Threshold)+")")
+	} else {
+		gc.Row("recommendation", "no compaction needed")
+	}
+	fmt.Print(gc.String())
+	fmt.Println()
+
+	hbody, err := fetch(addr, "/capacity/containers")
+	if err != nil {
+		return err
+	}
+	var hm fidr.ContainerHeatmap
+	if err := json.Unmarshal([]byte(hbody), &hm); err != nil {
+		return fmt.Errorf("parse /capacity/containers: %w", err)
+	}
+	heat := metrics.NewTable(
+		fmt.Sprintf("container heatmap — %d containers, %d retired", hm.Containers, hm.Retired),
+		"age band", "dead frac", "containers", "live", "dead")
+	ageName := [...]string{"old", "mid", "young"}
+	for _, b := range hm.Buckets {
+		name := fmt.Sprintf("band %d", b.AgeBand)
+		if b.AgeBand >= 0 && b.AgeBand < len(ageName) {
+			name = ageName[b.AgeBand]
+		}
+		heat.Row(name,
+			fmt.Sprintf("%.1f–%.1f", b.DeadFracLo, b.DeadFracHi),
+			fmt.Sprintf("%d", b.Containers),
+			metrics.Bytes(b.LiveBytes),
+			metrics.Bytes(b.DeadBytes))
+	}
+	fmt.Print(heat.String())
+	return nil
+}
+
+// eventsCmd tails the structured event journal. One shot prints every
+// retained (optionally type-filtered) event; -follow then keeps polling
+// /events?since=<last seq> at the -interval cadence until interrupted.
+func eventsCmd(addr, typ string, follow bool, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var since uint64
+	for {
+		path := fmt.Sprintf("/events?since=%d", since)
+		if typ != "" {
+			path += "&type=" + typ
+		}
+		body, err := fetch(addr, path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(body, "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var ev fidr.Event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return fmt.Errorf("parse /events line: %w", err)
+			}
+			fmt.Println(renderEvent(ev))
+			if ev.Seq > since {
+				since = ev.Seq
+			}
+		}
+		if !follow {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// renderEvent formats one journal record as a single line:
+// sequence, wall time, type, origin group, trace link, and the sorted
+// type-specific fields.
+func renderEvent(ev fidr.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d  %s  %-16s g%d",
+		ev.Seq, time.Unix(0, ev.TimeUnixNano).Format("15:04:05.000"), ev.Type, ev.Group)
+	if ev.Detail != "" {
+		fmt.Fprintf(&b, "  %s", ev.Detail)
+	}
+	keys := make([]string, 0, len(ev.Fields))
+	for k := range ev.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s=%d", k, ev.Fields[k])
+	}
+	if ev.Trace != "" {
+		fmt.Fprintf(&b, "  trace=%s", ev.Trace)
+	}
+	return b.String()
+}
+
+// gc asks the server to run a compaction pass over every group at the
+// given dead-fraction threshold and prints what it reclaimed.
+func gc(c *proto.Client, threshold float64) error {
+	sum, err := c.Compact(threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %d containers: moved %d chunks (%s), dropped %d dead chunks, reclaimed %s\n",
+		sum.ContainersCompacted, sum.ChunksMoved, metrics.Bytes(sum.BytesMoved),
+		sum.ChunksDropped, metrics.Bytes(sum.BytesReclaimed))
+	return nil
+}
+
+// checkpoint asks the server to persist a metadata checkpoint (and
+// truncate the WAL where one is attached).
+func checkpoint(c *proto.Client) error {
+	if err := c.Checkpoint(); err != nil {
+		return err
+	}
+	fmt.Println("checkpoint persisted")
 	return nil
 }
 

@@ -5,7 +5,7 @@
 //
 //	fidrd [-addr :9400] [-arch fidr|fidr-nic|baseline] [-batch 64]
 //	      [-groups 1] [-metrics-addr :9401] [-metrics-interval 10s]
-//	      [-pprof]
+//	      [-events 1024] [-gc-threshold 0.25] [-pprof]
 //
 // With -groups N > 1 the daemon serves a §5.6 scale-out cluster: N
 // device groups, each a full server, with client LBAs sharded across
@@ -43,9 +43,17 @@
 // min/mean/max, counter rates, device duty cycles) as JSON, GET /traces
 // dumps the most recent request traces, GET /traces/slow dumps the
 // slow-request flight recorder, and GET /healthz and /readyz serve
-// liveness/readiness probes. In cluster mode the registry carries
-// merged cluster-wide series, "group<N>."-prefixed per-group series,
-// and derived shard-balance gauges. -pprof additionally mounts
+// liveness/readiness probes. The capacity plane adds GET /capacity (the
+// reduction-attribution ledger, garbage debt and GC advice as JSON,
+// with ?threshold= overriding -gc-threshold), GET /capacity/containers
+// (the container heatmap bucketed by dead fraction and age band), and
+// GET /events (the structured event journal — GC runs, checkpoints,
+// WAL truncation, recovery, SLO breach transitions — as JSONL, sized by
+// -events and tailable with ?since=). In cluster mode the registry
+// carries merged cluster-wide series, "group<N>."-prefixed per-group
+// series, and derived shard-balance gauges; capacity views merge across
+// groups and all groups share one event journal. -pprof additionally
+// mounts
 // net/http/pprof under /debug/pprof/ on the same address. With
 // -metrics-interval the daemon also logs a one-line summary
 // periodically. On SIGINT or SIGTERM the server flushes open containers
@@ -53,6 +61,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -77,6 +86,7 @@ func main() {
 	addr := flag.String("addr", ":9400", "listen address")
 	arch := flag.String("arch", "fidr", "architecture: fidr, fidr-nic, baseline")
 	batch := flag.Int("batch", 64, "accelerator batch size in chunks")
+	containerSize := flag.Int("container-size", 0, "compressed-chunk container size in bytes; 0 = architecture default")
 	width := flag.Int("width", 4, "HW tree concurrent update width")
 	hashLanes := flag.Int("hash-lanes", 0, "NIC hash-core lanes; 0 = GOMAXPROCS-derived")
 	compressLanes := flag.Int("compress-lanes", 0, "compression-pipeline lanes; 0 = GOMAXPROCS-derived")
@@ -97,6 +107,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "head-sample every Nth untraced request into the span ring; 0 = wire-traced requests only")
 	traceRing := flag.Int("trace-ring", 512, "distinct traces kept for /traces/spans")
 	sloSpec := flag.String("slo-spec", "", "latency objectives as name:hist:threshold:target,...; empty = built-in write/read objectives")
+	eventsCap := flag.Int("events", 1024, "structured events kept for /events")
+	gcThreshold := flag.Float64("gc-threshold", 0.25, "default dead-fraction threshold for /capacity GC advice (override per scrape with ?threshold=)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
@@ -113,6 +125,9 @@ func main() {
 	}
 	cfg := fidr.DefaultConfig(a)
 	cfg.BatchChunks = *batch
+	if *containerSize > 0 {
+		cfg.ContainerSize = *containerSize
+	}
 	cfg.UpdateWidth = *width
 	cfg.HashLanes = *hashLanes
 	cfg.CompressLanes = *compressLanes
@@ -126,6 +141,9 @@ func main() {
 	// gauges) alongside the back-end view.
 	col := span.NewCollector(*traceRing)
 	front := metrics.NewRegistry()
+	// One journal across all groups: GC runs, checkpoints, WAL
+	// truncation, recovery and SLO breaches interleave in one sequence.
+	journal := fidr.NewEventJournal(*eventsCap)
 	var (
 		backend  fidr.Store
 		view     metrics.Gatherer
@@ -163,6 +181,7 @@ func main() {
 		cl.ConfigureFlightRecorder(*slowQuantile, *slowMin, *slowTraces)
 		cl.SetSpanCollector(col)
 		cl.SetTraceSampling(*traceSample)
+		cl.SetEventJournal(journal)
 		traceFn = func() string { return core.RenderTraces(cl.RecentTraces()) }
 		slowFn = func() string { return core.RenderSlowTraces(cl.SlowTraces()) }
 		backend = cl
@@ -215,9 +234,13 @@ func main() {
 		// the interval logger read only registry atomics, so they are
 		// safe alongside the protocol listener.
 		view = srv.EnableObservability(nil, *traces)
+		// Single-server views derive the capacity ratios here; the
+		// cluster view already appends them over its merged counters.
+		view = metrics.Multi(view, metrics.CapacityRatios(view))
 		srv.ConfigureFlightRecorder(*slowQuantile, *slowMin, *slowTraces)
 		srv.SetSpanCollector(col, 0)
 		srv.SetTraceSampling(*traceSample)
+		srv.SetEventJournal(journal, 0)
 		traceFn = func() string { return core.RenderTraces(srv.RecentTraces()) }
 		slowFn = func() string { return core.RenderSlowTraces(srv.SlowTraces()) }
 		backend = srv
@@ -251,7 +274,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("fidrd: %v", err)
 	}
-	view = metrics.Multi(view, front)
+	view = metrics.Multi(view, front, metrics.JournalStats(journal))
 
 	// SLO plane: latency objectives over the request-class histograms,
 	// refreshed on the series cadence.
@@ -265,6 +288,7 @@ func main() {
 	}
 	slo := metrics.NewSLO(view, objs, *seriesSamples)
 	slo.Instrument(front)
+	slo.SetEventJournal(journal)
 	stopSLO := make(chan struct{})
 	defer close(stopSLO)
 	go slo.Run(*seriesInterval, stopSLO)
@@ -294,14 +318,45 @@ func main() {
 		stopSampler := make(chan struct{})
 		defer close(stopSampler)
 		go sampler.Run(*seriesInterval, stopSampler)
+		// Capacity views route through the async workers (the ledger is
+		// single-writer per group), so a scrape waits for queued requests
+		// ahead of it — bounded by the queue depth.
+		capacityHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			th := *gcThreshold
+			if q := r.URL.Query().Get("threshold"); q != "" {
+				if _, err := fmt.Sscanf(q, "%g", &th); err != nil || th < 0 || th > 1 {
+					http.Error(w, "bad threshold (want a fraction in [0,1])", http.StatusBadRequest)
+					return
+				}
+			}
+			rep, err := store.CapacityReport(th)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(rep)
+		})
+		heatmapHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hm, err := store.ContainerHeatmap()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(hm)
+		})
 		mux := http.NewServeMux()
 		mux.Handle("/", metrics.Handler(view, metrics.HandlerOptions{
-			Traces:     traceFn,
-			SlowTraces: slowFn,
-			Sampler:    sampler,
-			Spans:      col,
-			SLO:        slo,
-			Ready:      ready.Load,
+			Traces:             traceFn,
+			SlowTraces:         slowFn,
+			Sampler:            sampler,
+			Spans:              col,
+			SLO:                slo,
+			Capacity:           capacityHandler,
+			CapacityContainers: heatmapHandler,
+			Events:             journal,
+			Ready:              ready.Load,
 		}))
 		if *pprofFlag {
 			// net/http/pprof registers on the default mux at import.

@@ -18,6 +18,7 @@ import (
 	"fidr/internal/hostmodel"
 	"fidr/internal/lanes"
 	"fidr/internal/lbatable"
+	"fidr/internal/metrics/events"
 	"fidr/internal/nic"
 	"fidr/internal/pcie"
 	"fidr/internal/predictor"
@@ -196,12 +197,28 @@ type Stats struct {
 	PendingReads     uint64 // reads served from the open container
 	BatchesProcessed uint64
 	Mispredictions   uint64 // baseline: predicted-dup chunks that were unique
+
+	// Reduction-attribution ledger: every processed write chunk lands in
+	// exactly one bucket, so after Flush
+	//
+	//	LogicalWriteBytes = DedupSavedBytes + CompressionSavedBytes + StoredBytes
+	//
+	// holds exactly; mid-stream the difference is the chunks still
+	// buffered ahead of batch processing (open-container slack). Note the
+	// ledger is per-process: recovery rebuilds mappings, not history.
+	LogicalWriteBytes     uint64 // client write payload (reads excluded)
+	DedupSavedBytes       uint64 // chunk-size bytes absorbed by duplicate hits
+	CompressionSavedBytes uint64 // raw-minus-compressed bytes on unique chunks
+	DeletedFingerprints   uint64 // Hash-PBN entries dropped by GC
+	ReclaimedDeadBytes    uint64 // dead compressed bytes in GC-retired containers
 }
 
-// ReductionRatio is stored/client bytes (lower is better).
+// ReductionRatio is stored/client bytes (lower is better). An empty
+// store reports 0 by convention: "no data" must not render as "no
+// reduction achieved" (ratio 1) on dashboards.
 func (s Stats) ReductionRatio() float64 {
 	if s.ClientBytes == 0 {
-		return 1
+		return 0
 	}
 	return float64(s.StoredBytes) / float64(s.ClientBytes)
 }
@@ -251,6 +268,18 @@ type Server struct {
 	pbnFP []fingerprint.FP
 	// reclaimed lists containers retired by Compact.
 	reclaimed []uint64
+	// fpLive counts live Hash-PBN table entries. The table cache has no
+	// occupancy counter of its own (Range charges SSD reads), so the
+	// server tracks inserts/deletes at their call sites.
+	fpLive uint64
+	// journal receives structured capacity events (GC, checkpoint,
+	// recovery); nil disables emission. group labels this server's
+	// events in a shared cluster journal. recovered marks a server built
+	// by RecoverServer so SetEventJournal can emit the recovery event
+	// retroactively (the journal attaches after construction).
+	journal   *events.Journal
+	group     int
+	recovered bool
 
 	// snapshots holds point-in-time mapping copies (snapshot.go).
 	snapshots  map[SnapshotID]*snapshotState

@@ -6,6 +6,7 @@ import (
 
 	"fidr/internal/fingerprint"
 	"fidr/internal/hostmodel"
+	"fidr/internal/metrics/events"
 	"fidr/internal/pcie"
 )
 
@@ -94,11 +95,26 @@ func (s *Server) Compact(minDeadFraction float64) (CompactResult, error) {
 	if err := s.writeSealed(tr); err != nil {
 		return res, err
 	}
+	s.emitEvent(events.Event{
+		Type:   events.TypeGCRun,
+		Trace:  tr.traceID(),
+		Detail: fmt.Sprintf("threshold=%.2f", minDeadFraction),
+		Fields: map[string]int64{
+			"containers_compacted": int64(res.ContainersCompacted),
+			"chunks_moved":         int64(res.ChunksMoved),
+			"chunks_dropped":       int64(res.ChunksDropped),
+			"bytes_reclaimed":      int64(res.BytesReclaimed),
+			"bytes_moved":          int64(res.BytesMoved),
+		},
+	})
 	return res, nil
 }
 
 // compactOne moves container c's live chunks out and retires it.
 func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
+	// Capture the container's dead bytes before retirement wipes the
+	// entry: once retired they are reclaimed, not garbage.
+	deadHere := s.lba.DeadBytes()[c]
 	// Drop dead fingerprints first so their table entries cannot match
 	// new writes mid-compaction.
 	from := tr.start()
@@ -111,6 +127,11 @@ func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
 			return err
 		}
 		s.walDeleteFP(fp)
+		if s.fpLive > 0 {
+			s.fpLive--
+		}
+		s.stats.DeletedFingerprints++
+		s.obs.onDeletedFP(1)
 		res.ChunksDropped++
 	}
 	tr.span(StageDedupLookup, from)
@@ -153,6 +174,8 @@ func (s *Server) compactOne(c uint64, res *CompactResult, tr *ReqTrace) error {
 	s.lba.RetireContainer(c)
 	s.walRetire(c)
 	s.reclaimed = append(s.reclaimed, c)
+	s.stats.ReclaimedDeadBytes += deadHere
+	s.obs.onReclaimedDead(deadHere)
 	res.ContainersCompacted++
 	res.BytesReclaimed += uint64(s.cfg.ContainerSize)
 	return nil

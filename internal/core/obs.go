@@ -179,6 +179,21 @@ type Observer struct {
 	pendingReads             *metrics.Counter
 	mispredictions           *metrics.Counter
 
+	// Capacity plane: the reduction-attribution ledger as counters
+	// (write-path increments) plus state gauges pushed by
+	// syncCapacityGauges from the single-writer paths. Counters sum
+	// correctly under metrics.Merged; ratio gauges are derived at scrape
+	// time (metrics.CapacityRatios) precisely because Merged sums gauges.
+	capLogical, capDedupSaved *metrics.Counter
+	capCompSaved, capStored   *metrics.Counter
+	capDeletedFPs             *metrics.Counter
+	capReclaimedDead          *metrics.Counter
+	capGarbage                *metrics.Gauge
+	capLive                   *metrics.Gauge
+	capFPLive, capFPCapacity  *metrics.Gauge
+	capContainers, capRetired *metrics.Gauge
+	capOpenBytes              *metrics.Gauge
+
 	// Distributed-tracing sink. col is nil until SetSpanCollector;
 	// group labels published spans with the owning cluster shard.
 	// sampleEvery > 0 head-samples every Nth request that arrives
@@ -207,6 +222,20 @@ func newObserver(reg *metrics.Registry, ringSize int) *Observer {
 		mispredictions: reg.Counter("core.mispredictions"),
 		reqWrite:       reg.Histogram("req.write.ns"),
 		reqRead:        reg.Histogram("req.read.ns"),
+
+		capLogical:       reg.Counter("capacity.logical_bytes"),
+		capDedupSaved:    reg.Counter("capacity.dedup_saved_bytes"),
+		capCompSaved:     reg.Counter("capacity.compression_saved_bytes"),
+		capStored:        reg.Counter("capacity.stored_bytes"),
+		capDeletedFPs:    reg.Counter("capacity.deleted_fingerprints"),
+		capReclaimedDead: reg.Counter("capacity.reclaimed_dead_bytes"),
+		capGarbage:       reg.Gauge("capacity.garbage_bytes"),
+		capLive:          reg.Gauge("capacity.live_bytes"),
+		capFPLive:        reg.Gauge("capacity.fp_live"),
+		capFPCapacity:    reg.Gauge("capacity.fp_capacity"),
+		capContainers:    reg.Gauge("capacity.containers"),
+		capRetired:       reg.Gauge("capacity.containers_retired"),
+		capOpenBytes:     reg.Gauge("capacity.open_container_bytes"),
 	}
 	for st := Stage(0); st < numStages; st++ {
 		o.stage[st] = reg.Histogram("stage." + st.String() + ".ns")
@@ -223,6 +252,7 @@ func (o *Observer) onWrite(bytes int) {
 	}
 	o.writes.Inc()
 	o.clientBytes.Add(uint64(bytes))
+	o.capLogical.Add(uint64(bytes))
 }
 
 func (o *Observer) onRead(bytes int) {
@@ -240,19 +270,36 @@ func (o *Observer) onBatch() {
 	o.batches.Inc()
 }
 
-func (o *Observer) onDup() {
+func (o *Observer) onDup(savedBytes uint64) {
 	if o == nil {
 		return
 	}
 	o.dupChunks.Inc()
+	o.capDedupSaved.Add(savedBytes)
 }
 
-func (o *Observer) onUnique(storedBytes uint64) {
+func (o *Observer) onUnique(storedBytes, compSavedBytes uint64) {
 	if o == nil {
 		return
 	}
 	o.uniqueChunks.Inc()
 	o.storedBytes.Add(storedBytes)
+	o.capStored.Add(storedBytes)
+	o.capCompSaved.Add(compSavedBytes)
+}
+
+func (o *Observer) onDeletedFP(n uint64) {
+	if o == nil {
+		return
+	}
+	o.capDeletedFPs.Add(n)
+}
+
+func (o *Observer) onReclaimedDead(bytes uint64) {
+	if o == nil {
+		return
+	}
+	o.capReclaimedDead.Add(bytes)
 }
 
 func (o *Observer) onNICReadHit() {
@@ -322,6 +369,15 @@ func (o *Observer) beginLinked(op string, lba uint64, parent *ReqTrace) *ReqTrac
 type ReqTrace struct {
 	obs *Observer
 	t   Trace
+}
+
+// traceID returns the distributed trace ID when this request is
+// sampled, "" otherwise (event records carry it where available).
+func (tr *ReqTrace) traceID() string {
+	if tr == nil || !tr.t.Sampled {
+		return ""
+	}
+	return tr.t.TraceID.String()
 }
 
 // start marks the beginning of a stage.
@@ -560,6 +616,8 @@ func (s *Server) EnableObservability(reg *metrics.Registry, recentTraces int) *m
 	if s.wal != nil {
 		s.wal.Instrument(reg)
 	}
+	s.obs.capFPCapacity.Set(float64(s.cfg.UniqueChunkCapacity))
+	s.syncCapacityGauges()
 	return reg
 }
 

@@ -9,6 +9,7 @@ import (
 	"fidr/internal/engine"
 	"fidr/internal/fingerprint"
 	"fidr/internal/lbatable"
+	"fidr/internal/metrics/events"
 )
 
 // Metadata durability (extension). The Hash-PBN table is durable by
@@ -90,11 +91,24 @@ func (s *Server) Checkpoint() error {
 	if err := s.crashPoint(CrashMidCheckpoint); err != nil {
 		return err
 	}
+	s.emitEvent(events.Event{
+		Type: events.TypeCheckpoint,
+		Fields: map[string]int64{
+			"wal_seq":        int64(walSeq),
+			"snapshot_bytes": int64(len(snap)),
+			"fingerprints":   int64(len(s.pbnFP)),
+		},
+	})
 	if s.wal != nil {
 		if err := s.wal.Reset(); err != nil {
 			return err
 		}
+		s.emitEvent(events.Event{
+			Type:   events.TypeWALTruncate,
+			Fields: map[string]int64{"covered_seq": int64(walSeq)},
+		})
 	}
+	s.syncCapacityGauges()
 	return nil
 }
 
@@ -236,8 +250,14 @@ func RecoverServer(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("core: orphan cleanup: %w", err)
 		}
 		rr.OrphanedContainersCleared = cleared
+	} else {
+		// Without a WAL the scrub pass (whose walk counts live table
+		// entries exactly) does not run; approximate occupancy by the
+		// allocated-PBN count. The count self-corrects at the next scrub.
+		s.fpLive = s.lba.Chunks()
 	}
 	s.recovery = rr
+	s.recovered = true
 	return s, nil
 }
 
@@ -262,6 +282,7 @@ func (s *Server) applyWALRecord(r WALRecord) error {
 			s.pbnFP = append(s.pbnFP, fingerprint.FP{})
 		}
 		s.pbnFP[pbn] = r.FP
+		s.fpLive++
 		return nil
 	case WALMapLBA:
 		return s.lba.MapLBA(r.LBA, r.PBN)
@@ -272,6 +293,9 @@ func (s *Server) applyWALRecord(r WALRecord) error {
 		return nil
 	case WALDeleteFP:
 		_, err := s.cache.Delete(r.FP)
+		if err == nil && s.fpLive > 0 {
+			s.fpLive--
+		}
 		return err
 	default:
 		return fmt.Errorf("core: unknown WAL record kind %d", r.Kind)
@@ -284,9 +308,20 @@ func (s *Server) applyWALRecord(r WALRecord) error {
 // became durable. Left in place, a later duplicate write would dedup
 // against a PBN that now holds different (or no) data.
 func (s *Server) scrubStaleTable() (int, error) {
-	return s.cache.Scrub(func(fp fingerprint.FP, pbn uint64) bool {
-		return pbn < s.lba.Chunks() && pbn < uint64(len(s.pbnFP)) && s.pbnFP[pbn] == fp
+	// The scrub walk visits every live table entry, so it doubles as the
+	// exact fingerprint-occupancy recount after recovery.
+	var kept uint64
+	dropped, err := s.cache.Scrub(func(fp fingerprint.FP, pbn uint64) bool {
+		keep := pbn < s.lba.Chunks() && pbn < uint64(len(s.pbnFP)) && s.pbnFP[pbn] == fp
+		if keep {
+			kept++
+		}
+		return keep
 	})
+	if err == nil {
+		s.fpLive = kept
+	}
+	return dropped, err
 }
 
 // orphanScanWindow bounds the forward scan for orphaned containers. One

@@ -32,6 +32,7 @@ func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
 	}
 	s.stats.ClientWrites++
 	s.stats.ClientBytes += uint64(len(data))
+	s.stats.LogicalWriteBytes += uint64(len(data))
 	s.ledger.Client(uint64(len(data)))
 	s.ledger.CPU(hostmodel.CompProtocol, s.costs.ProtocolWriteNs)
 	s.rcache.invalidate(lba)
@@ -198,7 +199,8 @@ func (s *Server) processBaselineBatch() error {
 			}
 			s.walMapLBA(p.lba, pbn)
 			s.stats.DuplicateChunks++
-			s.obs.onDup()
+			s.stats.DedupSavedBytes += uint64(len(p.data))
+			s.obs.onDup(uint64(len(p.data)))
 			continue
 		}
 		if r.cdata == nil {
@@ -423,11 +425,13 @@ func (s *Server) processFIDRBatch() error {
 			}
 			pbn = p
 			s.stats.DuplicateChunks++
-			s.obs.onDup()
+			s.stats.DedupSavedBytes += uint64(s.cfg.ChunkSize)
+			s.obs.onDup(uint64(s.cfg.ChunkSize))
 		default:
 			pbn = dupPBN[i]
 			s.stats.DuplicateChunks++
-			s.obs.onDup()
+			s.stats.DedupSavedBytes += uint64(s.cfg.ChunkSize)
+			s.obs.onDup(uint64(s.cfg.ChunkSize))
 		}
 		s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
 		if err := s.lba.MapLBA(e.LBA, pbn); err != nil {
@@ -475,9 +479,12 @@ func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
 	}
 	s.pbnFP[pbn] = meta.FP
 	s.walAppend(meta, pbn)
+	s.fpLive++
 	s.stats.UniqueChunks++
 	s.stats.StoredBytes += uint64(meta.CSize)
-	s.obs.onUnique(uint64(meta.CSize))
+	compSaved := uint64(meta.RawSize - meta.CSize)
+	s.stats.CompressionSavedBytes += compSaved
+	s.obs.onUnique(uint64(meta.CSize), compSaved)
 	return pbn, nil
 }
 
@@ -485,6 +492,7 @@ func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
 // holds container data in host memory (the SSD DMA-reads it out); FIDR
 // transfers engine -> SSD peer-to-peer under the switch.
 func (s *Server) writeSealed(tr *ReqTrace) error {
+	defer s.syncCapacityGauges()
 	sealed := s.comp.TakeSealed()
 	if len(sealed) > 0 {
 		from := tr.start()

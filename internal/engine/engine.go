@@ -353,6 +353,10 @@ func (e *Compression) TakeSealed() []SealedContainer {
 // OpenContainer returns the index of the container currently being packed.
 func (e *Compression) OpenContainer() uint64 { return e.builder.Container() }
 
+// OpenBytes returns the compressed bytes buffered in the open container
+// (packed but not yet sealed to the data SSDs).
+func (e *Compression) OpenBytes() int { return e.builder.Used() }
+
 // Stats returns a snapshot.
 func (e *Compression) Stats() Stats { return e.stats }
 

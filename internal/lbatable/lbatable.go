@@ -71,10 +71,13 @@ type Table struct {
 	startPBN []uint64
 
 	// GC state (refcount.go): per-PBN reference counts, dead compressed
-	// bytes per container, and the sparse relocation overlay.
+	// bytes per container, the sparse relocation overlay, and the set of
+	// GC-retired containers (their dead chunks are reclaimed space, not
+	// garbage — ContainerUsage must not re-count them).
 	refs      []uint32
 	deadBytes map[uint64]uint64
 	relocated map[uint64]pbnLoc
+	retired   map[uint64]struct{}
 
 	// frontier is one past the highest container index seen via Relocate.
 	// Compaction packs live chunks into containers that may never receive

@@ -3,7 +3,9 @@ package lbatable
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 )
 
 // Binary serialization of the LBA-PBA metadata for checkpointing. The
@@ -20,6 +22,8 @@ import (
 //	u64 #lbaMappings, then u64 lba, u64 pbn each
 //	u64 #relocations, then u64 pbn, u64 container, u16 offsetUnits each
 //	u64 #deadContainers, then u64 container, u64 deadBytes each
+//	u64 #retiredContainers, then u64 container each (optional trailing
+//	    section; snapshots written before it exist end at the dead list)
 
 var lbaMagic = [8]byte{'F', 'I', 'D', 'R', 'L', 'B', 'A', '1'}
 
@@ -57,6 +61,12 @@ func (t *Table) Snapshot() []byte {
 	for c, b := range t.deadBytes {
 		w(c)
 		w(b)
+	}
+	// Optional trailing section (absent in older snapshots): GC-retired
+	// containers, so usage reporting survives a checkpoint/restore.
+	w(uint64(len(t.retired)))
+	for c := range t.retired {
+		w(c)
 	}
 	return buf.Bytes()
 }
@@ -158,6 +168,27 @@ func RestoreTable(data []byte) (*Table, error) {
 			return nil, fmt.Errorf("lbatable: dead bytes truncated: %w", err)
 		}
 		t.deadBytes[c] = b
+	}
+	// Optional retired-container section: absent in older snapshots, so
+	// a clean EOF here is valid; a half-written section is not.
+	if err := rd(&n); err != nil {
+		if errors.Is(err, io.EOF) {
+			return t, nil
+		}
+		return nil, fmt.Errorf("lbatable: retired list truncated: %w", err)
+	}
+	if n > sanity {
+		return nil, fmt.Errorf("lbatable: retired list invalid")
+	}
+	if n > 0 {
+		t.retired = make(map[uint64]struct{}, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var c uint64
+		if err := rd(&c); err != nil {
+			return nil, fmt.Errorf("lbatable: retired list truncated: %w", err)
+		}
+		t.retired[c] = struct{}{}
 	}
 	return t, nil
 }

@@ -200,9 +200,22 @@ func (t *Table) Relocate(pbn, newContainer uint64, newOff uint32) error {
 }
 
 // RetireContainer clears the dead-byte accounting for a fully compacted
-// container (its space is reusable by the data SSD layer).
+// container (its space is reusable by the data SSD layer) and marks it
+// retired so usage reporting counts its remaining dead-located chunks
+// as reclaimed rather than garbage.
 func (t *Table) RetireContainer(container uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.deadBytes, container)
+	if t.retired == nil {
+		t.retired = make(map[uint64]struct{})
+	}
+	t.retired[container] = struct{}{}
+}
+
+// RetiredContainers returns the number of GC-retired containers.
+func (t *Table) RetiredContainers() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.retired)
 }

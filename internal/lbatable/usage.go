@@ -1,0 +1,64 @@
+package lbatable
+
+// Per-container usage reporting for the capacity plane: how many live
+// and dead compressed bytes each container holds, so heatmaps and GC
+// advice can rank compaction victims without walking the table
+// themselves.
+
+// ContainerUsage summarizes one container's occupancy.
+type ContainerUsage struct {
+	// Container is the container index on the data SSD array.
+	Container uint64
+	// LiveBytes / LiveChunks cover chunks with nonzero references
+	// located in this container (relocated chunks count at their new
+	// home).
+	LiveBytes  uint64
+	LiveChunks int
+	// DeadBytes / DeadChunks cover zero-reference chunks still located
+	// here. Retired containers report zero dead: their stranded entries
+	// are reclaimed space, not garbage.
+	DeadBytes  uint64
+	DeadChunks int
+	// Retired marks a container reclaimed by compaction.
+	Retired bool
+}
+
+// ContainerUsage reports per-container occupancy for every container up
+// to the allocation frontier, in ascending container order. The sum of
+// DeadBytes across the result equals the DeadBytes() ledger totals (the
+// invariant the capacity plane's heatmap is checked against).
+func (t *Table) ContainerUsage() []ContainerUsage {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.refsInit()
+	n := uint64(len(t.startPBN))
+	if t.frontier > n {
+		n = t.frontier
+	}
+	if n == 0 {
+		return nil
+	}
+	usage := make([]ContainerUsage, n)
+	for i := range usage {
+		c := uint64(i)
+		usage[i].Container = c
+		_, usage[i].Retired = t.retired[c]
+	}
+	for pbn := range t.entries {
+		p := uint64(pbn)
+		loc := t.locate(p)
+		if loc.container >= n {
+			continue
+		}
+		u := &usage[loc.container]
+		size := uint64(t.entries[p].csize)
+		if t.refs[p] > 0 {
+			u.LiveBytes += size
+			u.LiveChunks++
+		} else if !u.Retired {
+			u.DeadBytes += size
+			u.DeadChunks++
+		}
+	}
+	return usage
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import "fidr/internal/metrics/events"
+
+// Capacity-plane derived series. The capacity.* counters and gauges are
+// published per group and summed by Merged; ratios cannot be summed, so
+// they are derived at scrape time from the (possibly merged) view —
+// the same pattern as the clusterobs shard-balance gauges.
+
+// CapacityRatios derives the reduction-ratio gauges from g's capacity
+// counters at scrape time:
+//
+//	capacity.reduction_ratio          logical / stored bytes
+//	capacity.dedup_saved_ratio        dedup-saved / logical bytes
+//	capacity.compression_saved_ratio  compression-saved / logical bytes
+//	capacity.garbage_ratio            garbage / stored bytes
+//	capacity.fp_occupancy             live / capacity Hash-PBN entries
+//
+// Pass the merged cluster view (or a single registry); prefixed
+// per-group copies of the counters are ignored, so the ratios are
+// cluster-wide. Each ratio reports 0 when its denominator is 0.
+func CapacityRatios(g Gatherer) Gatherer {
+	return GathererFunc(func() []Metric {
+		var logical, stored, dedup, comp, garbage, fpLive, fpCap float64
+		for _, m := range g.Snapshot() {
+			switch m.Name {
+			case "capacity.logical_bytes":
+				logical = m.Value
+			case "capacity.stored_bytes":
+				stored = m.Value
+			case "capacity.dedup_saved_bytes":
+				dedup = m.Value
+			case "capacity.compression_saved_bytes":
+				comp = m.Value
+			case "capacity.garbage_bytes":
+				garbage = m.Value
+			case "capacity.fp_live":
+				fpLive = m.Value
+			case "capacity.fp_capacity":
+				fpCap = m.Value
+			}
+		}
+		out := make([]Metric, 0, 5)
+		ratio := func(name string, num, den float64) {
+			v := 0.0
+			if den > 0 {
+				v = num / den
+			}
+			out = append(out, Metric{Kind: "gauge", Name: name, Value: v})
+		}
+		ratio("capacity.reduction_ratio", logical, stored)
+		ratio("capacity.dedup_saved_ratio", dedup, logical)
+		ratio("capacity.compression_saved_ratio", comp, logical)
+		ratio("capacity.garbage_ratio", garbage, stored)
+		ratio("capacity.fp_occupancy", fpLive, fpCap)
+		return out
+	})
+}
+
+// JournalStats exposes an event journal's own health as gauges
+// (events.appended, events.dropped), read at scrape time. Lives here
+// rather than in the events package, which metrics imports and which
+// therefore cannot import metrics back.
+func JournalStats(j *events.Journal) Gatherer {
+	return GathererFunc(func() []Metric {
+		appended, dropped := j.Stats()
+		return []Metric{
+			{Kind: "gauge", Name: "events.appended", Value: float64(appended)},
+			{Kind: "gauge", Name: "events.dropped", Value: float64(dropped)},
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"testing"
+
+	"fidr/internal/metrics/events"
+)
+
+func ratioValue(t *testing.T, g Gatherer, name string) float64 {
+	t.Helper()
+	for _, m := range g.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s not derived", name)
+	return 0
+}
+
+func TestCapacityRatios(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("capacity.logical_bytes").Add(1000)
+	reg.Counter("capacity.dedup_saved_bytes").Add(300)
+	reg.Counter("capacity.compression_saved_bytes").Add(200)
+	reg.Counter("capacity.stored_bytes").Add(500)
+	reg.Gauge("capacity.garbage_bytes").Set(50)
+	reg.Gauge("capacity.fp_live").Set(10)
+	reg.Gauge("capacity.fp_capacity").Set(40)
+
+	d := CapacityRatios(reg)
+	if got := ratioValue(t, d, "capacity.reduction_ratio"); got != 2 {
+		t.Fatalf("reduction_ratio = %v, want 2", got)
+	}
+	if got := ratioValue(t, d, "capacity.dedup_saved_ratio"); got != 0.3 {
+		t.Fatalf("dedup_saved_ratio = %v", got)
+	}
+	if got := ratioValue(t, d, "capacity.compression_saved_ratio"); got != 0.2 {
+		t.Fatalf("compression_saved_ratio = %v", got)
+	}
+	if got := ratioValue(t, d, "capacity.garbage_ratio"); got != 0.1 {
+		t.Fatalf("garbage_ratio = %v", got)
+	}
+	if got := ratioValue(t, d, "capacity.fp_occupancy"); got != 0.25 {
+		t.Fatalf("fp_occupancy = %v", got)
+	}
+}
+
+func TestCapacityRatiosZeroDenominators(t *testing.T) {
+	// An empty registry must derive all-zero ratios, never NaN or Inf —
+	// a fresh daemon's first scrape hits exactly this.
+	d := CapacityRatios(NewRegistry())
+	for _, name := range []string{
+		"capacity.reduction_ratio", "capacity.dedup_saved_ratio",
+		"capacity.compression_saved_ratio", "capacity.garbage_ratio",
+		"capacity.fp_occupancy",
+	} {
+		if got := ratioValue(t, d, name); got != 0 {
+			t.Fatalf("%s = %v on empty registry", name, got)
+		}
+	}
+}
+
+// Ratios derive from the cluster-merged counters: the merged view sums
+// per-group capacity.* series, and the ratio reflects the sums.
+func TestCapacityRatiosOverMergedView(t *testing.T) {
+	g0, g1 := NewRegistry(), NewRegistry()
+	g0.Counter("capacity.logical_bytes").Add(600)
+	g0.Counter("capacity.stored_bytes").Add(300)
+	g1.Counter("capacity.logical_bytes").Add(400)
+	g1.Counter("capacity.stored_bytes").Add(200)
+	d := CapacityRatios(Merged(g0, g1))
+	if got := ratioValue(t, d, "capacity.reduction_ratio"); got != 2 {
+		t.Fatalf("merged reduction_ratio = %v, want 2", got)
+	}
+}
+
+func TestJournalStatsGatherer(t *testing.T) {
+	j := events.NewJournal(2)
+	for i := 0; i < 3; i++ {
+		j.Append(events.Event{Type: events.TypeCheckpoint})
+	}
+	g := JournalStats(j)
+	if got := ratioValue(t, g, "events.appended"); got != 3 {
+		t.Fatalf("events.appended = %v", got)
+	}
+	if got := ratioValue(t, g, "events.dropped"); got != 1 {
+		t.Fatalf("events.dropped = %v", got)
+	}
+}

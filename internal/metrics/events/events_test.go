@@ -1,0 +1,86 @@
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestJournalRingOverwrite(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		seq := j.Append(Event{Type: TypeGCRun, Group: i})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	evs := j.Since(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest two were overwritten; the rest arrive oldest first.
+	for i, ev := range evs {
+		if want := uint64(i + 3); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.TimeUnixNano == 0 {
+			t.Fatal("append did not stamp a time")
+		}
+	}
+	appended, dropped := j.Stats()
+	if appended != 6 || dropped != 2 {
+		t.Fatalf("Stats = %d appended, %d dropped; want 6, 2", appended, dropped)
+	}
+	if got := j.Since(5); len(got) != 1 || got[0].Seq != 6 {
+		t.Fatalf("Since(5) = %+v", got)
+	}
+	if got := j.Since(6); len(got) != 0 {
+		t.Fatalf("Since(latest) returned %d events", len(got))
+	}
+}
+
+func TestJournalServeHTTP(t *testing.T) {
+	j := NewJournal(16)
+	j.Append(Event{Type: TypeGCRun, Fields: map[string]int64{"bytes_reclaimed": 7}})
+	j.Append(Event{Type: TypeCheckpoint})
+	j.Append(Event{Type: TypeGCRun})
+
+	get := func(query string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		j.ServeHTTP(rec, httptest.NewRequest("GET", "/events"+query, nil))
+		return rec
+	}
+	lines := func(rec *httptest.ResponseRecorder) []Event {
+		var out []Event
+		sc := bufio.NewScanner(strings.NewReader(rec.Body.String()))
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+			}
+			out = append(out, ev)
+		}
+		return out
+	}
+
+	if got := lines(get("")); len(got) != 3 || got[0].Fields["bytes_reclaimed"] != 7 {
+		t.Fatalf("unfiltered dump: %+v", got)
+	}
+	if got := lines(get("?type=gc_run")); len(got) != 2 {
+		t.Fatalf("type filter kept %d events", len(got))
+	}
+	if got := lines(get("?since=2")); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("since filter: %+v", got)
+	}
+	if got := lines(get("?n=1")); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("n keeps newest: %+v", got)
+	}
+	if rec := get("?since=notanumber"); rec.Code != 400 {
+		t.Fatalf("bad since accepted: %d", rec.Code)
+	}
+	if rec := get("?n=-1"); rec.Code != 400 {
+		t.Fatalf("bad n accepted: %d", rec.Code)
+	}
+}

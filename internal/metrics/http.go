@@ -20,6 +20,15 @@ type HandlerOptions struct {
 	Spans http.Handler
 	// SLO serves the error-budget dashboard (GET /slo); usually an *SLO.
 	SLO http.Handler
+	// Capacity serves the reduction-attribution ledger and GC advice
+	// (GET /capacity, JSON).
+	Capacity http.Handler
+	// CapacityContainers serves the container heatmap
+	// (GET /capacity/containers, JSON).
+	CapacityContainers http.Handler
+	// Events serves the structured event journal (GET /events, JSONL);
+	// usually an *events.Journal.
+	Events http.Handler
 	// Ready reports readiness for GET /readyz: 200 when true, 503
 	// otherwise. When nil, /readyz behaves like /healthz (always ready
 	// once serving).
@@ -74,6 +83,15 @@ func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 	if opt.SLO != nil {
 		mux.Handle("/slo", opt.SLO)
 	}
+	if opt.Capacity != nil {
+		mux.Handle("/capacity", opt.Capacity)
+	}
+	if opt.CapacityContainers != nil {
+		mux.Handle("/capacity/containers", opt.CapacityContainers)
+	}
+	if opt.Events != nil {
+		mux.Handle("/events", opt.Events)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -110,6 +128,15 @@ func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 		}
 		if opt.SLO != nil {
 			fmt.Fprintln(w, "  /slo                  SLO error budgets and burn rates (JSON)")
+		}
+		if opt.Capacity != nil {
+			fmt.Fprintln(w, "  /capacity             reduction attribution, garbage debt, GC advice (JSON)")
+		}
+		if opt.CapacityContainers != nil {
+			fmt.Fprintln(w, "  /capacity/containers  container heatmap by dead fraction and age (JSON)")
+		}
+		if opt.Events != nil {
+			fmt.Fprintln(w, "  /events               structured event journal (JSONL; ?since= ?type= ?n=)")
 		}
 		fmt.Fprintln(w, "  /healthz              liveness probe")
 		fmt.Fprintln(w, "  /readyz               readiness probe")

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"fidr/internal/metrics/events"
 )
 
 // SLO plane: declarative latency objectives per op class evaluated as
@@ -117,6 +119,11 @@ type SLO struct {
 	// Per-objective gauges, published when Instrument was called.
 	budget, burnFast, burnSlow, errRate []*Gauge
 
+	// journal receives breach-transition events when SetEventJournal was
+	// called; prevBreached tracks per-objective state so only edges emit.
+	journal      *events.Journal
+	prevBreached []bool
+
 	mu      sync.Mutex
 	samples []sloSample
 	next    int
@@ -195,15 +202,48 @@ func (s *SLO) Sample(at time.Time) {
 		s.full = true
 	}
 	s.mu.Unlock()
+	if s.budget == nil && s.journal == nil {
+		return
+	}
+	sts := s.Status()
 	if s.budget != nil {
-		for i, st := range s.Status() {
+		for i, st := range sts {
 			s.budget[i].Set(st.BudgetRemaining)
 			s.burnFast[i].Set(st.BurnFast)
 			s.burnSlow[i].Set(st.BurnSlow)
 			s.errRate[i].Set(st.ErrorRate)
 		}
 	}
+	if s.journal != nil {
+		if s.prevBreached == nil {
+			s.prevBreached = make([]bool, len(sts))
+		}
+		for i, st := range sts {
+			if st.Breached != s.prevBreached[i] {
+				typ := events.TypeSLOBreach
+				if !st.Breached {
+					typ = events.TypeSLORecover
+				}
+				s.journal.Append(events.Event{
+					Type:   typ,
+					Detail: st.Name,
+					Fields: map[string]int64{
+						"burn_fast_milli":   int64(st.BurnFast * 1000),
+						"burn_slow_milli":   int64(st.BurnSlow * 1000),
+						"err_rate_milli":    int64(st.ErrorRate * 1000),
+						"budget_left_milli": int64(st.BudgetRemaining * 1000),
+					},
+				})
+			}
+			s.prevBreached[i] = st.Breached
+		}
+	}
 }
+
+// SetEventJournal attaches a journal that receives slo_breach_begin /
+// slo_breach_end events on breach-state transitions (edges only, so a
+// sustained breach is one event, not one per tick).
+func (s *SLO) SetEventJournal(j *events.Journal) { s.journal = j }
 
 // Run ticks every interval until stop is closed (same contract as
 // Sampler.Run; fidrd drives both from one cadence).

@@ -1,0 +1,141 @@
+package proto
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fidr/internal/blockcomp"
+	"fidr/internal/core"
+)
+
+// maintStore adapts a single core.Server to the listener's optional
+// maintenance surfaces (the daemon's AsyncStore does this in production;
+// here the pass-through keeps the wire test focused on the protocol).
+type maintStore struct {
+	*core.Server
+	checkpoints int
+}
+
+func (m *maintStore) CompactAll(minDeadFraction float64) (CompactSummary, error) {
+	res, err := m.Server.Compact(minDeadFraction)
+	if err != nil {
+		return CompactSummary{}, err
+	}
+	return CompactSummary{
+		ContainersCompacted: uint64(res.ContainersCompacted),
+		ChunksMoved:         uint64(res.ChunksMoved),
+		ChunksDropped:       uint64(res.ChunksDropped),
+		BytesReclaimed:      res.BytesReclaimed,
+		BytesMoved:          res.BytesMoved,
+	}, nil
+}
+
+func (m *maintStore) CheckpointAll() error {
+	m.checkpoints++
+	return nil
+}
+
+func TestCompactAndCheckpointOverWire(t *testing.T) {
+	cfg := core.DefaultConfig(core.FIDRFull)
+	cfg.ContainerSize = 64 << 10
+	cfg.BatchChunks = 16
+	srv, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &maintStore{Server: srv}
+	l, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Build garbage: unique fill, then overwrite most LBAs.
+	sh := blockcomp.NewShaper(0.5)
+	for i := uint64(0); i < 128; i++ {
+		if err := c.WriteChunk(i, sh.Make(i, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 128; i++ {
+		if i%4 != 0 {
+			if err := c.WriteChunk(i, sh.Make(50000+i, 4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	sum, err := c.Compact(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ContainersCompacted == 0 || sum.BytesReclaimed == 0 {
+		t.Fatalf("wire compact reclaimed nothing: %+v", sum)
+	}
+	if want := sum.ContainersCompacted * uint64(cfg.ContainerSize); sum.BytesReclaimed != want {
+		t.Fatalf("BytesReclaimed %d, want %d containers * %d", sum.BytesReclaimed, sum.ContainersCompacted, cfg.ContainerSize)
+	}
+	if sum.ChunksDropped == 0 || sum.ChunksMoved == 0 {
+		t.Fatalf("expected drops and moves over the wire: %+v", sum)
+	}
+
+	// Data survives a wire-driven GC.
+	for i := uint64(0); i < 128; i++ {
+		want := sh.Make(i, 4096)
+		if i%4 != 0 {
+			want = sh.Make(50000+i, 4096)
+		}
+		got, err := c.ReadChunk(i)
+		if err != nil || string(got) != string(want) {
+			t.Fatalf("LBA %d corrupted after wire GC: %v", i, err)
+		}
+	}
+
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if store.checkpoints != 1 {
+		t.Fatalf("checkpoint reached the store %d times", store.checkpoints)
+	}
+}
+
+func TestCompactThresholdValidationOverWire(t *testing.T) {
+	srv, err := core.New(core.DefaultConfig(core.FIDRFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Serve(&maintStore{Server: srv}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	for _, bad := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := c.Compact(bad); err == nil || !strings.Contains(err.Error(), "threshold") {
+			t.Fatalf("threshold %v accepted: %v", bad, err)
+		}
+	}
+}
+
+func TestMaintenanceOpsOnPlainStore(t *testing.T) {
+	// A store without the optional surfaces must answer with a protocol
+	// error, not a dropped connection.
+	_, c := newTestListener(t)
+	if _, err := c.Compact(0.5); err == nil || !strings.Contains(err.Error(), "compaction") {
+		t.Fatalf("compact on plain store: %v", err)
+	}
+	if err := c.Checkpoint(); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("checkpoint on plain store: %v", err)
+	}
+}

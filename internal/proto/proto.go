@@ -47,6 +47,14 @@ const (
 	// little-endian uint32 count; the response is one OpData frame with
 	// the concatenated chunks.
 	OpReadBatch Op = 7
+	// OpCompact triggers a GC pass: the payload is the dead-fraction
+	// threshold as little-endian float64 bits. The ack payload carries
+	// five little-endian uint64s: containers compacted, chunks moved,
+	// chunks dropped, bytes reclaimed, bytes moved.
+	OpCompact Op = 8
+	// OpCheckpoint persists the metadata checkpoint and truncates the
+	// WAL (durable servers); empty payload both ways.
+	OpCheckpoint Op = 9
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +74,10 @@ func (o Op) String() string {
 		return "write-batch"
 	case OpReadBatch:
 		return "read-batch"
+	case OpCompact:
+		return "compact"
+	case OpCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -132,7 +144,7 @@ func Read(r io.Reader) (Frame, error) {
 	if n > MaxPayload {
 		return Frame{}, fmt.Errorf("proto: payload %d exceeds limit", n)
 	}
-	if f.Op < OpWrite || f.Op > OpReadBatch {
+	if f.Op < OpWrite || f.Op > OpCheckpoint {
 		return Frame{}, fmt.Errorf("proto: bad opcode %d", hdr[0])
 	}
 	if hdr[0]&opTraceFlag != 0 {

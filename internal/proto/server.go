@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -32,6 +33,31 @@ type TracedStore interface {
 	ReadRangeSpan(lba uint64, n int, sc span.Context) ([]byte, error)
 }
 
+// CompactSummary is the wire form of a GC pass result (one row per
+// OpCompact ack; mirrors core.CompactResult in fixed-width types).
+type CompactSummary struct {
+	ContainersCompacted uint64
+	ChunksMoved         uint64
+	ChunksDropped       uint64
+	BytesReclaimed      uint64
+	BytesMoved          uint64
+}
+
+// Compactor is the optional Store extension behind OpCompact: run one
+// GC pass at the given dead-fraction threshold across every group and
+// return the aggregate. The async front-end adapter implements it by
+// routing the pass through the worker that owns each server.
+type Compactor interface {
+	CompactAll(minDeadFraction float64) (CompactSummary, error)
+}
+
+// Checkpointer is the optional Store extension behind OpCheckpoint:
+// persist the metadata checkpoint and truncate the WAL on every
+// durable group.
+type Checkpointer interface {
+	CheckpointAll() error
+}
+
 // Listener serves the storage protocol over TCP in front of a chunk
 // store. The core server is single-writer; by default the listener
 // serializes requests across connections (as the FIDR software's
@@ -40,7 +66,9 @@ type TracedStore interface {
 // WithConcurrentStore.
 type Listener struct {
 	srv    Store
-	traced TracedStore // srv's traced surface, nil when unsupported
+	traced TracedStore  // srv's traced surface, nil when unsupported
+	comp   Compactor    // srv's GC surface, nil when unsupported
+	chkpt  Checkpointer // srv's checkpoint surface, nil when unsupported
 	mu     sync.Mutex
 	serial bool
 	ln     net.Listener
@@ -88,6 +116,8 @@ func Serve(srv Store, addr string, opts ...ServeOption) (*Listener, error) {
 	}
 	l := &Listener{srv: srv, ln: ln, serial: true, closed: make(chan struct{}), logf: log.Printf}
 	l.traced, _ = srv.(TracedStore)
+	l.comp, _ = srv.(Compactor)
+	l.chkpt, _ = srv.(Checkpointer)
 	for _, opt := range opts {
 		opt(l)
 	}
@@ -263,6 +293,36 @@ func (l *Listener) dispatch(f Frame, sc span.Context) Frame {
 			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
 		}
 		return Frame{Op: OpData, LBA: f.LBA, Payload: data}
+	case OpCompact:
+		if l.comp == nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("store does not support compaction")}
+		}
+		if len(f.Payload) != 8 {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("compact payload must be float64 threshold bits")}
+		}
+		th := math.Float64frombits(binary.LittleEndian.Uint64(f.Payload))
+		if math.IsNaN(th) || th < 0 || th > 1 {
+			return Frame{Op: OpError, LBA: f.LBA,
+				Payload: []byte(fmt.Sprintf("compact threshold %v outside [0,1]", th))}
+		}
+		sum, err := l.comp.CompactAll(th)
+		if err != nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
+		}
+		p := make([]byte, 40)
+		for i, v := range []uint64{sum.ContainersCompacted, sum.ChunksMoved,
+			sum.ChunksDropped, sum.BytesReclaimed, sum.BytesMoved} {
+			binary.LittleEndian.PutUint64(p[i*8:], v)
+		}
+		return Frame{Op: OpAck, LBA: f.LBA, Payload: p}
+	case OpCheckpoint:
+		if l.chkpt == nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("store does not support checkpointing")}
+		}
+		if err := l.chkpt.CheckpointAll(); err != nil {
+			return Frame{Op: OpError, LBA: f.LBA, Payload: []byte(err.Error())}
+		}
+		return Frame{Op: OpAck, LBA: f.LBA}
 	default:
 		return Frame{Op: OpError, LBA: f.LBA, Payload: []byte("unexpected opcode")}
 	}
@@ -358,6 +418,47 @@ func (c *Client) ReadBatch(lba uint64, count int) ([]byte, error) {
 		return nil, fmt.Errorf("proto: unexpected response %v", resp.Op)
 	}
 	return resp.Payload, nil
+}
+
+// Compact asks the server for one GC pass at the given dead-fraction
+// threshold and returns the aggregate result.
+func (c *Client) Compact(minDeadFraction float64) (CompactSummary, error) {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], math.Float64bits(minDeadFraction))
+	resp, err := c.roundTrip(Frame{Op: OpCompact, Payload: payload[:]})
+	if err != nil {
+		return CompactSummary{}, err
+	}
+	if resp.Op == OpError {
+		return CompactSummary{}, fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpAck || len(resp.Payload) != 40 {
+		return CompactSummary{}, fmt.Errorf("proto: unexpected compact response %v (%d bytes)", resp.Op, len(resp.Payload))
+	}
+	u := func(i int) uint64 { return binary.LittleEndian.Uint64(resp.Payload[i*8:]) }
+	return CompactSummary{
+		ContainersCompacted: u(0),
+		ChunksMoved:         u(1),
+		ChunksDropped:       u(2),
+		BytesReclaimed:      u(3),
+		BytesMoved:          u(4),
+	}, nil
+}
+
+// Checkpoint asks the server to persist its metadata checkpoint and
+// truncate the WAL.
+func (c *Client) Checkpoint() error {
+	resp, err := c.roundTrip(Frame{Op: OpCheckpoint})
+	if err != nil {
+		return err
+	}
+	if resp.Op == OpError {
+		return fmt.Errorf("proto: server: %s", resp.Payload)
+	}
+	if resp.Op != OpAck {
+		return fmt.Errorf("proto: unexpected response %v", resp.Op)
+	}
+	return nil
 }
 
 // tracedTrip mints a sampled trace context, rides it on the request,
