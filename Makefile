@@ -1,23 +1,39 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet race check check-metrics check-crash check-trace check-capacity fmt bench bench-archival bench-tracing bench-capacity bench-go microbench
+.PHONY: all build test vet lint race check check-metrics check-crash check-trace check-capacity check-doctor fmt bench bench-archival bench-tracing bench-capacity bench-go microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
 BENCH_IOS ?= 20000
 BENCH_OUT ?= bench-artifacts
 
+# Build stamping for the build_info metric: released binaries carry the
+# tag and commit, dirty trees fall back to dev/none so builds still
+# work outside a git checkout.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo none)
+LDFLAGS := -X main.buildVersion=$(VERSION) -X main.buildCommit=$(COMMIT)
+
 all: check
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is installed (CI installs it; local
+# trees without it skip with a notice rather than failing the build).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -57,6 +73,15 @@ check-trace:
 check-capacity:
 	$(GO) test -v -run TestCapacityE2E ./cmd/fidrd
 
+# check-doctor boots a fidrd with the flight recorder armed and a tight
+# watchdog, injects an async-worker stall through the -debug-hooks test
+# endpoint, and asserts the watchdog trips (watchdog_stall event), the
+# recorder captures an on-disk snapshot served at /debug/bundle, and
+# `fidrcli doctor` flags the stall (non-zero exit) then reports healthy
+# after recovery.
+check-doctor:
+	$(GO) test -v -run TestDoctorE2E ./cmd/fidrd
+
 # bench writes machine-readable BENCH_<experiment>.json artifacts
 # (throughput, reduction ratios, p50/p90/p99 stage latencies).
 bench:
@@ -94,4 +119,4 @@ microbench:
 
 # check is the pre-commit bundle: tier-1 plus static analysis and the
 # race detector over the whole module.
-check: build test vet race
+check: build test lint race

@@ -3,9 +3,11 @@ package fidr
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fidr/internal/metrics"
+	"fidr/internal/metrics/health"
 	"fidr/internal/trace/span"
 )
 
@@ -43,6 +45,12 @@ type Async struct {
 	queues []chan asyncReq
 	route  func(lba uint64) int
 	wg     sync.WaitGroup
+
+	// hbs holds one liveness heartbeat per worker; the health plane's
+	// watchdog probes them. completed counts finished requests across
+	// all workers (the progress signal for stuck-queue detection).
+	hbs       []*health.Heartbeat
+	completed atomic.Uint64
 
 	// Front-end metrics; nil until EnableObservability.
 	writes, reads *metrics.Counter
@@ -86,19 +94,81 @@ func NewAsync(s Store, depth int) (*Async, error) {
 	a := &Async{}
 	if c, ok := s.(*Cluster); ok {
 		a.queues = make([]chan asyncReq, c.Groups())
+		a.hbs = make([]*health.Heartbeat, c.Groups())
 		a.route = c.GroupFor
 		for i := range a.queues {
 			a.queues[i] = make(chan asyncReq, depth)
+			a.hbs[i] = &health.Heartbeat{}
 			a.wg.Add(1)
-			go a.worker(c.Group(i), a.queues[i])
+			go a.worker(c.Group(i), a.queues[i], a.hbs[i])
 		}
 		return a, nil
 	}
 	a.queues = []chan asyncReq{make(chan asyncReq, depth)}
+	a.hbs = []*health.Heartbeat{{}}
 	a.route = func(uint64) int { return 0 }
 	a.wg.Add(1)
-	go a.worker(s, a.queues[0])
+	go a.worker(s, a.queues[0], a.hbs[0])
 	return a, nil
+}
+
+// Workers reports the worker (and queue) count: one for a Server, one
+// per device group for a Cluster.
+func (a *Async) Workers() int { return len(a.queues) }
+
+// WorkerHeartbeat returns worker i's liveness heartbeat for watchdog
+// probing (health.HeartbeatProbe).
+func (a *Async) WorkerHeartbeat(i int) *health.Heartbeat { return a.hbs[i] }
+
+// QueueDepth reports queue i's current depth (requests waiting plus
+// being picked up), the companion signal for health.ProgressProbe.
+func (a *Async) QueueDepth(i int) int { return len(a.queues[i]) }
+
+// Completed reports the total requests finished by all workers since
+// start (monotonic; the progress counter for stuck-queue probes).
+func (a *Async) Completed() uint64 { return a.completed.Load() }
+
+// DepthGatherer exposes per-worker queue depths as gauges
+// (async.queue_depth.g<i>), derived at scrape time. Like all
+// process-wide health series it belongs once at the top of a composed
+// view, not inside group registries.
+func (a *Async) DepthGatherer() metrics.Gatherer {
+	return metrics.GathererFunc(func() []metrics.Metric {
+		out := make([]metrics.Metric, len(a.queues))
+		for i := range a.queues {
+			out[i] = metrics.Metric{
+				Kind: "gauge", Name: fmt.Sprintf("async.queue_depth.g%d", i),
+				Value: float64(len(a.queues[i])),
+			}
+		}
+		return out
+	})
+}
+
+// InjectStall is a test hook: it enqueues a maintenance op on worker
+// 0's queue that sleeps for d, simulating a wedged worker (the
+// heartbeat stays busy without beating, queued work stops draining).
+// Non-blocking: a full queue returns an error instead of deadlocking
+// the caller. The result channel is drained internally.
+//
+// It exists for the watchdog's end-to-end test (fidrd -debug-hooks
+// exposes it as POST /debug/stall) and must never be reachable in
+// production configurations.
+func (a *Async) InjectStall(d time.Duration) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("fidr: async store closed")
+	}
+	q := a.queues[0]
+	a.mu.Unlock()
+	done := make(chan AsyncResult, 1)
+	select {
+	case q <- asyncReq{fn: func(Store) error { time.Sleep(d); return nil }, done: done}:
+		return nil
+	default:
+		return fmt.Errorf("fidr: queue full, stall not injected")
+	}
 }
 
 // EnableObservability registers the front-end's own series on reg:
@@ -118,16 +188,25 @@ func (a *Async) EnableObservability(reg *metrics.Registry) {
 // Call before submitting traffic.
 func (a *Async) SetSpanCollector(col *span.Collector) { a.col = col }
 
-func (a *Async) worker(s Store, q chan asyncReq) {
+func (a *Async) worker(s Store, q chan asyncReq, hb *health.Heartbeat) {
 	defer a.wg.Done()
 	ts, traced := s.(tracedStore)
 	for req := range q {
 		if req.fn != nil {
 			// Maintenance op: runs with the worker between requests, so
-			// it owns the store exactly like a write does.
+			// it owns the store exactly like a write does. It is bracketed
+			// by the heartbeat too — a hung GC or checkpoint is exactly
+			// the stall the watchdog exists to catch.
+			hb.Begin("")
 			req.done <- AsyncResult{Err: req.fn(s)}
+			hb.End()
 			continue
 		}
+		var traceID string
+		if req.ctx.Valid() {
+			traceID = req.ctx.Trace.String()
+		}
+		hb.Begin(traceID)
 		wait := time.Since(req.submit)
 		if a.queueWaitNS != nil {
 			a.queueWaitNS.Observe(float64(wait.Nanoseconds()))
@@ -171,6 +250,8 @@ func (a *Async) worker(s Store, q chan asyncReq) {
 		if a.inflight != nil {
 			a.inflight.Add(-1)
 		}
+		a.completed.Add(1)
+		hb.End()
 		req.done <- res
 	}
 	// Drain point: each worker flushes its own store on shutdown;

@@ -15,6 +15,7 @@
 //	fidrcli top    -metrics-addr host:9401 [-interval 2s] [-n 0]
 //	fidrcli capacity -metrics-addr host:9401 [-threshold 0.25]
 //	fidrcli events -metrics-addr host:9401 [-follow] [-type gc_run]
+//	fidrcli doctor -metrics-addr host:9401 [-fsync-p99 100ms]
 //	fidrcli gc     -addr host:9400 [-threshold 0.25]
 //	fidrcli checkpoint -addr host:9400
 //
@@ -37,10 +38,21 @@
 // checkpoint speak the storage protocol (OpCompact/OpCheckpoint) to run
 // a GC pass at -threshold dead fraction or persist a metadata
 // checkpoint on a live server.
+//
+// doctor pulls the live health evidence — /metrics, /metrics/series,
+// the event journal tail, and the flight-recorder bundle inventory —
+// runs the local checks from internal/metrics/health over it and
+// prints a pass/warn/fail report. It exits non-zero when any check
+// FAILs, so it drops straight into scripts and CI gates; -fsync-p99
+// sets the WAL fsync latency objective the checks compare against.
 package main
 
 import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +66,7 @@ import (
 
 	"fidr"
 	"fidr/internal/metrics"
+	"fidr/internal/metrics/health"
 	"fidr/internal/proto"
 	"fidr/internal/trace"
 	"fidr/internal/trace/span"
@@ -79,6 +92,7 @@ func main() {
 	threshold := fs.Float64("threshold", 0.25, "GC dead-fraction threshold (capacity, gc)")
 	follow := fs.Bool("follow", false, "keep polling for new events (events)")
 	evType := fs.String("type", "", "filter events by type, e.g. gc_run (events)")
+	fsyncP99 := fs.Duration("fsync-p99", 100*time.Millisecond, "WAL fsync p99 objective (doctor)")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -103,6 +117,8 @@ func main() {
 		err = capacity(*maddr, *threshold)
 	case "events":
 		err = eventsCmd(*maddr, *evType, *follow, *interval)
+	case "doctor":
+		err = doctor(*maddr, *fsyncP99)
 	case "put", "get", "replay", "gc", "checkpoint":
 		var c *proto.Client
 		c, err = proto.Dial(*addr)
@@ -131,9 +147,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|trace|slow|slo|top|capacity|events|gc|checkpoint [flags]  (see -h per command)")
+	fmt.Fprintln(os.Stderr, "usage: fidrcli put|get|replay|stats|traces|trace|slow|slo|top|capacity|events|doctor|gc|checkpoint [flags]  (see -h per command)")
 	os.Exit(2)
 }
+
+// transientErr marks fetch failures worth retrying: an unreachable
+// endpoint (daemon restarting, listen queue full) or a 5xx response.
+// 4xx responses mean the request itself is wrong and fail immediately.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
 
 // fetch GETs one path from the server's metrics endpoint. Errors carry
 // enough context to act on: an unreachable endpoint names the address
@@ -145,18 +169,56 @@ func fetch(addr, path string) (string, error) {
 	}
 	resp, err := http.Get(addr + path)
 	if err != nil {
-		return "", fmt.Errorf("metrics endpoint %s unreachable (is fidrd running with -metrics-addr?): %w", addr, err)
+		return "", &transientErr{fmt.Errorf("metrics endpoint %s unreachable (is fidrd running with -metrics-addr?): %w", addr, err)}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return "", err
+		return "", &transientErr{err}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("GET %s%s: %s: %s", addr, path, resp.Status, strings.TrimSpace(string(body)))
+		err := fmt.Errorf("GET %s%s: %s: %s", addr, path, resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 500 {
+			return "", &transientErr{err}
+		}
+		return "", err
 	}
 	return string(body), nil
 }
+
+// fetchRetry wraps fetch with bounded exponential backoff (100ms
+// doubling per attempt) for the long-running views: a daemon restart
+// mid `top` or `events -follow` should ride through a few failed
+// polls rather than kill a dashboard that has been up for hours. Only
+// transient failures are retried; the final error names how many
+// attempts were made.
+func fetchRetry(addr, path string, attempts int) (string, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := 100 * time.Millisecond
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var body string
+		body, err = fetch(addr, path)
+		if err == nil {
+			return body, nil
+		}
+		var te *transientErr
+		if !errors.As(err, &te) {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("giving up after %d attempts: %w", attempts, err)
+}
+
+// retryAttempts bounds fetchRetry for the polling commands: worst case
+// ~3s of backoff before giving up with a clear error.
+const retryAttempts = 5
 
 // statLine is one parsed dump line.
 type statLine struct {
@@ -423,13 +485,20 @@ func eventsCmd(addr, typ string, follow bool, interval time.Duration) error {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
+	// One-shot mode fails fast; -follow rides through transient fetch
+	// errors with bounded backoff so a daemon restart doesn't kill the
+	// tail.
+	attempts := 1
+	if follow {
+		attempts = retryAttempts
+	}
 	var since uint64
 	for {
 		path := fmt.Sprintf("/events?since=%d", since)
 		if typ != "" {
 			path += "&type=" + typ
 		}
-		body, err := fetch(addr, path)
+		body, err := fetchRetry(addr, path, attempts)
 		if err != nil {
 			return err
 		}
@@ -477,6 +546,88 @@ func renderEvent(ev fidr.Event) string {
 	return b.String()
 }
 
+// doctor gathers the live health evidence and renders the check
+// report. /metrics is mandatory — without it there is nothing to
+// diagnose — while the series window, event journal and flight-recorder
+// bundle degrade to SKIP/WARN verdicts when unavailable, so the doctor
+// still works against a daemon that predates those endpoints. Any FAIL
+// verdict surfaces as a non-nil error, which main turns into a non-zero
+// exit for scripts and CI gates.
+func doctor(addr string, fsyncP99 time.Duration) error {
+	in := health.DoctorInput{FsyncP99Max: fsyncP99}
+
+	body, err := fetch(addr, "/metrics")
+	if err != nil {
+		return err
+	}
+	in.Metrics = metrics.ParseMetricsText(body)
+
+	if body, err := fetch(addr, "/metrics/series"); err == nil {
+		if jerr := json.Unmarshal([]byte(body), &in.Series); jerr != nil {
+			fmt.Fprintf(os.Stderr, "doctor: parse /metrics/series: %v\n", jerr)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "doctor: %v\n", err)
+	}
+
+	if body, err := fetch(addr, "/events"); err == nil {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var ev fidr.Event
+			if jerr := json.Unmarshal([]byte(line), &ev); jerr == nil {
+				in.Events = append(in.Events, ev)
+			}
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "doctor: %v\n", err)
+	}
+
+	if body, err := fetch(addr, "/debug/bundle"); err == nil {
+		in.Snapshots, in.BundleErr = bundleSnapshots([]byte(body))
+	} else if strings.Contains(err.Error(), "flight recorder disabled") {
+		in.BundleErr = "disabled"
+	} else {
+		in.BundleErr = err.Error()
+	}
+
+	fails, _ := health.RenderDoctor(os.Stdout, health.Diagnose(in))
+	if fails > 0 {
+		return fmt.Errorf("%d check(s) failed", fails)
+	}
+	return nil
+}
+
+// bundleSnapshots lists the snapshot directories inside a
+// flight-recorder bundle (a tar.gz whose entries are
+// <snapshot>/<artifact> paths) without unpacking it to disk.
+func bundleSnapshots(bundle []byte) (names []string, errText string) {
+	gz, err := gzip.NewReader(bytes.NewReader(bundle))
+	if err != nil {
+		return nil, "bad bundle gzip: " + err.Error()
+	}
+	defer gz.Close()
+	seen := map[string]bool{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return names, "bad bundle tar: " + err.Error()
+		}
+		dir, _, ok := strings.Cut(strings.TrimPrefix(hdr.Name, "./"), "/")
+		if ok && dir != "" && !seen[dir] {
+			seen[dir] = true
+			names = append(names, dir)
+		}
+	}
+	sort.Strings(names)
+	return names, ""
+}
+
 // gc asks the server to run a compaction pass over every group at the
 // given dead-fraction threshold and prints what it reclaimed.
 func gc(c *proto.Client, threshold float64) error {
@@ -509,7 +660,7 @@ func top(addr string, interval time.Duration, frames int) error {
 		interval = 2 * time.Second
 	}
 	for i := 0; ; i++ {
-		body, err := fetch(addr, "/metrics/series")
+		body, err := fetchRetry(addr, "/metrics/series", retryAttempts)
 		if err != nil {
 			return err
 		}

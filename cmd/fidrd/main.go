@@ -6,6 +6,8 @@
 //	fidrd [-addr :9400] [-arch fidr|fidr-nic|baseline] [-batch 64]
 //	      [-groups 1] [-metrics-addr :9401] [-metrics-interval 10s]
 //	      [-events 1024] [-gc-threshold 0.25] [-pprof]
+//	      [-health-dir DIR] [-health-snapshots 8] [-health-profile 0]
+//	      [-watchdog-interval 250ms] [-watchdog-deadline 2s]
 //
 // With -groups N > 1 the daemon serves a §5.6 scale-out cluster: N
 // device groups, each a full server, with client LBAs sharded across
@@ -58,6 +60,23 @@
 // -metrics-interval the daemon also logs a one-line summary
 // periodically. On SIGINT or SIGTERM the server flushes open containers
 // and reports reduction and resource statistics.
+//
+// The runtime health plane watches the daemon itself. Go runtime
+// metrics (goroutines, heap, GC pause and scheduler-latency histograms)
+// join the metrics view under "runtime.*", next to a labeled build_info
+// gauge. A watchdog probes subsystem liveness every -watchdog-interval:
+// per-worker async heartbeats and stuck queues, in-flight WAL fsyncs,
+// and the protocol accept loop; a probe past -watchdog-deadline emits a
+// watchdog_stall event into /events (with the stalled request's trace
+// ID when sampled) and, when -health-dir is set, trips the black-box
+// flight recorder — a bounded ring of -health-snapshots on-disk
+// diagnostic snapshots (goroutine dump, metrics, event tail, slow
+// traces, and a CPU+mutex profile of -health-profile length when > 0),
+// captured on watchdog trips and SLO breach edges and served as a
+// tarball at /debug/bundle. `fidrcli doctor` fetches all of it and
+// renders a pass/warn/fail report. -debug-hooks additionally mounts
+// POST /debug/stall?d=2s (inject an async-worker stall; test harnesses
+// only, never production).
 package main
 
 import (
@@ -69,6 +88,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -77,9 +97,21 @@ import (
 	"fidr/internal/core"
 	"fidr/internal/hostmodel"
 	"fidr/internal/metrics"
+	"fidr/internal/metrics/health"
 	"fidr/internal/proto"
 	"fidr/internal/ssd"
 	"fidr/internal/trace/span"
+)
+
+// Build identity, stamped by the Makefile:
+//
+//	go build -ldflags "-X main.buildVersion=... -X main.buildCommit=..."
+//
+// Plain `go build` leaves the dev/none defaults, so the binary always
+// has a truthful build_info gauge.
+var (
+	buildVersion = "dev"
+	buildCommit  = "none"
 )
 
 func main() {
@@ -110,6 +142,12 @@ func main() {
 	eventsCap := flag.Int("events", 1024, "structured events kept for /events")
 	gcThreshold := flag.Float64("gc-threshold", 0.25, "default dead-fraction threshold for /capacity GC advice (override per scrape with ?threshold=)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-addr")
+	healthDir := flag.String("health-dir", "", "flight-recorder snapshot directory; empty = recorder disabled")
+	healthSnapshots := flag.Int("health-snapshots", 8, "diagnostic snapshots retained in -health-dir")
+	healthProfile := flag.Duration("health-profile", 0, "CPU+mutex profile length captured into each snapshot; 0 = no profiles")
+	watchdogInterval := flag.Duration("watchdog-interval", 250*time.Millisecond, "liveness probe cadence")
+	watchdogDeadline := flag.Duration("watchdog-deadline", 2*time.Second, "liveness deadline before a probe reports a stall")
+	debugHooks := flag.Bool("debug-hooks", false, "mount fault-injection hooks (POST /debug/stall) on -metrics-addr; test harnesses only")
 	flag.Parse()
 
 	var a fidr.Arch
@@ -150,6 +188,10 @@ func main() {
 		traceFn  func() string
 		slowFn   func() string
 		shutdown func()
+		// wals collects every group-local log so the health watchdog can
+		// probe in-flight fsyncs (one entry per group, or one total in
+		// single-server mode).
+		wals []*core.WAL
 	)
 	if *groups > 1 {
 		if *dataFile != "" || *tableFile != "" || *recover {
@@ -169,6 +211,7 @@ func main() {
 				if werr := w.Reset(); werr != nil {
 					return nil, werr
 				}
+				wals = append(wals, w)
 				return w, nil
 			})
 		} else {
@@ -210,6 +253,7 @@ func main() {
 			}
 			cfg.WAL = w
 			wal = w
+			wals = append(wals, w)
 		}
 		var srv *fidr.Server
 		var err error
@@ -274,7 +318,68 @@ func main() {
 	if err != nil {
 		log.Fatalf("fidrd: %v", err)
 	}
-	view = metrics.Multi(view, front, metrics.JournalStats(journal))
+	// Health plane, part 1: the process-wide series. The runtime bridge,
+	// build_info and queue-depth gauges are mounted exactly once at the
+	// top of the composed view — never inside the per-group registries —
+	// so cluster merge semantics cannot multiply process-wide gauges.
+	view = metrics.Multi(view, front, metrics.JournalStats(journal),
+		health.Runtime(), health.BuildInfo(buildVersion, buildCommit),
+		async.DepthGatherer())
+
+	// Health plane, part 2: subsystem liveness. One heartbeat probe and
+	// one stuck-queue probe per async worker, one fsync-deadline probe
+	// per WAL; the accept-loop probe joins after the listener is up.
+	watchdog := health.NewWatchdog()
+	watchdog.Instrument(front)
+	watchdog.SetEventJournal(journal)
+	for i := 0; i < async.Workers(); i++ {
+		watchdog.Add(health.HeartbeatProbe(
+			fmt.Sprintf("async.worker.g%d", i), async.WorkerHeartbeat(i), *watchdogDeadline))
+		watchdog.Add(health.ProgressProbe(
+			fmt.Sprintf("async.queue.g%d", i), *watchdogDeadline,
+			func() int { return async.QueueDepth(i) }, async.Completed))
+	}
+	for i, w := range wals {
+		deadline := *watchdogDeadline
+		watchdog.Add(health.FuncProbe(
+			fmt.Sprintf("wal.fsync.g%d", i), deadline, func() (bool, string) {
+				d, inFlight := w.FsyncInFlight(time.Now())
+				if !inFlight || d <= deadline {
+					return false, ""
+				}
+				return true, "fsync in flight for " + d.Round(time.Millisecond).String()
+			}))
+	}
+
+	// Health plane, part 3: the black-box flight recorder, armed when
+	// -health-dir names a snapshot directory. Captures run off the
+	// watchdog/SLO goroutines so probe cadence never blocks on disk.
+	var recorder *health.Recorder
+	if *healthDir != "" {
+		var rerr error
+		recorder, rerr = health.NewRecorder(health.RecorderOptions{
+			Dir:             *healthDir,
+			MaxSnapshots:    *healthSnapshots,
+			ProfileDuration: *healthProfile,
+			Gatherer:        view,
+			Journal:         journal,
+			Slow:            slowFn,
+			Build: map[string]string{
+				"version": buildVersion, "commit": buildCommit,
+			},
+		})
+		if rerr != nil {
+			log.Fatalf("fidrd: %v", rerr)
+		}
+		recorder.Instrument(front)
+		watchdog.OnStall(func(probe, detail, trace string) {
+			go func() {
+				if _, err := recorder.Trigger(probe, detail, trace); err != nil {
+					log.Printf("fidrd: snapshot: %v", err)
+				}
+			}()
+		})
+	}
 
 	// SLO plane: latency objectives over the request-class histograms,
 	// refreshed on the series cadence.
@@ -289,6 +394,17 @@ func main() {
 	slo := metrics.NewSLO(view, objs, *seriesSamples)
 	slo.Instrument(front)
 	slo.SetEventJournal(journal)
+	if recorder != nil {
+		// An SLO breach is the other flight-recorder trigger: capture the
+		// evidence while the burn is still visible in the histograms.
+		slo.OnBreach(func(objective string) {
+			go func() {
+				if _, err := recorder.Trigger("slo."+objective, "error budget breached", ""); err != nil {
+					log.Printf("fidrd: snapshot: %v", err)
+				}
+			}()
+		})
+	}
 	stopSLO := make(chan struct{})
 	defer close(stopSLO)
 	go slo.Run(*seriesInterval, stopSLO)
@@ -307,6 +423,15 @@ func main() {
 		log.Fatalf("fidrd: %v", err)
 	}
 	ready.Store(true)
+	watchdog.Add(health.FuncProbe("proto.accept", *watchdogDeadline, func() (bool, string) {
+		if l.Accepting() {
+			return false, ""
+		}
+		return true, "accept loop not running"
+	}))
+	stopWatchdog := make(chan struct{})
+	defer close(stopWatchdog)
+	go watchdog.Run(*watchdogInterval, stopWatchdog)
 	if *groups > 1 {
 		log.Printf("fidrd: %s cluster (%d groups) listening on %s", a, *groups, l.Addr())
 	} else {
@@ -323,11 +448,15 @@ func main() {
 		// ahead of it — bounded by the queue depth.
 		capacityHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			th := *gcThreshold
-			if q := r.URL.Query().Get("threshold"); q != "" {
-				if _, err := fmt.Sscanf(q, "%g", &th); err != nil || th < 0 || th > 1 {
-					http.Error(w, "bad threshold (want a fraction in [0,1])", http.StatusBadRequest)
+			if q := r.URL.Query(); q.Has("threshold") {
+				// strconv, not Sscanf: "0.5x" must be a 400, not a
+				// silently truncated 0.5.
+				v, err := strconv.ParseFloat(q.Get("threshold"), 64)
+				if err != nil || v < 0 || v > 1 {
+					metrics.HTTPBadParam(w, "threshold", q.Get("threshold"), "fraction in [0,1]")
 					return
 				}
+				th = v
 			}
 			rep, err := store.CapacityReport(th)
 			if err != nil {
@@ -346,6 +475,16 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(hm)
 		})
+		// /debug/bundle always answers: the recorder when armed, a 503
+		// that says how to arm it otherwise (so fidrcli doctor can tell
+		// "disabled" apart from "unreachable").
+		bundleHandler := http.Handler(recorder)
+		if recorder == nil {
+			bundleHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "flight recorder disabled; restart fidrd with -health-dir",
+					http.StatusServiceUnavailable)
+			})
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/", metrics.Handler(view, metrics.HandlerOptions{
 			Traces:             traceFn,
@@ -356,11 +495,35 @@ func main() {
 			Capacity:           capacityHandler,
 			CapacityContainers: heatmapHandler,
 			Events:             journal,
+			DebugBundle:        bundleHandler,
 			Ready:              ready.Load,
 		}))
 		if *pprofFlag {
 			// net/http/pprof registers on the default mux at import.
 			mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		}
+		if *debugHooks {
+			// Fault injection for the watchdog's end-to-end test: wedge
+			// async worker 0 for ?d= (default 3s). Gated behind an explicit
+			// flag so production deployments can never reach it.
+			mux.HandleFunc("/debug/stall", func(w http.ResponseWriter, r *http.Request) {
+				d := 3 * time.Second
+				if q := r.URL.Query(); q.Has("d") {
+					v, err := time.ParseDuration(q.Get("d"))
+					if err != nil || v <= 0 {
+						metrics.HTTPBadParam(w, "d", q.Get("d"), "positive Go duration (e.g. 3s)")
+						return
+					}
+					d = v
+				}
+				if err := async.InjectStall(d); err != nil {
+					http.Error(w, err.Error(), http.StatusConflict)
+					return
+				}
+				log.Printf("fidrd: debug hook: injected %v stall on async worker 0", d)
+				fmt.Fprintf(w, "stalled worker 0 for %v\n", d)
+			})
+			log.Print("fidrd: -debug-hooks active: /debug/stall is mounted (never use in production)")
 		}
 		go func() {
 			log.Printf("fidrd: metrics on http://%s/metrics", *metricsAddr)

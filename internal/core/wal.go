@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fidr/internal/fingerprint"
@@ -204,6 +205,11 @@ type WAL struct {
 	obsAppended, obsReplayed *metrics.Counter
 	obsFsync                 *metrics.Histogram
 	obsPending, obsBytes     *metrics.Gauge
+
+	// fsyncStartNS is the wall-clock start of the in-flight device Sync,
+	// 0 when none is running. The health plane's fsync-deadline watchdog
+	// reads it via FsyncInFlight without taking any WAL locks.
+	fsyncStartNS atomic.Int64
 }
 
 // NewWAL opens a WAL over dev, scanning any existing records to find the
@@ -276,6 +282,23 @@ func (w *WAL) Instrument(reg *metrics.Registry) {
 	w.obsReplayed.Add(st.ReplayedRecords)
 	w.obsPending.Set(float64(st.PendingRecords))
 	w.obsBytes.Set(float64(st.DurableBytes))
+}
+
+// FsyncInFlight reports whether a device Sync is running right now and
+// for how long. Lock-free (one atomic load), so the health watchdog can
+// probe it on every tick without touching the commit path: a Sync that
+// has been in flight past the probe deadline means the WAL device is
+// hung, the stall the flight recorder most wants evidence of.
+func (w *WAL) FsyncInFlight(now time.Time) (time.Duration, bool) {
+	start := w.fsyncStartNS.Load()
+	if start == 0 {
+		return 0, false
+	}
+	d := now.Sub(time.Unix(0, start))
+	if d < 0 {
+		d = 0
+	}
+	return d, true
 }
 
 // Stats snapshots log counters.
@@ -367,7 +390,10 @@ func (w *WAL) commit(durableContainers uint64) error {
 		return fmt.Errorf("core: wal append: short write (%d of %d bytes)", wrote, len(buf))
 	}
 	t0 := time.Now()
-	if err := w.dev.Sync(); err != nil {
+	w.fsyncStartNS.Store(t0.UnixNano())
+	err = w.dev.Sync()
+	w.fsyncStartNS.Store(0)
+	if err != nil {
 		return fmt.Errorf("core: wal sync: %w", err)
 	}
 	syncNS := time.Since(t0).Nanoseconds()

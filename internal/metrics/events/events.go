@@ -29,6 +29,13 @@ const (
 	TypeRebalance   = "rebalance"
 	TypeSLOBreach   = "slo_breach_begin"
 	TypeSLORecover  = "slo_breach_end"
+
+	// Health-plane types: a watchdog probe crossing its deadline, the
+	// matching recovery edge, and a flight-recorder snapshot landing on
+	// disk.
+	TypeWatchdogStall   = "watchdog_stall"
+	TypeWatchdogRecover = "watchdog_recover"
+	TypeSnapshot        = "health_snapshot"
 )
 
 // Event is one journal record. Fields carries the type-specific
@@ -116,24 +123,42 @@ func (j *Journal) Since(seq uint64) []Event {
 	return out
 }
 
+// badParam mirrors metrics.HTTPBadParam (this package stays
+// stdlib-only, so the ten lines are duplicated rather than imported):
+// 400 with a JSON body naming the parameter, value and expected shape.
+func badParam(w http.ResponseWriter, param, got, want string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		Param string `json:"param"`
+		Got   string `json:"got"`
+		Want  string `json:"want"`
+	}{"bad query parameter", param, got, want})
+}
+
 // ServeHTTP serves the journal as JSONL (one event per line, newest
 // last). Query parameters:
 //
 //	since  only events with seq > since (enables tailing)
 //	type   only events of this type
 //	n      only the newest n matching events
+//
+// Malformed values — including present-but-empty ones like ?since= —
+// are a 400 with a JSON error body, never a 200 with silent defaults.
 func (j *Journal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	var since uint64
-	if v := r.URL.Query().Get("since"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
+	if q.Has("since") {
+		n, err := strconv.ParseUint(q.Get("since"), 10, 64)
 		if err != nil {
-			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			badParam(w, "since", q.Get("since"), "unsigned integer sequence number")
 			return
 		}
 		since = n
 	}
 	evs := j.Since(since)
-	if typ := r.URL.Query().Get("type"); typ != "" {
+	if typ := q.Get("type"); typ != "" {
 		kept := evs[:0]
 		for _, ev := range evs {
 			if ev.Type == typ {
@@ -142,10 +167,10 @@ func (j *Journal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		evs = kept
 	}
-	if v := r.URL.Query().Get("n"); v != "" {
-		n, err := strconv.Atoi(v)
+	if q.Has("n") {
+		n, err := strconv.Atoi(q.Get("n"))
 		if err != nil || n < 0 {
-			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			badParam(w, "n", q.Get("n"), "non-negative integer")
 			return
 		}
 		if n < len(evs) {

@@ -83,4 +83,30 @@ func TestJournalServeHTTP(t *testing.T) {
 	if rec := get("?n=-1"); rec.Code != 400 {
 		t.Fatalf("bad n accepted: %d", rec.Code)
 	}
+
+	// Malformed params answer with the uniform JSON error body naming
+	// the offending parameter — including present-but-empty values.
+	for query, param := range map[string]string{
+		"?since=":  "since",
+		"?since=x": "since",
+		"?n=":      "n",
+		"?n=zero":  "n",
+	} {
+		rec := get(query)
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400", query, rec.Code)
+			continue
+		}
+		var body struct {
+			Error string `json:"error"`
+			Param string `json:"param"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Errorf("%s: non-JSON error body %q: %v", query, rec.Body.String(), err)
+			continue
+		}
+		if body.Param != param || body.Error == "" {
+			t.Errorf("%s: error body %+v, want param %q", query, body, param)
+		}
+	}
 }

@@ -1,0 +1,198 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fidr/internal/metrics"
+	"fidr/internal/metrics/events"
+)
+
+func resultByName(t *testing.T, rs []CheckResult, name string) CheckResult {
+	t.Helper()
+	for _, r := range rs {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no %q check in %+v", name, rs)
+	return CheckResult{}
+}
+
+// TestDoctorStalledDaemon feeds the doctor the evidence an actually
+// stalled daemon produces and checks it FAILs on the watchdog and the
+// stuck queue, with hints attached.
+func TestDoctorStalledDaemon(t *testing.T) {
+	in := DoctorInput{
+		Metrics: []metrics.Metric{
+			{Kind: "gauge", Name: "async.inflight", Value: 7},
+			{Kind: "gauge", Name: "events.dropped", Value: 0},
+		},
+		Series: metrics.SeriesDump{Series: []metrics.Series{
+			{Name: "async.writes", Kind: "counter", RatePerSec: 0,
+				Points: []metrics.Point{{V: 100}, {V: 100}}},
+			{Name: "runtime.goroutines", Kind: "gauge", Min: 40, Last: 41,
+				Points: []metrics.Point{{V: 40}, {V: 41}}},
+		}},
+		Events: []events.Event{
+			{Seq: 1, Type: events.TypeWatchdogStall, Detail: "async.worker.g0: busy 3s without a heartbeat"},
+		},
+		Snapshots: []string{"snap-000001-async_worker_g0"},
+	}
+	rs := Diagnose(in)
+
+	wd := resultByName(t, rs, "watchdog")
+	if wd.Status != StatusFail {
+		t.Errorf("watchdog = %+v, want FAIL", wd)
+	}
+	if !strings.Contains(wd.Detail, "async.worker.g0") || wd.Hint == "" {
+		t.Errorf("watchdog detail/hint = %+v", wd)
+	}
+	if q := resultByName(t, rs, "queues"); q.Status != StatusFail {
+		t.Errorf("queues = %+v, want FAIL", q)
+	}
+	if s := resultByName(t, rs, "snapshots"); s.Status != StatusPass ||
+		!strings.Contains(s.Detail, "snap-000001") {
+		t.Errorf("snapshots = %+v", s)
+	}
+
+	var b strings.Builder
+	fails, _ := RenderDoctor(&b, rs)
+	if fails != 2 {
+		t.Errorf("fails = %d, want 2\n%s", fails, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "[FAIL] watchdog") || !strings.Contains(out, "↳") {
+		t.Errorf("report missing FAIL line or hint:\n%s", out)
+	}
+	if !strings.Contains(out, "check(s) FAILED") {
+		t.Errorf("report missing summary:\n%s", out)
+	}
+}
+
+// TestDoctorRecoveredDaemon checks the stall→recover sequence downgrades
+// the watchdog verdict to WARN and a draining queue passes.
+func TestDoctorRecoveredDaemon(t *testing.T) {
+	in := DoctorInput{
+		Metrics: []metrics.Metric{
+			{Kind: "gauge", Name: "async.inflight", Value: 2},
+		},
+		Series: metrics.SeriesDump{Series: []metrics.Series{
+			{Name: "async.writes", Kind: "counter", RatePerSec: 350,
+				Points: []metrics.Point{{V: 0}, {V: 700}}},
+		}},
+		Events: []events.Event{
+			{Seq: 1, Type: events.TypeWatchdogStall, Detail: "async.worker.g0: busy"},
+			{Seq: 2, Type: events.TypeWatchdogRecover, Detail: "async.worker.g0"},
+		},
+	}
+	rs := Diagnose(in)
+	if wd := resultByName(t, rs, "watchdog"); wd.Status != StatusWarn {
+		t.Errorf("watchdog = %+v, want WARN", wd)
+	}
+	if q := resultByName(t, rs, "queues"); q.Status != StatusPass {
+		t.Errorf("queues = %+v, want PASS", q)
+	}
+
+	var b strings.Builder
+	fails, warns := RenderDoctor(&b, rs)
+	if fails != 0 || warns == 0 {
+		t.Errorf("fails=%d warns=%d\n%s", fails, warns, b.String())
+	}
+}
+
+// TestDoctorFsyncThresholds sweeps the WAL fsync p99 across the
+// objective boundaries.
+func TestDoctorFsyncThresholds(t *testing.T) {
+	mk := func(p99 time.Duration) DoctorInput {
+		return DoctorInput{
+			FsyncP99Max: 100 * time.Millisecond,
+			Metrics: []metrics.Metric{{
+				Kind: "hist", Name: "group0.wal.fsync_ns",
+				Hist: metrics.HistogramSnapshot{Count: 10, P99: float64(p99.Nanoseconds())},
+			}},
+		}
+	}
+	for _, tc := range []struct {
+		p99  time.Duration
+		want string
+	}{
+		{10 * time.Millisecond, StatusPass},
+		{150 * time.Millisecond, StatusWarn},
+		{500 * time.Millisecond, StatusFail},
+	} {
+		rs := Diagnose(mk(tc.p99))
+		if got := resultByName(t, rs, "wal fsync"); got.Status != tc.want {
+			t.Errorf("p99=%v: %+v, want %s", tc.p99, got, tc.want)
+		}
+	}
+}
+
+// TestDoctorRuntimeChecks covers goroutine growth, heap pressure, GC
+// pause and journal-drop verdicts.
+func TestDoctorRuntimeChecks(t *testing.T) {
+	in := DoctorInput{
+		Metrics: []metrics.Metric{
+			{Kind: "gauge", Name: "runtime.heap_bytes", Value: 96 << 20},
+			{Kind: "gauge", Name: "runtime.gc_goal_bytes", Value: 100 << 20},
+			{Kind: "hist", Name: "runtime.gc_pause.ns",
+				Hist: metrics.HistogramSnapshot{Count: 5, P99: float64(80 * time.Millisecond)}},
+			{Kind: "gauge", Name: "events.dropped", Value: 9},
+		},
+		Series: metrics.SeriesDump{Series: []metrics.Series{
+			{Name: "runtime.goroutines", Kind: "gauge", Min: 50, Last: 400,
+				Points: []metrics.Point{{V: 50}, {V: 400}}},
+		}},
+		Events: []events.Event{{Seq: 1, Type: events.TypeGCRun}},
+	}
+	rs := Diagnose(in)
+	for name, want := range map[string]string{
+		"goroutines": StatusWarn,
+		"heap":       StatusWarn,
+		"gc pauses":  StatusWarn,
+		"journal":    StatusWarn,
+		"watchdog":   StatusPass,
+		"slo":        StatusPass,
+	} {
+		if got := resultByName(t, rs, name); got.Status != want {
+			t.Errorf("%s = %+v, want %s", name, got, want)
+		}
+	}
+}
+
+// TestDoctorSLOBreach checks an unclosed breach edge FAILs and a closed
+// one passes.
+func TestDoctorSLOBreach(t *testing.T) {
+	open := DoctorInput{Events: []events.Event{
+		{Seq: 1, Type: events.TypeSLOBreach, Detail: "write.p99"},
+	}}
+	if got := resultByName(t, Diagnose(open), "slo"); got.Status != StatusFail {
+		t.Errorf("open breach = %+v, want FAIL", got)
+	}
+	closed := DoctorInput{Events: []events.Event{
+		{Seq: 1, Type: events.TypeSLOBreach, Detail: "write.p99"},
+		{Seq: 2, Type: events.TypeSLORecover, Detail: "write.p99"},
+	}}
+	if got := resultByName(t, Diagnose(closed), "slo"); got.Status != StatusPass {
+		t.Errorf("closed breach = %+v, want PASS", got)
+	}
+}
+
+// TestDoctorDegradesWithoutInputs checks zero-value inputs produce SKIP
+// verdicts (and a bundle-disabled WARN), never panics or FAILs.
+func TestDoctorDegradesWithoutInputs(t *testing.T) {
+	rs := Diagnose(DoctorInput{BundleErr: "disabled"})
+	for _, r := range rs {
+		if r.Status == StatusFail {
+			t.Errorf("empty input produced FAIL: %+v", r)
+		}
+	}
+	if s := resultByName(t, rs, "snapshots"); s.Status != StatusWarn ||
+		!strings.Contains(s.Detail, "disabled") {
+		t.Errorf("snapshots = %+v, want disabled WARN", s)
+	}
+	if wd := resultByName(t, rs, "watchdog"); wd.Status != StatusSkip {
+		t.Errorf("watchdog = %+v, want SKIP", wd)
+	}
+}

@@ -1,0 +1,231 @@
+package health
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fidr/internal/metrics"
+	"fidr/internal/metrics/events"
+)
+
+// TestHeartbeatProbeTripAndRecover drives the healthy→stalled→healthy
+// cycle by hand: a busy heartbeat past the deadline trips exactly once,
+// journals a watchdog_stall with the in-flight trace, and journals the
+// recovery once work completes.
+func TestHeartbeatProbeTripAndRecover(t *testing.T) {
+	hb := &Heartbeat{}
+	j := events.NewJournal(16)
+	w := NewWatchdog()
+	w.SetEventJournal(j)
+	w.Add(HeartbeatProbe("async.worker.g0", hb, 100*time.Millisecond))
+
+	now := time.Now()
+	w.Tick(now)
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("idle heartbeat reported stalled: %v", got)
+	}
+
+	hb.Begin("tr-abc123")
+	w.Tick(now.Add(50 * time.Millisecond))
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("busy-within-deadline reported stalled: %v", got)
+	}
+
+	// Past the deadline: one stall edge, repeated ticks don't re-fire.
+	w.Tick(now.Add(300 * time.Millisecond))
+	w.Tick(now.Add(400 * time.Millisecond))
+	if got := w.Stalled(); len(got) != 1 || got[0] != "async.worker.g0" {
+		t.Fatalf("Stalled() = %v, want [async.worker.g0]", got)
+	}
+	evs := j.Since(0)
+	var stalls []events.Event
+	for _, ev := range evs {
+		if ev.Type == events.TypeWatchdogStall {
+			stalls = append(stalls, ev)
+		}
+	}
+	if len(stalls) != 1 {
+		t.Fatalf("got %d stall events, want 1: %+v", len(stalls), evs)
+	}
+	if stalls[0].Trace != "tr-abc123" {
+		t.Errorf("stall trace = %q, want tr-abc123", stalls[0].Trace)
+	}
+	if !strings.HasPrefix(stalls[0].Detail, "async.worker.g0: ") {
+		t.Errorf("stall detail = %q, want probe-name prefix", stalls[0].Detail)
+	}
+	if stalls[0].Fields["deadline_ms"] != 100 {
+		t.Errorf("deadline_ms = %d, want 100", stalls[0].Fields["deadline_ms"])
+	}
+
+	hb.End()
+	w.Tick(now.Add(500 * time.Millisecond))
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("recovered heartbeat still stalled: %v", got)
+	}
+	var recovers int
+	for _, ev := range j.Since(0) {
+		if ev.Type == events.TypeWatchdogRecover {
+			recovers++
+			if ev.Detail != "async.worker.g0" {
+				t.Errorf("recover detail = %q", ev.Detail)
+			}
+			if ev.Fields["stalled_ms"] <= 0 {
+				t.Errorf("stalled_ms = %d, want > 0", ev.Fields["stalled_ms"])
+			}
+		}
+	}
+	if recovers != 1 {
+		t.Fatalf("got %d recover events, want 1", recovers)
+	}
+}
+
+// TestProgressProbeStuckQueue pins the stuck-queue semantics: depth
+// with advancing completions never trips; depth with frozen completions
+// trips only after the deadline has elapsed.
+func TestProgressProbeStuckQueue(t *testing.T) {
+	depth, done := 3, uint64(0)
+	w := NewWatchdog()
+	w.Add(ProgressProbe("async.queue.g0", 100*time.Millisecond,
+		func() int { return depth }, func() uint64 { return done }))
+
+	now := time.Now()
+	// Draining: completions advance every tick.
+	for i := 0; i < 5; i++ {
+		done++
+		w.Tick(now.Add(time.Duration(i) * 200 * time.Millisecond))
+	}
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("draining queue reported stalled: %v", got)
+	}
+
+	// Frozen: depth stays, completions stop. First tick arms, the next
+	// within deadline stays healthy, past deadline trips.
+	base := now.Add(time.Second)
+	w.Tick(base)
+	w.Tick(base.Add(50 * time.Millisecond))
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("stalled before deadline: %v", got)
+	}
+	w.Tick(base.Add(250 * time.Millisecond))
+	if got := w.Stalled(); len(got) != 1 {
+		t.Fatalf("frozen queue not stalled: %v", got)
+	}
+
+	// Draining again recovers.
+	done++
+	w.Tick(base.Add(300 * time.Millisecond))
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("recovered queue still stalled: %v", got)
+	}
+
+	// Empty queue never arms.
+	depth = 0
+	w.Tick(base.Add(time.Hour))
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("empty queue stalled: %v", got)
+	}
+}
+
+// TestFuncProbeAndOnStall wires a plain condition probe and asserts the
+// OnStall callback fires once per edge with the probe's name.
+func TestFuncProbeAndOnStall(t *testing.T) {
+	down := false
+	w := NewWatchdog()
+	w.Add(FuncProbe("proto.accept", time.Second, func() (bool, string) {
+		return down, "accept loop exited"
+	}))
+	var mu sync.Mutex
+	var calls []string
+	w.OnStall(func(probe, detail, trace string) {
+		mu.Lock()
+		calls = append(calls, probe+"/"+detail)
+		mu.Unlock()
+	})
+
+	now := time.Now()
+	w.Tick(now)
+	down = true
+	w.Tick(now.Add(time.Millisecond))
+	w.Tick(now.Add(2 * time.Millisecond)) // still down: no second call
+	down = false
+	w.Tick(now.Add(3 * time.Millisecond))
+	down = true
+	w.Tick(now.Add(4 * time.Millisecond)) // second distinct edge
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 2 {
+		t.Fatalf("OnStall fired %d times, want 2: %v", len(calls), calls)
+	}
+	if calls[0] != "proto.accept/accept loop exited" {
+		t.Errorf("call[0] = %q", calls[0])
+	}
+}
+
+// TestWatchdogInstrument checks the watchdog's own series.
+func TestWatchdogInstrument(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hb := &Heartbeat{}
+	w := NewWatchdog()
+	w.Instrument(reg)
+	w.Add(HeartbeatProbe("p", hb, 10*time.Millisecond))
+
+	now := time.Now()
+	hb.Begin("")
+	w.Tick(now.Add(time.Second))
+	hb.End()
+	w.Tick(now.Add(2 * time.Second))
+
+	if v := reg.Counter("health.watchdog_stalls").Value(); v != 1 {
+		t.Errorf("watchdog_stalls = %d, want 1", v)
+	}
+	if v := reg.Counter("health.watchdog_recoveries").Value(); v != 1 {
+		t.Errorf("watchdog_recoveries = %d, want 1", v)
+	}
+	if v := reg.Counter("health.watchdog_ticks").Value(); v != 2 {
+		t.Errorf("watchdog_ticks = %d, want 2", v)
+	}
+	if v := reg.Gauge("health.watchdog_stalled").Value(); v != 0 {
+		t.Errorf("watchdog_stalled = %g, want 0", v)
+	}
+}
+
+// TestWatchdogRunLive exercises the background loop end to end with a
+// real stalled heartbeat and a tight cadence.
+func TestWatchdogRunLive(t *testing.T) {
+	hb := &Heartbeat{}
+	j := events.NewJournal(16)
+	w := NewWatchdog()
+	w.SetEventJournal(j)
+	w.Add(HeartbeatProbe("live", hb, 20*time.Millisecond))
+
+	stop := make(chan struct{})
+	donech := make(chan struct{})
+	go func() { w.Run(5*time.Millisecond, stop); close(donech) }()
+
+	hb.Begin("")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(w.Stalled()) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := w.Stalled(); len(got) != 1 {
+		t.Fatalf("live stall not detected: %v", got)
+	}
+	hb.End()
+	for time.Now().Before(deadline) {
+		if len(w.Stalled()) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := w.Stalled(); len(got) != 0 {
+		t.Fatalf("live recovery not detected: %v", got)
+	}
+	close(stop)
+	<-donech
+}

@@ -29,6 +29,9 @@ type HandlerOptions struct {
 	// Events serves the structured event journal (GET /events, JSONL);
 	// usually an *events.Journal.
 	Events http.Handler
+	// DebugBundle serves the flight-recorder snapshot ring as a tarball
+	// (GET /debug/bundle); usually a *health.Recorder.
+	DebugBundle http.Handler
 	// Ready reports readiness for GET /readyz: 200 when true, 503
 	// otherwise. When nil, /readyz behaves like /healthz (always ready
 	// once serving).
@@ -92,6 +95,9 @@ func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 	if opt.Events != nil {
 		mux.Handle("/events", opt.Events)
 	}
+	if opt.DebugBundle != nil {
+		mux.Handle("/debug/bundle", opt.DebugBundle)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -137,6 +143,9 @@ func Handler(g Gatherer, opt HandlerOptions) http.Handler {
 		}
 		if opt.Events != nil {
 			fmt.Fprintln(w, "  /events               structured event journal (JSONL; ?since= ?type= ?n=)")
+		}
+		if opt.DebugBundle != nil {
+			fmt.Fprintln(w, "  /debug/bundle         flight-recorder snapshot bundle (tar.gz; ?n=)")
 		}
 		fmt.Fprintln(w, "  /healthz              liveness probe")
 		fmt.Fprintln(w, "  /readyz               readiness probe")

@@ -1,0 +1,24 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTPBadParam is the metrics plane's uniform malformed-query response:
+// HTTP 400 with a small JSON body naming the parameter, the rejected
+// value and the expected shape. Every query-parameter endpoint
+// (/metrics/series, /events, /capacity, /debug/bundle) uses it so a
+// client can distinguish "you asked wrong" from "the answer is empty" —
+// a 200 with silent defaults hides typos like ?window=5x until the
+// operator wonders why the window never changes.
+func HTTPBadParam(w http.ResponseWriter, param, got, want string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		Param string `json:"param"`
+		Got   string `json:"got"`
+		Want  string `json:"want"`
+	}{"bad query parameter", param, got, want})
+}

@@ -60,13 +60,21 @@ func WriteProm(w io.Writer, ms []Metric) error {
 	seen := make(map[string]bool, len(ms))
 	for _, m := range ms {
 		name := PromName(m.Name)
-		if name == "" || seen[name] {
+		// Labeled scalars (build_info) dedup on name+labels: the same
+		// name with distinct label sets is distinct series, but they must
+		// still share one TYPE line, emitted for the first occurrence.
+		sample := name
+		if m.Labels != "" && m.Kind != "hist" {
+			sample = name + "{" + m.Labels + "}"
+		}
+		if name == "" || seen[sample] {
 			continue
 		}
 		if m.Kind == "hist" && (seen[name+"_bucket"] || seen[name+"_sum"] || seen[name+"_count"]) {
 			continue
 		}
-		seen[name] = true
+		typeLine := !seen[name]
+		seen[name], seen[sample] = true, true
 		if m.Kind == "hist" {
 			// Reserve the expanded series names too, so a later scalar
 			// named e.g. "<name>_count" cannot duplicate them.
@@ -75,9 +83,9 @@ func WriteProm(w io.Writer, ms []Metric) error {
 		var err error
 		switch m.Kind {
 		case "counter":
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(m.Value))
+			err = writePromScalar(w, "counter", name, sample, m.Value, typeLine)
 		case "gauge":
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value))
+			err = writePromScalar(w, "gauge", name, sample, m.Value, typeLine)
 		case "hist":
 			err = writePromHistogram(w, name, m.Hist)
 		}
@@ -86,6 +94,18 @@ func WriteProm(w io.Writer, ms []Metric) error {
 		}
 	}
 	return nil
+}
+
+// writePromScalar emits one counter or gauge sample, preceded by its
+// TYPE line the first time the name appears.
+func writePromScalar(w io.Writer, kind, name, sample string, v float64, typeLine bool) error {
+	if typeLine {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", sample, promFloat(v))
+	return err
 }
 
 // writePromHistogram expands one histogram snapshot. Cumulative bucket

@@ -109,10 +109,26 @@ type Metric struct {
 	// Kind is "counter", "gauge" or "hist".
 	Kind string
 	Name string
+	// Labels is an optional pre-rendered Prometheus label block without
+	// braces, e.g. `version="v1",commit="abc"`. Registry metrics never
+	// carry labels (the dotted-name convention encodes dimensions);
+	// info-style gatherers such as build_info use it. Text renderings
+	// append it to the name as name{labels}, and series with different
+	// label sets are distinct.
+	Labels string
 	// Value holds counter and gauge readings.
 	Value float64
 	// Hist holds histogram readings (Kind "hist" only).
 	Hist HistogramSnapshot
+}
+
+// fullName renders the dump-format name token: name{labels} when labels
+// are present (no spaces, so field-splitting parsers keep working).
+func (m Metric) fullName() string {
+	if m.Labels == "" {
+		return m.Name
+	}
+	return m.Name + "{" + m.Labels + "}"
 }
 
 // Snapshot captures every metric, counters first, then gauges, then
@@ -169,9 +185,9 @@ func WriteMetricsText(w io.Writer, ms []Metric) error {
 				m.Name, h.Count, FormatFloat(h.Mean), FormatFloat(h.Min),
 				FormatFloat(h.P50), FormatFloat(h.P90), FormatFloat(h.P99), FormatFloat(h.Max))
 		case "counter":
-			_, err = fmt.Fprintf(w, "counter %s %d\n", m.Name, uint64(m.Value))
+			_, err = fmt.Fprintf(w, "counter %s %d\n", m.fullName(), uint64(m.Value))
 		default:
-			_, err = fmt.Fprintf(w, "gauge %s %s\n", m.Name, FormatFloat(m.Value))
+			_, err = fmt.Fprintf(w, "gauge %s %s\n", m.fullName(), FormatFloat(m.Value))
 		}
 		if err != nil {
 			return err

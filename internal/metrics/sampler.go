@@ -157,6 +157,12 @@ func (s *Sampler) ordered() []sample {
 // prefix ("" keeps all); last bounds points per series (<= 0 keeps all
 // retained samples).
 func (s *Sampler) Dump(prefix string, last int) SeriesDump {
+	return s.dump(prefix, last, 0)
+}
+
+// dump is Dump plus a wall-clock window: window > 0 keeps only samples
+// within that span of the newest retained sample.
+func (s *Sampler) dump(prefix string, last int, window time.Duration) SeriesDump {
 	samples := s.ordered()
 	dump := SeriesDump{Samples: len(samples)}
 	if len(samples) == 0 {
@@ -164,6 +170,12 @@ func (s *Sampler) Dump(prefix string, last int) SeriesDump {
 	}
 	if last > 0 && last < len(samples) {
 		samples = samples[len(samples)-last:]
+	}
+	if window > 0 {
+		cutoff := samples[len(samples)-1].at.Add(-window)
+		for len(samples) > 1 && samples[0].at.Before(cutoff) {
+			samples = samples[1:]
+		}
 	}
 	dump.WindowSeconds = samples[len(samples)-1].at.Sub(samples[0].at).Seconds()
 
@@ -239,17 +251,32 @@ func (s *Sampler) Dump(prefix string, last int) SeriesDump {
 //
 //	prefix  keep only series whose name starts with this prefix
 //	last    keep only the newest N points per series
+//	window  keep only points within this span of the newest sample
+//	        (Go duration syntax, e.g. 30s, 5m)
+//
+// Malformed values — including present-but-empty ones like ?last= — are
+// a 400 with a JSON error body, never a 200 with silent defaults.
 func (s *Sampler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	last := 0
-	if v := r.URL.Query().Get("last"); v != "" {
-		n, err := strconv.Atoi(v)
+	if q.Has("last") {
+		n, err := strconv.Atoi(q.Get("last"))
 		if err != nil || n < 0 {
-			http.Error(w, "bad last parameter", http.StatusBadRequest)
+			HTTPBadParam(w, "last", q.Get("last"), "non-negative integer")
 			return
 		}
 		last = n
 	}
+	var window time.Duration
+	if q.Has("window") {
+		d, err := time.ParseDuration(q.Get("window"))
+		if err != nil || d <= 0 {
+			HTTPBadParam(w, "window", q.Get("window"), "positive Go duration (e.g. 30s, 5m)")
+			return
+		}
+		window = d
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
-	enc.Encode(s.Dump(r.URL.Query().Get("prefix"), last))
+	enc.Encode(s.dump(q.Get("prefix"), last, window))
 }

@@ -205,6 +205,60 @@ func TestSamplerHTTP(t *testing.T) {
 	}
 }
 
+// TestSamplerWindowParam covers the ?window= time filter: a valid
+// duration trims old samples, malformed or non-positive values answer
+// 400 with the uniform JSON error body naming the parameter.
+func TestSamplerWindowParam(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a.bytes")
+	s := NewSampler(reg, 16)
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		s.Sample(time.Unix(int64(i), 0))
+	}
+
+	srv := httptest.NewServer(Handler(reg, HandlerOptions{Sampler: s}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics/series?window=3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("?window=3s: status %d", resp.StatusCode)
+	}
+	var d SeriesDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	se := findSeries(t, d, "a.bytes")
+	// Samples land at t=0..9s; a 3s window from the newest keeps 6..9.
+	if got := len(se.Points); got != 4 {
+		t.Fatalf("3s window kept %d points, want 4 (%+v)", got, se.Points)
+	}
+
+	for _, query := range []string{"?window=", "?window=fast", "?window=-5s", "?window=0s"} {
+		resp, err := srv.Client().Get(srv.URL + "/metrics/series" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error string `json:"error"`
+			Param string `json:"param"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400", query, resp.StatusCode)
+			continue
+		}
+		if derr != nil || body.Param != "window" || body.Error == "" {
+			t.Errorf("%s: error body %+v (decode err %v), want param \"window\"", query, body, derr)
+		}
+	}
+}
+
 func TestHandlerHealthReady(t *testing.T) {
 	reg := NewRegistry()
 	ready := false

@@ -121,7 +121,10 @@ type SLO struct {
 
 	// journal receives breach-transition events when SetEventJournal was
 	// called; prevBreached tracks per-objective state so only edges emit.
+	// onBreach, when set, fires once per healthy→breached edge (the
+	// health plane's flight-recorder trigger).
 	journal      *events.Journal
+	onBreach     func(objective string)
 	prevBreached []bool
 
 	mu      sync.Mutex
@@ -214,31 +217,42 @@ func (s *SLO) Sample(at time.Time) {
 			s.errRate[i].Set(st.ErrorRate)
 		}
 	}
-	if s.journal != nil {
+	if s.journal != nil || s.onBreach != nil {
 		if s.prevBreached == nil {
 			s.prevBreached = make([]bool, len(sts))
 		}
 		for i, st := range sts {
 			if st.Breached != s.prevBreached[i] {
-				typ := events.TypeSLOBreach
-				if !st.Breached {
-					typ = events.TypeSLORecover
+				if s.journal != nil {
+					typ := events.TypeSLOBreach
+					if !st.Breached {
+						typ = events.TypeSLORecover
+					}
+					s.journal.Append(events.Event{
+						Type:   typ,
+						Detail: st.Name,
+						Fields: map[string]int64{
+							"burn_fast_milli":   int64(st.BurnFast * 1000),
+							"burn_slow_milli":   int64(st.BurnSlow * 1000),
+							"err_rate_milli":    int64(st.ErrorRate * 1000),
+							"budget_left_milli": int64(st.BudgetRemaining * 1000),
+						},
+					})
 				}
-				s.journal.Append(events.Event{
-					Type:   typ,
-					Detail: st.Name,
-					Fields: map[string]int64{
-						"burn_fast_milli":   int64(st.BurnFast * 1000),
-						"burn_slow_milli":   int64(st.BurnSlow * 1000),
-						"err_rate_milli":    int64(st.ErrorRate * 1000),
-						"budget_left_milli": int64(st.BudgetRemaining * 1000),
-					},
-				})
+				if st.Breached && s.onBreach != nil {
+					s.onBreach(st.Name)
+				}
 			}
 			s.prevBreached[i] = st.Breached
 		}
 	}
 }
+
+// OnBreach registers a callback fired (on the Sample goroutine) once
+// per healthy→breached transition; the health plane uses it to capture
+// a flight-recorder snapshot while the breach evidence is still live.
+// Long work must be handed off so sampling keeps its cadence.
+func (s *SLO) OnBreach(fn func(objective string)) { s.onBreach = fn }
 
 // SetEventJournal attaches a journal that receives slo_breach_begin /
 // slo_breach_end events on breach-state transitions (edges only, so a

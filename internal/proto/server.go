@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fidr/internal/metrics"
@@ -76,9 +77,10 @@ type Listener struct {
 	col               *span.Collector
 	requests, errLogs *metrics.Counter
 
-	wg     sync.WaitGroup
-	closed chan struct{}
-	logf   func(format string, args ...any)
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	accepting atomic.Bool // true while the accept loop is running
+	logf      func(format string, args ...any)
 }
 
 // ServeOption configures a Listener at Serve time.
@@ -121,10 +123,18 @@ func Serve(srv Store, addr string, opts ...ServeOption) (*Listener, error) {
 	for _, opt := range opts {
 		opt(l)
 	}
+	l.accepting.Store(true)
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
 }
+
+// Accepting reports whether the accept loop is still running. It goes
+// false when the loop exits for any reason — deliberate Close or an
+// accept error — which is exactly the liveness condition the health
+// watchdog probes: a daemon whose listener died serves nothing, however
+// healthy the rest looks.
+func (l *Listener) Accepting() bool { return l.accepting.Load() }
 
 // Addr returns the bound address.
 func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
@@ -139,6 +149,7 @@ func (l *Listener) Close() error {
 
 func (l *Listener) acceptLoop() {
 	defer l.wg.Done()
+	defer l.accepting.Store(false)
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
