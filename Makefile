@@ -1,7 +1,7 @@
 # Tier-1 gate (build + tests) plus the longer checks CI and humans run.
 GO ?= go
 
-.PHONY: all build test vet lint race check check-metrics check-crash check-trace check-capacity check-doctor fmt bench bench-archival bench-tracing bench-capacity bench-go microbench
+.PHONY: all build test vet lint race check check-metrics check-crash check-trace check-capacity check-doctor fmt bench bench-archival bench-tracing bench-capacity bench-cdc bench-go fuzz microbench
 
 # Bench artifact knobs: BENCH_IOS sizes the workload, BENCH_OUT is the
 # artifact directory.
@@ -103,6 +103,21 @@ bench-tracing:
 # reduction-attribution ledger and garbage reclaimed.
 bench-capacity:
 	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench capacity
+
+# bench-cdc writes only BENCH_cdc.json: single-core chunking GB/s for
+# the skip-ahead chunker vs the reference scalar (acceptance: >= 5x),
+# plus the end-to-end fixed-vs-CDC throughput and dedup-ratio delta on
+# insertion-shifted backup generations.
+bench-cdc:
+	$(GO) run ./cmd/fidrbench -ios $(BENCH_IOS) -out $(BENCH_OUT) bench cdc
+
+# fuzz runs the chunker equivalence fuzzer for a bounded slice of CI
+# time: the fast skip-ahead path must cut byte-identical boundaries to
+# the reference scalar on every input the fuzzer invents. FUZZ_TIME
+# extends the budget locally.
+FUZZ_TIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzCDCEquivalence$$' -fuzztime $(FUZZ_TIME) ./internal/chunk
 
 # bench-go runs the root workload and accelerator-lane benchmarks with
 # benchstat-compatible output (pipe COUNT>=10 runs into benchstat to

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fidr/internal/blockcomp"
+	"fidr/internal/chunk"
 	"fidr/internal/core"
 	"fidr/internal/experiments"
 	"fidr/internal/lanes"
@@ -56,6 +57,8 @@ type BenchArtifact struct {
 	Workload   string `json:"workload"`
 	IOs        int    `json:"ios"`
 	Groups     int    `json:"groups"`
+	// Chunker records the write-path chunking mode ("fixed" or "cdc").
+	Chunker string `json:"chunker,omitempty"`
 
 	// HashLanes / CompressLanes record the accelerator lane-array widths
 	// the run used (hash cores and compression pipelines).
@@ -115,6 +118,44 @@ type BenchArtifact struct {
 	// Capacity runs only: the reduction-attribution ledger and one
 	// measured GC pass (see BenchCapacity).
 	Capacity *BenchCapacity `json:"capacity,omitempty"`
+
+	// CDC runs only: chunker microbenchmark and the fixed-vs-CDC
+	// end-to-end comparison (see BenchCDC).
+	CDC *BenchCDC `json:"cdc,omitempty"`
+}
+
+// BenchCDC captures the cdc experiment. The chunker section is the
+// single-core microbenchmark over one NIC-ingest-batch of shaped
+// content: the skip-ahead fast path, the scalar gear reference it is
+// proven byte-identical to (internal/chunk equivalence suite), and the
+// legacy rolling-hash chunker. The end-to-end section drives the same
+// duplicate-rich backup generations — each repeating the previous with
+// a small insertion near the front — through a fixed-4K server and a
+// CDC server: fixed chunking loses alignment at the insertion, CDC
+// resynchronizes and dedups the unshifted remainder.
+type BenchCDC struct {
+	MinChunk int `json:"min_chunk"`
+	AvgChunk int `json:"avg_chunk"`
+	MaxChunk int `json:"max_chunk"`
+
+	ChunkerFastGBps      float64 `json:"chunker_fast_gbps"`
+	ChunkerReferenceGBps float64 `json:"chunker_reference_gbps"`
+	ChunkerRollingGBps   float64 `json:"chunker_rolling_gbps"`
+	// ChunkerSpeedup is fast over reference (acceptance: >= 5x, judged
+	// by BenchmarkCDCBoundaries on quiet hardware; bench-run values are
+	// load-dependent).
+	ChunkerSpeedup float64 `json:"chunker_speedup"`
+
+	FixedThroughputMBps float64 `json:"fixed_throughput_mbps"`
+	CDCThroughputMBps   float64 `json:"cdc_throughput_mbps"`
+	FixedDedupRatio     float64 `json:"fixed_dedup_ratio"`
+	CDCDedupRatio       float64 `json:"cdc_dedup_ratio"`
+	// DedupRatioDelta is CDC minus fixed on the same byte streams.
+	DedupRatioDelta float64 `json:"dedup_ratio_delta"`
+	MeanChunkBytes  float64 `json:"mean_chunk_bytes"`
+	// LedgerBalanced asserts logical = dedup + compression + stored held
+	// exactly on the CDC server after the final flush.
+	LedgerBalanced bool `json:"ledger_balanced"`
 }
 
 // BenchCapacity captures the capacity experiment: where every client
@@ -181,6 +222,8 @@ type benchSpec struct {
 	// capacity appends an overwrite phase and a measured GC pass,
 	// recording the attribution ledger (see BenchCapacity).
 	capacity bool
+	// cdc runs the variable-size chunk datapath comparison (BenchCDC).
+	cdc bool
 }
 
 var benchSpecs = map[string]benchSpec{
@@ -193,6 +236,7 @@ var benchSpecs = map[string]benchSpec{
 	"archival":  {workload: "Archival", arch: FIDRFull, groups: 1, archival: true},
 	"tracing":   {workload: "Write-H", arch: FIDRFull, groups: 1, tracing: true},
 	"capacity":  {workload: "Write-M", arch: FIDRFull, groups: 1, capacity: true},
+	"cdc":       {workload: "Write-M", arch: FIDRFull, groups: 1, cdc: true},
 }
 
 // BenchExperiments lists bench experiment names, sorted.
@@ -208,9 +252,26 @@ func BenchExperiments() []string {
 // RunBenchExperiment executes one bench experiment and returns its
 // artifact. ios sizes the workload (0 selects the default scale).
 func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
+	return RunBenchExperimentChunker(name, ios, chunk.Config{})
+}
+
+// RunBenchExperimentChunker is RunBenchExperiment with an explicit
+// chunking mode (the -chunker flag): ModeCDC reruns the experiment's
+// workload over a content-defined-chunking server, with each trace write
+// ingested as a stream segment at its byte-offset extent. Experiments
+// that need metadata persistence (archival, capacity's GC bookkeeping is
+// fine, but the WAL and Checkpoint are not available under CDC) reject
+// ModeCDC.
+func RunBenchExperimentChunker(name string, ios int, chunking chunk.Config) (BenchArtifact, error) {
 	spec, ok := benchSpecs[name]
 	if !ok {
 		return BenchArtifact{}, fmt.Errorf("fidr: unknown bench experiment %q (see BenchExperiments())", name)
+	}
+	if err := chunking.Normalize(); err != nil {
+		return BenchArtifact{}, fmt.Errorf("fidr: %w", err)
+	}
+	if chunking.Mode == chunk.ModeCDC && (spec.archival || spec.capacity) {
+		return BenchArtifact{}, fmt.Errorf("fidr: bench experiment %q requires fixed chunking (WAL/checkpoint are unavailable under CDC)", name)
 	}
 	if ios <= 0 {
 		ios = experiments.DefaultScale().IOs
@@ -219,6 +280,7 @@ func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
 	if err != nil {
 		return BenchArtifact{}, err
 	}
+	cfg.Chunking = chunking
 	wp, err := experiments.WorkloadParams(spec.workload, ios, cfg.CacheLines)
 	if err != nil {
 		return BenchArtifact{}, err
@@ -231,10 +293,13 @@ func RunBenchExperiment(name string, ios int) (BenchArtifact, error) {
 		Workload:   spec.workload,
 		IOs:        ios,
 		Groups:     spec.groups,
+		Chunker:    chunking.Mode.String(),
 	}
 	art.HashLanes = lanes.Normalize(cfg.HashLanes)
 	art.CompressLanes = lanes.Normalize(cfg.CompressLanes)
 	switch {
+	case spec.cdc:
+		err = runBenchCDC(cfg, wp, &art)
 	case spec.capacity:
 		err = runBenchCapacity(cfg, wp, &art)
 	case spec.tracing:
@@ -329,7 +394,7 @@ func benchTracingPass(cfg Config, wp Workload, traced bool, art *BenchArtifact) 
 		srv.SetSpanCollector(span.NewCollector(512), 0)
 		srv.SetTraceSampling(16)
 	}
-	wall, err := driveBench(srv, wp, cfg.ChunkSize)
+	wall, err := driveBench(srv, wp, cfg.ChunkSize, cfg.Chunking.Mode == chunk.ModeCDC)
 	if err != nil {
 		return err
 	}
@@ -343,13 +408,166 @@ func runBenchSingle(cfg Config, wp Workload, art *BenchArtifact) error {
 		return err
 	}
 	view := srv.EnableObservability(nil, 64)
-	wall, err := driveBench(srv, wp, cfg.ChunkSize)
+	wall, err := driveBench(srv, wp, cfg.ChunkSize, cfg.Chunking.Mode == chunk.ModeCDC)
 	if err != nil {
 		return err
 	}
 	st := srv.Stats()
 	fillBenchArtifact(art, st, srv.CacheStats().HitRate(), wall, view.Snapshot())
 	return nil
+}
+
+// runBenchCDC measures the variable-size chunk datapath. Part 1 is the
+// single-core chunker microbenchmark over one NIC-ingest-batch (1 MiB)
+// of Shaper content at the workload's compression ratio. Part 2 builds
+// duplicate-rich backup generations — each generation repeats the
+// previous with a small insertion near the front — and drives the same
+// bytes through a fixed-ChunkSize server and a CDC server; the CDC run
+// fills the artifact body. Fixed chunking loses alignment at every
+// insertion; CDC resynchronizes within a few chunks and dedups the
+// unshifted remainder, which is the dedup_ratio_delta the artifact
+// records.
+func runBenchCDC(cfg Config, wp Workload, art *BenchArtifact) error {
+	ck := chunk.Config{Mode: chunk.ModeCDC}
+	if err := ck.Normalize(); err != nil {
+		return err
+	}
+	cdc := &BenchCDC{MinChunk: ck.Min, AvgChunk: ck.Avg, MaxChunk: ck.Max}
+	art.CDC = cdc
+	art.Chunker = chunk.ModeCDC.String()
+
+	// Part 1: chunking GB/s on one ingest batch of shaped content.
+	chunker, err := ck.NewChunker()
+	if err != nil {
+		return err
+	}
+	sh := blockcomp.NewShaper(wp.CompressRatio)
+	batch := make([]byte, 1<<20)
+	for off := 0; off < len(batch); off += 4096 {
+		sh.Block(uint64(off), batch[off:off+4096])
+	}
+	cdc.ChunkerFastGBps = chunkRate(len(batch), func(scratch []int) []int {
+		return chunker.AppendBoundaries(scratch, batch)
+	})
+	cdc.ChunkerReferenceGBps = chunkRate(len(batch), func(scratch []int) []int {
+		return chunker.ReferenceBoundaries(scratch, batch)
+	})
+	roll := chunk.NewRolling(ck.Min, ck.Avg, ck.Max)
+	cdc.ChunkerRollingGBps = chunkRate(len(batch), func(scratch []int) []int {
+		return append(scratch, roll.Boundaries(batch)...)
+	})
+	if cdc.ChunkerReferenceGBps > 0 {
+		cdc.ChunkerSpeedup = cdc.ChunkerFastGBps / cdc.ChunkerReferenceGBps
+	}
+
+	// Part 2: backup generations. Total bytes track the requested scale.
+	genBytes := wp.TotalIOs * cfg.ChunkSize / 4
+	if genBytes < 256<<10 {
+		genBytes = 256 << 10
+	}
+	base := make([]byte, genBytes)
+	for off := 0; off < len(base); off += cfg.ChunkSize {
+		end := off + cfg.ChunkSize
+		if end > len(base) {
+			end = len(base)
+		}
+		sh.Block(uint64(off)^0xB0B0, base[off:end])
+	}
+	gens := [][]byte{base}
+	for g := 1; g < 4; g++ {
+		prev := gens[g-1]
+		hdr := []byte(fmt.Sprintf("generation-%02d!", g))
+		next := make([]byte, 0, len(prev)+len(hdr))
+		next = append(next, hdr[:g*3+1]...)
+		next = append(next, prev...)
+		// One rewritten region per generation, fresh unique content.
+		if len(next) > 96<<10 {
+			sh.Block(uint64(g)<<32|0xFEED, next[64<<10:68<<10])
+		}
+		gens = append(gens, next)
+	}
+
+	// Fixed server: 4-KB chunks, zero-padded tails, per-generation LBA
+	// spaces.
+	fixedSrv, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, cfg.ChunkSize)
+	start := time.Now()
+	for g, gen := range gens {
+		for off := 0; off < len(gen); off += cfg.ChunkSize {
+			n := copy(buf, gen[off:])
+			for i := n; i < len(buf); i++ {
+				buf[i] = 0
+			}
+			lba := uint64(g)<<40 | uint64(off/cfg.ChunkSize)
+			if err := fixedSrv.Write(lba, buf); err != nil {
+				return fmt.Errorf("fidr: bench cdc fixed write: %w", err)
+			}
+		}
+	}
+	if err := fixedSrv.Flush(); err != nil {
+		return err
+	}
+	fixedWall := time.Since(start)
+
+	// CDC server: each generation is one stream write in its own extent
+	// space; the NIC chunks it, draining batches as the buffer fills.
+	c := cfg
+	c.Chunking = ck
+	cdcSrv, err := NewServer(c)
+	if err != nil {
+		return err
+	}
+	view := cdcSrv.EnableObservability(nil, 64)
+	start = time.Now()
+	for g, gen := range gens {
+		if err := cdcSrv.Write(uint64(g)<<40, gen); err != nil {
+			return fmt.Errorf("fidr: bench cdc stream write: %w", err)
+		}
+	}
+	if err := cdcSrv.Flush(); err != nil {
+		return err
+	}
+	cdcWall := time.Since(start)
+
+	fixedSt, cdcSt := fixedSrv.Stats(), cdcSrv.Stats()
+	if fixedWall > 0 {
+		cdc.FixedThroughputMBps = float64(fixedSt.ClientBytes) / 1e6 / fixedWall.Seconds()
+	}
+	if cdcWall > 0 {
+		cdc.CDCThroughputMBps = float64(cdcSt.ClientBytes) / 1e6 / cdcWall.Seconds()
+	}
+	if tot := fixedSt.DuplicateChunks + fixedSt.UniqueChunks; tot > 0 {
+		cdc.FixedDedupRatio = float64(fixedSt.DuplicateChunks) / float64(tot)
+	}
+	if tot := cdcSt.DuplicateChunks + cdcSt.UniqueChunks; tot > 0 {
+		cdc.CDCDedupRatio = float64(cdcSt.DuplicateChunks) / float64(tot)
+		cdc.MeanChunkBytes = float64(cdcSt.LogicalWriteBytes) / float64(tot)
+	}
+	cdc.DedupRatioDelta = cdc.CDCDedupRatio - cdc.FixedDedupRatio
+	cdc.LedgerBalanced = cdcSt.DedupSavedBytes+cdcSt.CompressionSavedBytes+cdcSt.StoredBytes == cdcSt.LogicalWriteBytes
+
+	fillBenchArtifact(art, cdcSt, cdcSrv.CacheStats().HitRate(), cdcWall, view.Snapshot())
+	return nil
+}
+
+// chunkRate times fn (which must consume a fixed n input bytes per call,
+// recycling the boundary scratch) and returns GB/s.
+func chunkRate(n int, fn func([]int) []int) float64 {
+	scratch := fn(nil) // warm caches and the scratch buffer
+	const rounds = 48
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		scratch = fn(scratch[:0])
+	}
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	_ = scratch
+	return float64(n) * rounds / el / 1e9
 }
 
 // runBenchCapacity drives the workload while recording the LBAs it
@@ -463,7 +681,7 @@ func runBenchCluster(cfg Config, wp Workload, groups int, art *BenchArtifact) er
 		return err
 	}
 	view := cl.EnableObservability(64)
-	wall, err := driveBench(cl, wp, cfg.ChunkSize)
+	wall, err := driveBench(cl, wp, cfg.ChunkSize, cfg.Chunking.Mode == chunk.ModeCDC)
 	if err != nil {
 		return err
 	}
@@ -519,7 +737,7 @@ func runBenchArchival(cfg Config, wp Workload, art *BenchArtifact) error {
 		return err
 	}
 	view := srv.EnableObservability(nil, 64)
-	wall, err := driveBench(srv, wp, cfg.ChunkSize)
+	wall, err := driveBench(srv, wp, cfg.ChunkSize, false)
 	if err != nil {
 		return err
 	}
@@ -624,14 +842,23 @@ func driveBenchN(srv *Server, gen *trace.Generator, sh *blockcomp.Shaper, buf []
 }
 
 // driveBench streams the workload synchronously and returns the wall
-// time including the final flush.
-func driveBench(s Store, wp Workload, chunkSize int) (time.Duration, error) {
+// time including the final flush. Under CDC the trace's chunk-index LBAs
+// become byte-offset extents (lba * chunkSize): each write is ingested
+// as a stream segment at its byte position, so identical content still
+// dedups while extent addresses never collide.
+func driveBench(s Store, wp Workload, chunkSize int, cdcExtents bool) (time.Duration, error) {
 	gen, err := trace.NewGenerator(wp)
 	if err != nil {
 		return 0, err
 	}
 	sh := blockcomp.NewShaper(wp.CompressRatio)
 	buf := make([]byte, chunkSize)
+	addr := func(lba uint64) uint64 {
+		if cdcExtents {
+			return lba * uint64(chunkSize)
+		}
+		return lba
+	}
 	start := time.Now()
 	for {
 		req, ok := gen.Next()
@@ -641,11 +868,11 @@ func driveBench(s Store, wp Workload, chunkSize int) (time.Duration, error) {
 		switch req.Op {
 		case trace.OpWrite:
 			sh.Block(req.ContentSeed, buf)
-			if err := s.Write(req.LBA, buf); err != nil {
+			if err := s.Write(addr(req.LBA), buf); err != nil {
 				return 0, fmt.Errorf("fidr: bench %s write: %w", wp.Name, err)
 			}
 		case trace.OpRead:
-			if _, err := s.Read(req.LBA); err != nil && err != core.ErrNotFound {
+			if _, err := s.Read(addr(req.LBA)); err != nil && err != core.ErrNotFound {
 				return 0, fmt.Errorf("fidr: bench %s read: %w", wp.Name, err)
 			}
 		}

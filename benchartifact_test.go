@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fidr"
+	"fidr/internal/chunk"
 )
 
 func TestBenchArtifactSingle(t *testing.T) {
@@ -247,6 +248,74 @@ func TestBenchArtifactCapacity(t *testing.T) {
 	// The body still carries the normal throughput/latency measurements.
 	if art.ThroughputMBps <= 0 || art.WallSeconds <= 0 {
 		t.Fatalf("throughput %v over %vs", art.ThroughputMBps, art.WallSeconds)
+	}
+}
+
+func TestBenchArtifactCDC(t *testing.T) {
+	art, err := fidr.RunBenchExperiment("cdc", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Experiment != "cdc" || art.Workload != "Write-M" {
+		t.Fatalf("experiment/workload = %q/%q", art.Experiment, art.Workload)
+	}
+	if art.Chunker != "cdc" {
+		t.Fatalf("chunker = %q, want cdc", art.Chunker)
+	}
+	c := art.CDC
+	if c == nil {
+		t.Fatal("cdc section missing from artifact")
+	}
+	if c.MinChunk <= 0 || c.AvgChunk < c.MinChunk || c.MaxChunk < c.AvgChunk {
+		t.Fatalf("chunk size bounds inconsistent: %d/%d/%d", c.MinChunk, c.AvgChunk, c.MaxChunk)
+	}
+	if c.ChunkerFastGBps <= 0 || c.ChunkerReferenceGBps <= 0 || c.ChunkerRollingGBps <= 0 {
+		t.Fatalf("chunker rates missing: fast %v ref %v rolling %v",
+			c.ChunkerFastGBps, c.ChunkerReferenceGBps, c.ChunkerRollingGBps)
+	}
+	// At full bench scale the acceptance bar is 5x; the test asserts the
+	// fast path wins at all so a shared noisy CI box cannot flake it.
+	if c.ChunkerSpeedup <= 1 {
+		t.Errorf("fast chunker speedup %v over the reference scalar, want > 1", c.ChunkerSpeedup)
+	}
+	if c.FixedThroughputMBps <= 0 || c.CDCThroughputMBps <= 0 {
+		t.Errorf("end-to-end throughputs: fixed %v cdc %v", c.FixedThroughputMBps, c.CDCThroughputMBps)
+	}
+	// The whole point: on insertion-shifted backup generations CDC
+	// resynchronizes where fixed-block chunking cannot.
+	if c.DedupRatioDelta <= 0 {
+		t.Errorf("dedup ratio delta %v (cdc %v vs fixed %v), want positive",
+			c.DedupRatioDelta, c.CDCDedupRatio, c.FixedDedupRatio)
+	}
+	if c.MeanChunkBytes < float64(c.MinChunk) || c.MeanChunkBytes > float64(c.MaxChunk) {
+		t.Errorf("mean chunk %v bytes outside [%d, %d]", c.MeanChunkBytes, c.MinChunk, c.MaxChunk)
+	}
+	if !c.LedgerBalanced {
+		t.Error("reduction-attribution ledger unbalanced under variable-size chunks")
+	}
+	// The body carries the CDC run's measurements.
+	if art.ThroughputMBps <= 0 || art.WallSeconds <= 0 {
+		t.Fatalf("throughput %v over %vs", art.ThroughputMBps, art.WallSeconds)
+	}
+}
+
+func TestBenchChunkerOverride(t *testing.T) {
+	// Any single-server experiment runs end to end with -chunker=cdc:
+	// variable chunks flow through NIC buffering, dedup, and container
+	// packing, and the extent addressing keeps reads resolvable.
+	art, err := fidr.RunBenchExperimentChunker("writem", 1500, chunk.Config{Mode: chunk.ModeCDC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Chunker != "cdc" {
+		t.Fatalf("chunker = %q, want cdc", art.Chunker)
+	}
+	if art.ThroughputMBps <= 0 || art.DedupRatio <= 0 {
+		t.Fatalf("throughput %v dedup %v", art.ThroughputMBps, art.DedupRatio)
+	}
+	// WAL-dependent experiments cannot run under CDC and must say so.
+	if _, err := fidr.RunBenchExperimentChunker("archival", 500, chunk.Config{Mode: chunk.ModeCDC}); err == nil {
+		t.Fatal("archival under CDC was accepted; WAL cannot persist raw chunk sizes")
 	}
 }
 

@@ -17,6 +17,13 @@
 // p50/p90/p99 per-stage latencies distilled from the live metrics
 // registry. With no experiment names it runs them all. The JSON schema
 // is documented in README.md.
+//
+// -chunker selects the write chunking mode for bench runs: "fixed"
+// (default) or "cdc" (content-defined, variable-size chunks cut by the
+// skip-ahead gear chunker; -cdc-min/-cdc-avg/-cdc-max size the chunks).
+// CDC runs the same workloads end to end — variable chunks through NIC
+// buffering, dedup, compression and container packing — but is rejected
+// for WAL-dependent experiments (archival, capacity).
 package main
 
 import (
@@ -26,11 +33,16 @@ import (
 	"time"
 
 	"fidr"
+	"fidr/internal/chunk"
 )
 
 func main() {
 	ios := flag.Int("ios", 0, "workload size in IOs per run (0 = default)")
 	out := flag.String("out", "bench-artifacts", "output directory for bench artifacts")
+	chunker := flag.String("chunker", "fixed", "bench chunking mode: fixed or cdc")
+	cdcMin := flag.Int("cdc-min", 0, "CDC minimum chunk bytes; 0 = default")
+	cdcAvg := flag.Int("cdc-avg", 0, "CDC average (target) chunk bytes; 0 = default")
+	cdcMax := flag.Int("cdc-max", 0, "CDC maximum chunk bytes; 0 = default")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fidrbench [-ios N] all | list | <experiment>... | [-out dir] bench [name...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", fidr.Experiments())
@@ -48,8 +60,14 @@ func main() {
 		}
 		return
 	}
+	mode, err := chunk.ParseMode(*chunker)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fidrbench: -chunker: %v\n", err)
+		os.Exit(2)
+	}
+	chunking := chunk.Config{Mode: mode, Min: *cdcMin, Avg: *cdcAvg, Max: *cdcMax}
 	if args[0] == "bench" {
-		if err := runBench(args[1:], *ios, *out); err != nil {
+		if err := runBench(args[1:], *ios, *out, chunking); err != nil {
 			fmt.Fprintf(os.Stderr, "fidrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -78,13 +96,13 @@ func main() {
 
 // runBench executes the named bench experiments (all when empty) and
 // writes one BENCH_<name>.json artifact each.
-func runBench(names []string, ios int, outDir string) error {
+func runBench(names []string, ios int, outDir string, chunking chunk.Config) error {
 	if len(names) == 0 {
 		names = fidr.BenchExperiments()
 	}
 	for _, name := range names {
 		start := time.Now()
-		art, err := fidr.RunBenchExperiment(name, ios)
+		art, err := fidr.RunBenchExperimentChunker(name, ios, chunking)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

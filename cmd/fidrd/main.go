@@ -8,6 +8,14 @@
 //	      [-events 1024] [-gc-threshold 0.25] [-pprof]
 //	      [-health-dir DIR] [-health-snapshots 8] [-health-profile 0]
 //	      [-watchdog-interval 250ms] [-watchdog-deadline 2s]
+//	      [-chunker fixed|cdc] [-cdc-min N] [-cdc-avg N] [-cdc-max N]
+//
+// -chunker=cdc switches writes to content-defined, variable-size
+// chunking: each Write is a stream segment at an absolute byte offset,
+// cut into extents by the skip-ahead gear chunker; reads address the
+// extent start offsets. Per-chunk raw sizes live only in memory, so CDC
+// is in-memory single-group only (no -wal-file, -data-file, -recover,
+// or -groups > 1).
 //
 // With -groups N > 1 the daemon serves a §5.6 scale-out cluster: N
 // device groups, each a full server, with client LBAs sharded across
@@ -94,6 +102,7 @@ import (
 	"time"
 
 	"fidr"
+	"fidr/internal/chunk"
 	"fidr/internal/core"
 	"fidr/internal/hostmodel"
 	"fidr/internal/metrics"
@@ -148,6 +157,10 @@ func main() {
 	watchdogInterval := flag.Duration("watchdog-interval", 250*time.Millisecond, "liveness probe cadence")
 	watchdogDeadline := flag.Duration("watchdog-deadline", 2*time.Second, "liveness deadline before a probe reports a stall")
 	debugHooks := flag.Bool("debug-hooks", false, "mount fault-injection hooks (POST /debug/stall) on -metrics-addr; test harnesses only")
+	chunker := flag.String("chunker", "fixed", "write chunking mode: fixed or cdc (content-defined, variable-size extents; in-memory single group only)")
+	cdcMin := flag.Int("cdc-min", 0, "CDC minimum chunk bytes; 0 = default")
+	cdcAvg := flag.Int("cdc-avg", 0, "CDC average (target) chunk bytes; 0 = default")
+	cdcMax := flag.Int("cdc-max", 0, "CDC maximum chunk bytes; 0 = default")
 	flag.Parse()
 
 	var a fidr.Arch
@@ -171,6 +184,22 @@ func main() {
 	cfg.CompressLanes = *compressLanes
 	if *groups < 1 {
 		log.Fatalf("fidrd: -groups %d", *groups)
+	}
+	mode, err := chunk.ParseMode(*chunker)
+	if err != nil {
+		log.Fatalf("fidrd: -chunker: %v", err)
+	}
+	if mode == chunk.ModeCDC {
+		// CDC servers keep per-chunk raw sizes in memory only: no WAL, no
+		// checkpoint, no shutdown persistence — so no durable volumes or
+		// recovery, and no cluster (extent sharding is fixed-index).
+		if *walFile != "" || *dataFile != "" || *tableFile != "" || *recover {
+			log.Fatal("fidrd: -chunker=cdc is in-memory only (per-chunk raw sizes are not persisted); drop -wal-file/-data-file/-table-file/-recover")
+		}
+		if *groups > 1 {
+			log.Fatal("fidrd: -chunker=cdc requires -groups 1")
+		}
+		cfg.Chunking = chunk.Config{Mode: mode, Min: *cdcMin, Avg: *cdcAvg, Max: *cdcMax}
 	}
 
 	// The store behind the listener, plus its observability surface.

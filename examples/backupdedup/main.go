@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"fidr/internal/chunk"
 	"fidr/internal/fingerprint"
@@ -48,12 +49,14 @@ func dedupFixed(streams [][]byte) (total, unique int) {
 	return
 }
 
-// dedupCDC deduplicates with content-defined chunking.
+// dedupCDC deduplicates with content-defined chunking. Each stream is
+// its own extent space, so Split gets a per-stream base offset far
+// enough apart that extents never collide.
 func dedupCDC(streams [][]byte) (total, unique int) {
-	c := chunk.NewCDC(2048, 8192, 65536)
+	c := chunk.NewCDC(2048, 8192, 32768)
 	seen := map[fingerprint.FP]bool{}
-	for _, s := range streams {
-		for _, ch := range c.Split(s) {
+	for si, s := range streams {
+		for _, ch := range c.Split(uint64(si)<<32, s) {
 			total++
 			fp := fingerprint.Of(ch.Data)
 			if !seen[fp] {
@@ -65,12 +68,41 @@ func dedupCDC(streams [][]byte) (total, unique int) {
 	return
 }
 
+// chunkingRate measures single-core chunking throughput in GB/s over
+// the backup streams, for the skip-ahead fast path and the retained
+// scalar reference it is proven byte-identical to.
+func chunkingRate(streams [][]byte) (fastGBs, refGBs float64) {
+	c := chunk.NewCDC(2048, 8192, 32768)
+	const rounds = 20
+	var bytes int64
+	var scratch []int
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, s := range streams {
+			scratch = c.AppendBoundaries(scratch[:0], s)
+			bytes += int64(len(s))
+		}
+	}
+	fastGBs = float64(bytes) / time.Since(start).Seconds() / 1e9
+	bytes = 0
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, s := range streams {
+			scratch = c.ReferenceBoundaries(scratch[:0], s)
+			bytes += int64(len(s))
+		}
+	}
+	refGBs = float64(bytes) / time.Since(start).Seconds() / 1e9
+	return
+}
+
 func main() {
 	backups := makeBackups()
 	fmt.Printf("three nightly backups of a %d-KiB file, bytes inserted near the front each night\n\n", fileSize/1024)
 
 	ft, fu := dedupFixed(backups)
 	ct, cu := dedupCDC(backups)
+	fastGBs, refGBs := chunkingRate(backups)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "chunking\tchunks\tunique\tdedup ratio")
@@ -78,8 +110,11 @@ func main() {
 	fmt.Fprintf(w, "content-defined\t%d\t%d\t%.1f%%\n", ct, cu, 100*(1-float64(cu)/float64(ct)))
 	w.Flush()
 
+	fmt.Printf("\nchunking throughput (single core): %.2f GB/s fast path, %.2f GB/s scalar reference (%.1fx)\n",
+		fastGBs, refGBs, fastGBs/refGBs)
 	fmt.Println("\nfixed chunking loses alignment after every insertion (near-zero dedup);")
 	fmt.Println("CDC resynchronizes within a few chunks and dedups the unshifted tail.")
-	fmt.Println("FIDR still uses fixed 4-KB chunks inline: block storage is write-in-place")
-	fmt.Println("(no insertions), and CDC's rolling hash is too expensive at Tbps rates (§2.1.1).")
+	fmt.Println("The paper keeps fixed 4-KB chunks inline (§2.1.1: rolling hashes are too")
+	fmt.Println("expensive at Tbps rates); the skip-ahead chunker revisits that trade-off —")
+	fmt.Println("run fidrbench with -chunker=cdc to measure it end to end.")
 }

@@ -1,11 +1,15 @@
-// Package chunk splits client write requests into fixed-size chunks, the
-// unit of deduplication and compression in FIDR.
+// Package chunk splits client write requests into chunks, the unit of
+// deduplication and compression in FIDR.
 //
 // The paper uses fixed 4-KB chunking: variable-size chunking is too
 // compute-heavy for inline reduction at Tbps rates, and large (32-KB)
 // chunking suffers read-modify-write amplification (§3.1, Figure 3). The
 // package also provides the read-modify-write analysis used to reproduce
-// Figure 3, and a content-defined chunker as an extension.
+// Figure 3, and — following SeqCDC/VectorCDC (see PAPERS.md) — a
+// skip-ahead, word-at-a-time content-defined chunker (cdc.go) fast
+// enough to make the fixed-vs-CDC trade-off worth measuring live, plus
+// the retained scalar rolling-hash chunker (rolling.go) it is
+// benchmarked against.
 package chunk
 
 import (
@@ -16,13 +20,23 @@ import (
 // DefaultSize is the paper's chunk size: 4 KiB.
 const DefaultSize = 4096
 
-// Chunk is one fixed-size piece of a client request.
+// Chunk is one piece of a client request.
+//
+// The meaning of LBA depends on the chunker. Fixed chunkers address
+// chunks in units of the chunk size (chunk-aligned block address
+// space). Variable-size chunkers (CDC, Rolling) use extent addressing:
+// LBA is the chunk's absolute byte offset in the client stream, so a
+// chunk is an extent [LBA, LBA+len(Data)) and chunks produced by
+// different Split calls over distinct stream ranges never collide on
+// the same store. Reading a CDC stream back means resolving the extent
+// that *starts* at the requested byte offset.
 type Chunk struct {
-	// LBA is the logical block address of the chunk in units of the
-	// chunker's chunk size (chunk-aligned address space).
+	// LBA is the chunk's logical address: chunk-size units for Fixed,
+	// absolute stream byte offset (extent address) for CDC/Rolling.
 	LBA uint64
 	// Data is the chunk payload; always exactly the chunk size for a
-	// fixed chunker operating on aligned requests.
+	// fixed chunker operating on aligned requests, and between 1 and
+	// Max bytes for variable-size chunkers.
 	Data []byte
 }
 

@@ -281,12 +281,37 @@ func TestCDCSplitRoundTrip(t *testing.T) {
 	c := NewCDC(512, 2048, 8192)
 	data := make([]byte, 50000)
 	rand.New(rand.NewSource(3)).Read(data)
+	const base = uint64(1 << 30)
 	var re []byte
-	for _, ch := range c.Split(data) {
+	for _, ch := range c.Split(base, data) {
+		// Extent addressing: LBA is the absolute stream byte offset of
+		// the chunk start.
+		if ch.LBA != base+uint64(len(re)) {
+			t.Fatalf("chunk LBA %d, want extent address %d", ch.LBA, base+uint64(len(re)))
+		}
 		re = append(re, ch.Data...)
 	}
 	if !bytes.Equal(re, data) {
 		t.Fatal("CDC split does not reassemble input")
+	}
+}
+
+func TestCDCSplitNoCollisionAcrossCalls(t *testing.T) {
+	// Two Split calls over distinct stream ranges must produce disjoint
+	// extent addresses (the old scheme numbered from 0 every call).
+	c := NewCDC(512, 2048, 8192)
+	data := make([]byte, 20000)
+	rand.New(rand.NewSource(9)).Read(data)
+	seen := map[uint64]bool{}
+	off := uint64(0)
+	for i := 0; i < 3; i++ {
+		for _, ch := range c.Split(off, data) {
+			if seen[ch.LBA] {
+				t.Fatalf("extent address %d reused across Split calls", ch.LBA)
+			}
+			seen[ch.LBA] = true
+		}
+		off += uint64(len(data))
 	}
 }
 

@@ -1,0 +1,49 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCDCEquivalence fuzzes the fast chunker against the retained
+// scalar reference: for arbitrary bytes and chunking parameters the two
+// must produce byte-identical boundaries, the boundaries must cover the
+// input, and every chunk must be within (0, Max]. The seed corpus pins
+// the shapes the equivalence suite found interesting: empty and
+// single-byte inputs, anchor-byte runs (worst case for the word scan
+// and the linear-confirm bailout), data shorter than Min, and torn
+// tails.
+//
+// CI runs this bounded (make fuzz); run `go test -fuzz FuzzCDCEquivalence
+// ./internal/chunk/` for an open-ended session.
+func FuzzCDCEquivalence(f *testing.F) {
+	f.Add([]byte{}, uint16(0), uint16(3), uint16(8))
+	f.Add([]byte{0xA4}, uint16(1), uint16(0), uint16(0))
+	f.Add(bytes.Repeat([]byte{0xA4}, 300), uint16(2), uint16(2), uint16(7))
+	f.Add(bytes.Repeat([]byte{0xA4, 0x00}, 200), uint16(7), uint16(5), uint16(30))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint16(4), uint16(4), uint16(0))
+	f.Add(bytes.Repeat([]byte{0x00}, 1000), uint16(64), uint16(7), uint16(100))
+	f.Add(bytes.Repeat([]byte("abcdefgh"), 400), uint16(100), uint16(10), uint16(5000))
+	f.Fuzz(func(t *testing.T, data []byte, minSel, avgShift, maxSel uint16) {
+		avg := 1 << (avgShift % 16) // 1 .. 32768, crosses the linear-confirm limit
+		min := int(minSel)%avg + 1
+		max := avg + int(maxSel)
+		c := NewCDC(min, avg, max)
+		fast := c.AppendBoundaries(nil, data)
+		ref := c.ReferenceBoundaries(nil, data)
+		if !boundsEqual(fast, ref) {
+			t.Fatalf("min=%d avg=%d max=%d len=%d: fast %v != reference %v",
+				min, avg, max, len(data), head(fast), head(ref))
+		}
+		if len(data) > 0 && (len(fast) == 0 || fast[len(fast)-1] != len(data)) {
+			t.Fatalf("boundaries do not cover input: %v (len %d)", head(fast), len(data))
+		}
+		prev := 0
+		for _, b := range fast {
+			if sz := b - prev; sz <= 0 || sz > max {
+				t.Fatalf("chunk size %d outside (0,%d]", sz, max)
+			}
+			prev = b
+		}
+	})
+}

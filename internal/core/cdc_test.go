@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fidr/internal/chunk"
+)
+
+// cdcTestConfig builds a small CDC server config.
+func cdcTestConfig(arch Arch) Config {
+	cfg := DefaultConfig(arch)
+	cfg.ContainerSize = 1 << 18
+	cfg.Chunking = chunk.Config{Mode: chunk.ModeCDC, Min: 1024, Avg: 4096, Max: 16384}
+	return cfg
+}
+
+// cdcStream builds a duplicate-rich byte stream: a random base segment
+// repeated with a few bytes inserted near the front, the backup-
+// generation shape content-defined chunking exists for.
+func cdcStream(t *testing.T, size int) ([]byte, []byte) {
+	t.Helper()
+	base := make([]byte, size)
+	rand.New(rand.NewSource(77)).Read(base)
+	shifted := append(append([]byte("gen2-hdr"), base[:3000]...), base[3000:]...)
+	return base, shifted
+}
+
+// TestCDCStreamRoundTrip drives variable-size chunks end to end on both
+// architectures: stream writes through the chunker, dedup, compression
+// and container packing, then reads every extent back bit-exact and
+// checks the reduction-attribution ledger balances.
+func TestCDCStreamRoundTrip(t *testing.T) {
+	for _, arch := range []Arch{Baseline, FIDRNicP2P, FIDRFull} {
+		t.Run(arch.String(), func(t *testing.T) {
+			s, err := New(cdcTestConfig(arch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, shifted := cdcStream(t, 200<<10)
+
+			// Two streams in disjoint extent spaces: generation 2 repeats
+			// generation 1 with an 8-byte insertion at the front.
+			const gen2Base = 1 << 32
+			if err := s.Write(0, base); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Write(gen2Base, shifted); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The server's cuts are reproducible client-side: the same
+			// chunker configuration yields the extent addresses.
+			c := chunk.NewCDC(1024, 4096, 16384)
+			for _, st := range []struct {
+				baseOff uint64
+				data    []byte
+			}{{0, base}, {gen2Base, shifted}} {
+				prev := 0
+				for _, b := range c.Boundaries(st.data) {
+					got, err := s.Read(st.baseOff + uint64(prev))
+					if err != nil {
+						t.Fatalf("read extent %d: %v", prev, err)
+					}
+					if !bytes.Equal(got, st.data[prev:b]) {
+						t.Fatalf("extent %d: read %d bytes, mismatch with stream slice [%d:%d)", prev, len(got), prev, b)
+					}
+					prev = b
+				}
+			}
+
+			st := s.Stats()
+			if st.DuplicateChunks == 0 {
+				t.Fatalf("no duplicate chunks across repeated generations: %+v", st)
+			}
+			if want := uint64(len(base) + len(shifted)); st.LogicalWriteBytes != want {
+				t.Fatalf("LogicalWriteBytes = %d, want %d", st.LogicalWriteBytes, want)
+			}
+			// CDC resynchronizes after the insertion, so most of gen2
+			// should dedup against gen1.
+			if st.DedupSavedBytes < uint64(len(shifted))/2 {
+				t.Errorf("DedupSavedBytes = %d, want at least half of gen2 (%d)", st.DedupSavedBytes, len(shifted)/2)
+			}
+			if got := st.DedupSavedBytes + st.CompressionSavedBytes + st.StoredBytes; got != st.LogicalWriteBytes {
+				t.Errorf("ledger unbalanced after flush: dedup %d + comp %d + stored %d = %d != logical %d",
+					st.DedupSavedBytes, st.CompressionSavedBytes, st.StoredBytes, got, st.LogicalWriteBytes)
+			}
+
+			rep, err := s.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("verify: %v", rep.Problems)
+			}
+		})
+	}
+}
+
+// TestCDCStreamResumesAcrossBufferDrains shrinks the NIC buffer so one
+// segment overflows it repeatedly: the stream must drain mid-segment and
+// resume at a chunk boundary with the same cuts a whole-stream chunker
+// produces.
+func TestCDCStreamResumesAcrossBufferDrains(t *testing.T) {
+	cfg := cdcTestConfig(FIDRNicP2P)
+	cfg.NICBufferBytes = 4 * cfg.Chunking.Max // minimum Validate allows
+	cfg.BatchChunks = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := s.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := chunk.NewCDC(1024, 4096, 16384)
+	bounds := c.Boundaries(data)
+	prev := 0
+	for _, b := range bounds {
+		got, err := s.Read(uint64(prev))
+		if err != nil {
+			t.Fatalf("read extent %d: %v", prev, err)
+		}
+		if !bytes.Equal(got, data[prev:b]) {
+			t.Fatalf("extent %d mismatch", prev)
+		}
+		prev = b
+	}
+	if st := s.Stats(); st.UniqueChunks+st.DuplicateChunks != uint64(len(bounds)) {
+		t.Fatalf("processed %d chunks, whole-stream chunker cut %d",
+			st.UniqueChunks+st.DuplicateChunks, len(bounds))
+	}
+}
+
+// TestCDCConfigGates pins the unsupported combinations: CDC + WAL and
+// CDC + Checkpoint are rejected (per-chunk raw sizes are not persisted),
+// and oversized Max chunks cannot outgrow the 16-bit compressed-size
+// field.
+func TestCDCConfigGates(t *testing.T) {
+	cfg := cdcTestConfig(FIDRNicP2P)
+	cfg.Chunking.Max = 1 << 16
+	cfg.Chunking.Avg = 1 << 15
+	if _, err := New(cfg); err == nil {
+		t.Error("Max beyond the storable compressed size was accepted")
+	}
+
+	cfg = cdcTestConfig(FIDRNicP2P)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Error("Checkpoint on a CDC server was accepted")
+	}
+	if _, err := s.ReadRange(0, 2); err == nil {
+		t.Error("ReadRange on a CDC server was accepted")
+	}
+	if err := s.Write(0, nil); err == nil {
+		t.Error("empty stream write was accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"fidr/internal/blockcomp"
+	"fidr/internal/chunk"
 	"fidr/internal/engine"
 	"fidr/internal/fingerprint"
 	"fidr/internal/hashpbn"
@@ -59,8 +60,16 @@ func (a Arch) String() string {
 type Config struct {
 	// Arch picks the architecture.
 	Arch Arch
-	// ChunkSize is the deduplication granularity (4096).
+	// ChunkSize is the deduplication granularity (4096) under fixed
+	// chunking, and the raw-size fallback for metadata recovered without
+	// per-chunk sizes.
 	ChunkSize int
+	// Chunking selects the write-path chunker. The zero value is the
+	// paper's fixed ChunkSize chunking; ModeCDC switches the server to
+	// variable-size content-defined chunks addressed by stream byte
+	// offset (extents). CDC servers do not yet support Checkpoint or a
+	// WAL: per-chunk raw sizes are not persisted.
+	Chunking chunk.Config
 	// BatchChunks is the accelerator batch size in chunks.
 	BatchChunks int
 	// ContainerSize is the compressed-chunk container size.
@@ -159,8 +168,34 @@ func (c *Config) Validate() error {
 	if c.PredictorCapacity < 1 {
 		c.PredictorCapacity = 1 << 16
 	}
+	if err := c.Chunking.Normalize(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Chunking.Mode == chunk.ModeCDC {
+		if c.WAL != nil {
+			return fmt.Errorf("core: content-defined chunking does not support a WAL (per-chunk raw sizes are not logged)")
+		}
+		if c.ContainerSize < c.Chunking.Max {
+			return fmt.Errorf("core: container %d smaller than max CDC chunk %d", c.ContainerSize, c.Chunking.Max)
+		}
+		// An incompressible Max-size chunk must still fit the LBA table's
+		// 16-bit compressed-size field after the compressor's worst-case
+		// token overhead.
+		if c.Chunking.Max+cdcCompressSlack > lbatable.MaxCSize {
+			return fmt.Errorf("core: max CDC chunk %d + compression slack exceeds storable size %d",
+				c.Chunking.Max, lbatable.MaxCSize)
+		}
+		if c.NICBufferBytes < 4*c.Chunking.Max {
+			c.NICBufferBytes = 4 * c.Chunking.Max
+		}
+	}
 	return nil
 }
+
+// cdcCompressSlack bounds the compressor's expansion on incompressible
+// input (the LZ engine's token-stream overhead is a few bytes; one
+// container offset unit is a comfortable margin).
+const cdcCompressSlack = lbatable.OffsetUnit
 
 // Device names on the PCIe fabric.
 const (
@@ -263,9 +298,22 @@ type Server struct {
 	// their spans under the tipping request's trace.
 	activeReq *ReqTrace
 
+	// chunker is the server's content-defined chunker: non-nil exactly
+	// when cfg.Chunking.Mode is ModeCDC. FIDR servers chunk inside the
+	// NIC (BufferStream); the baseline chunks here in host software.
+	// cbounds is the baseline path's reusable boundary scratch.
+	chunker *chunk.CDC
+	cbounds []int
+
 	// pbnFP records each PBN's fingerprint for garbage collection
 	// (real systems keep it in container metadata).
 	pbnFP []fingerprint.FP
+	// pbnRaw records each PBN's uncompressed size so reads know how many
+	// bytes to decompress. Essential under CDC (chunks vary in size);
+	// maintained in fixed mode too, where every entry equals ChunkSize.
+	// Not persisted by Checkpoint — rawSizeOf falls back to ChunkSize for
+	// recovered (always fixed-mode) metadata.
+	pbnRaw []uint32
 	// reclaimed lists containers retired by Compact.
 	reclaimed []uint64
 	// fpLive counts live Hash-PBN table entries. The table cache has no
@@ -382,15 +430,24 @@ func New(cfg Config) (*Server, error) {
 		tableSSD: tableSSD,
 		wal:      cfg.WAL,
 	}
+	if cfg.Chunking.Mode == chunk.ModeCDC {
+		s.chunker, err = cfg.Chunking.NewChunker()
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Arch == Baseline {
 		s.pnic = nic.NewPlain()
 		s.pred = predictor.New(cfg.PredictorCapacity, ledger, costs)
 	} else {
-		s.fnic, err = nic.NewFIDR(cfg.NICBufferBytes)
+		s.fnic, err = nic.New(nic.Config{
+			BufferBytes: cfg.NICBufferBytes,
+			HashLanes:   cfg.HashLanes,
+			Chunking:    cfg.Chunking,
+		})
 		if err != nil {
 			return nil, err
 		}
-		s.fnic.SetHashLanes(cfg.HashLanes)
 	}
 	s.rcache = newReadCache(cfg.ReadCacheChunks)
 	s.latency = newLatencyTracker(DefaultLatency())
@@ -449,8 +506,22 @@ func (s *Server) Arch() Arch { return s.cfg.Arch }
 // Config returns the server's configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// ChunkSize returns the deduplication granularity in bytes.
+// ChunkSize returns the deduplication granularity in bytes (fixed
+// chunking; under CDC, chunk sizes vary per chunk).
 func (s *Server) ChunkSize() int { return s.cfg.ChunkSize }
+
+// Chunking returns the server's chunking configuration.
+func (s *Server) Chunking() chunk.Config { return s.cfg.Chunking }
+
+// rawSizeOf returns a stored chunk's uncompressed size. Metadata
+// recovered from a checkpoint predates per-chunk size tracking in this
+// process; such servers are always fixed-mode, so ChunkSize is exact.
+func (s *Server) rawSizeOf(pbn uint64) int {
+	if pbn < uint64(len(s.pbnRaw)) && s.pbnRaw[pbn] != 0 {
+		return int(s.pbnRaw[pbn])
+	}
+	return s.cfg.ChunkSize
+}
 
 // Ledger exposes the host resource ledger.
 func (s *Server) Ledger() *hostmodel.Ledger { return s.ledger }

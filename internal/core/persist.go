@@ -58,6 +58,9 @@ func (s *Server) Checkpoint() error {
 	if err := s.failIfCrashed(); err != nil {
 		return err
 	}
+	if s.chunker != nil {
+		return fmt.Errorf("core: checkpoint does not support content-defined chunking (per-chunk raw sizes are not persisted)")
+	}
 	if err := s.Flush(); err != nil {
 		return err
 	}

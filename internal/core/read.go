@@ -25,21 +25,35 @@ func (s *Server) ReadTraced(lba uint64, tc *TraceContext) ([]byte, error) {
 		return nil, err
 	}
 	s.stats.ClientReads++
-	s.stats.ClientBytes += uint64(s.cfg.ChunkSize)
-	s.ledger.Client(uint64(s.cfg.ChunkSize))
+	if s.chunker == nil {
+		// Fixed chunking: the payload size is known upfront.
+		s.stats.ClientBytes += uint64(s.cfg.ChunkSize)
+		s.ledger.Client(uint64(s.cfg.ChunkSize))
+		s.obs.onRead(s.cfg.ChunkSize)
+	}
 	s.ledger.CPU(hostmodel.CompProtocol, s.costs.ProtocolReadNs)
 	s.chargeTenant(false)
-	s.obs.onRead(s.cfg.ChunkSize)
 	tr := s.obs.begin("read", lba)
 	tr.adopt(tc)
 	defer tr.done()
 	s.activeReq = tr
 	defer func() { s.activeReq = nil }()
 
+	var out []byte
+	var err error
 	if s.cfg.Arch == Baseline {
-		return s.baselineRead(lba, tr)
+		out, err = s.baselineRead(lba, tr)
+	} else {
+		out, err = s.fidrRead(lba, tr)
 	}
-	return s.fidrRead(lba, tr)
+	if err == nil && s.chunker != nil {
+		// CDC: an extent's size is whatever the chunker cut; charge the
+		// bytes actually served.
+		s.stats.ClientBytes += uint64(len(out))
+		s.ledger.Client(uint64(len(out)))
+		s.obs.onRead(len(out))
+	}
+	return out, err
 }
 
 // ReadRange returns n consecutive chunks starting at lba, concatenated.
@@ -49,6 +63,9 @@ func (s *Server) ReadTraced(lba uint64, tc *TraceContext) ([]byte, error) {
 func (s *Server) ReadRange(lba uint64, n int) ([]byte, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: read of %d chunks", n)
+	}
+	if s.chunker != nil {
+		return nil, fmt.Errorf("core: ReadRange addresses fixed chunk indexes; CDC extents are read individually")
 	}
 	out := make([]byte, 0, n*s.cfg.ChunkSize)
 	for i := 0; i < n; i++ {
@@ -81,7 +98,7 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	}
 	tr.span(StageNICBuffer, from)
 	from = tr.start()
-	pba, err := s.resolve(lba)
+	pba, pbn, err := s.resolve(lba)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +108,7 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 		return nil, err
 	}
 	csize := uint64(pba.CSize)
-	raw := uint64(s.cfg.ChunkSize)
+	raw := uint64(s.rawSizeOf(pbn))
 	if fromSSD {
 		// SSD -> host memory.
 		s.transfer(devDataSSD, pcie.HostMemory, csize)
@@ -105,7 +122,7 @@ func (s *Server) baselineRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	s.transfer(pcie.HostMemory, devDecomp, csize)
 	s.ledger.MemPayload(hostmodel.PathHostFPGA, csize)
 	from = tr.start()
-	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
+	out, err := s.decomp.Decompress(cdata, int(raw))
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +164,7 @@ func (s *Server) fidrRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	// Steps 3-4: LBA goes to the host, which resolves the PBA.
 	s.transfer(devNIC, pcie.HostMemory, 8)
 	from = tr.start()
-	pba, err := s.resolve(lba)
+	pba, pbn, err := s.resolve(lba)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +178,7 @@ func (s *Server) fidrRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 		return nil, err
 	}
 	csize := uint64(pba.CSize)
-	raw := uint64(s.cfg.ChunkSize)
+	raw := uint64(s.rawSizeOf(pbn))
 	// Steps 5-7: device manager orchestrates SSD -> Decompression
 	// Engine -> NIC, all peer-to-peer; host memory never sees the data.
 	if fromSSD {
@@ -177,7 +194,7 @@ func (s *Server) fidrRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 		s.latency.observe(LatReadPending, s.cfg.Arch, 0)
 	}
 	from = tr.start()
-	out, err := s.decomp.Decompress(cdata, s.cfg.ChunkSize)
+	out, err := s.decomp.Decompress(cdata, int(raw))
 	if err != nil {
 		return nil, err
 	}
@@ -189,15 +206,19 @@ func (s *Server) fidrRead(lba uint64, tr *ReqTrace) ([]byte, error) {
 	return out, nil
 }
 
-// resolve maps an LBA to its physical address, charging the LBA-PBA
-// table work.
-func (s *Server) resolve(lba uint64) (lbatable.PBA, error) {
+// resolve maps an LBA to its physical address and PBN, charging the
+// LBA-PBA table work. The PBN keys per-chunk metadata (raw size).
+func (s *Server) resolve(lba uint64) (lbatable.PBA, uint64, error) {
 	s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
-	pba, err := s.lba.ResolveLBA(lba)
+	pbn, err := s.lba.LookupLBA(lba)
 	if err == lbatable.ErrUnmapped {
-		return lbatable.PBA{}, ErrNotFound
+		return lbatable.PBA{}, 0, ErrNotFound
 	}
-	return pba, err
+	if err != nil {
+		return lbatable.PBA{}, 0, err
+	}
+	pba, err := s.lba.Resolve(pbn)
+	return pba, pbn, err
 }
 
 // fetchCompressed returns the chunk's compressed bytes, either from the

@@ -13,9 +13,12 @@ import (
 	"fidr/internal/pcie"
 )
 
-// Write ingests one chunk-sized client write. Data is buffered (host
-// memory for the baseline, NIC memory for FIDR) and processed when a full
-// accelerator batch accumulates.
+// Write ingests one client write. Under fixed chunking data must be
+// exactly one chunk and lba addresses it; under CDC data is a stream
+// segment beginning at absolute stream byte offset lba, and the server
+// cuts it into content-defined chunks addressed by their extents. Either
+// way the data is buffered (host memory for the baseline, NIC memory for
+// FIDR) and processed when a full accelerator batch accumulates.
 func (s *Server) Write(lba uint64, data []byte) error {
 	return s.WriteTraced(lba, data, nil)
 }
@@ -27,8 +30,11 @@ func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
 	if err := s.failIfCrashed(); err != nil {
 		return err
 	}
-	if len(data) != s.cfg.ChunkSize {
+	if s.chunker == nil && len(data) != s.cfg.ChunkSize {
 		return fmt.Errorf("core: write of %d bytes, chunk size is %d", len(data), s.cfg.ChunkSize)
+	}
+	if s.chunker != nil && len(data) == 0 {
+		return fmt.Errorf("core: empty stream write")
 	}
 	s.stats.ClientWrites++
 	s.stats.ClientBytes += uint64(len(data))
@@ -45,6 +51,12 @@ func (s *Server) WriteTraced(lba uint64, data []byte, tc *TraceContext) error {
 	s.activeReq = tr
 	defer func() { s.activeReq = nil }()
 
+	if s.chunker != nil {
+		if s.cfg.Arch == Baseline {
+			return s.baselineStreamWrite(lba, data, tr)
+		}
+		return s.fidrStreamWrite(lba, data, tr)
+	}
 	if s.cfg.Arch == Baseline {
 		return s.baselineWrite(lba, data, tr)
 	}
@@ -268,6 +280,60 @@ func (s *Server) fidrWrite(lba uint64, data []byte, tr *ReqTrace) error {
 	return nil
 }
 
+// fidrStreamWrite runs the CDC write flow (§5.3 with in-NIC chunking):
+// the NIC's skip-ahead chunker cuts the segment into content-defined
+// chunks and buffers each under its extent address (absolute stream byte
+// offset). When the in-NIC buffer fills mid-segment the pending batch is
+// processed and the stream resumes at the last buffered boundary — the
+// chunker's boundary rule depends only on bytes at and after a boundary,
+// so the resumed call reproduces the remaining cuts exactly.
+func (s *Server) fidrStreamWrite(offset uint64, data []byte, tr *ReqTrace) error {
+	for len(data) > 0 {
+		from := tr.start()
+		before := s.fnic.Buffered()
+		n, err := s.fnic.BufferStream(offset, data)
+		for i := before; i < s.fnic.Buffered(); i++ {
+			s.fidrTenants = append(s.fidrTenants, s.tenant)
+		}
+		tr.span(StageNICBuffer, from)
+		offset += uint64(n)
+		data = data[n:]
+		switch {
+		case err == nic.ErrBufferFull:
+			if n == 0 && before == 0 {
+				// Cannot happen: Validate sizes the buffer for several
+				// Max-size chunks. Guard against spinning anyway.
+				return fmt.Errorf("core: chunk exceeds NIC buffer capacity")
+			}
+			if perr := s.processFIDRBatch(); perr != nil {
+				return perr
+			}
+		case err != nil:
+			return err
+		}
+	}
+	if s.fnic.Buffered() >= s.cfg.BatchChunks {
+		return s.processFIDRBatch()
+	}
+	return nil
+}
+
+// baselineStreamWrite chunks the segment in host software (the baseline
+// NIC DMA-writes raw bytes; it has no chunker) and feeds each
+// content-defined chunk through the §2.3 write flow under its extent
+// address.
+func (s *Server) baselineStreamWrite(offset uint64, data []byte, tr *ReqTrace) error {
+	s.cbounds = s.chunker.AppendBoundaries(s.cbounds[:0], data)
+	prev := 0
+	for _, b := range s.cbounds {
+		if err := s.baselineWrite(offset+uint64(prev), data[prev:b], tr); err != nil {
+			return err
+		}
+		prev = b
+	}
+	return nil
+}
+
 // processFIDRBatch runs the §5.3 write flow (steps 2-10).
 func (s *Server) processFIDRBatch() error {
 	if s.fnic.Buffered() == 0 {
@@ -425,13 +491,13 @@ func (s *Server) processFIDRBatch() error {
 			}
 			pbn = p
 			s.stats.DuplicateChunks++
-			s.stats.DedupSavedBytes += uint64(s.cfg.ChunkSize)
-			s.obs.onDup(uint64(s.cfg.ChunkSize))
+			s.stats.DedupSavedBytes += uint64(e.Size)
+			s.obs.onDup(uint64(e.Size))
 		default:
 			pbn = dupPBN[i]
 			s.stats.DuplicateChunks++
-			s.stats.DedupSavedBytes += uint64(s.cfg.ChunkSize)
-			s.obs.onDup(uint64(s.cfg.ChunkSize))
+			s.stats.DedupSavedBytes += uint64(e.Size)
+			s.obs.onDup(uint64(e.Size))
 		}
 		s.ledger.CPU(hostmodel.CompLBATable, s.costs.LBATablePerOpNs)
 		if err := s.lba.MapLBA(e.LBA, pbn); err != nil {
@@ -478,6 +544,10 @@ func (s *Server) recordUnique(meta engine.ChunkMeta) (uint64, error) {
 		s.pbnFP = append(s.pbnFP, fingerprint.FP{})
 	}
 	s.pbnFP[pbn] = meta.FP
+	for uint64(len(s.pbnRaw)) <= pbn {
+		s.pbnRaw = append(s.pbnRaw, 0)
+	}
+	s.pbnRaw[pbn] = uint32(meta.RawSize)
 	s.walAppend(meta, pbn)
 	s.fpLive++
 	s.stats.UniqueChunks++

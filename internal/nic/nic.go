@@ -18,20 +18,42 @@ import (
 	"time"
 
 	"fidr/internal/bufpool"
+	"fidr/internal/chunk"
 	"fidr/internal/fingerprint"
 	"fidr/internal/lanes"
 	"fidr/internal/metrics"
 )
 
-// WriteEntry is one buffered 4-KB chunk with its metadata.
+// WriteEntry is one buffered chunk with its metadata. Chunks are 4 KB
+// under fixed chunking and 1..Max bytes under CDC.
 type WriteEntry struct {
 	LBA  uint64
 	Data []byte
+	// Size is len(Data) at buffering time. It survives HashAll's
+	// Data-stripping (the host sees hashes and sizes, never bytes), so
+	// dedup accounting can attribute the right byte count per chunk
+	// under variable-size chunking.
+	Size int
 	// FP is the chunk fingerprint; computed by the NIC hash cores in
 	// FIDR, by the FPGA array in the baseline.
 	FP fingerprint.FP
 	// Hashed records whether FP is valid.
 	Hashed bool
+}
+
+// Config configures a FIDR NIC.
+type Config struct {
+	// BufferBytes bounds the in-NIC chunk buffer (battery-backed NIC
+	// DRAM; writes are acked once buffered, §7.6.1).
+	BufferBytes int
+	// HashLanes is the modeled SHA-256 core count; <= 0 selects the
+	// GOMAXPROCS-derived default.
+	HashLanes int
+	// Chunking selects the ingest chunker. ModeFixed (zero value)
+	// leaves chunking to the caller (BufferWrite per chunk); ModeCDC
+	// enables BufferStream, which runs the skip-ahead content-defined
+	// chunker over byte streams inside the NIC.
+	Chunking chunk.Config
 }
 
 // ErrBufferFull is returned when the in-NIC buffer cannot accept a write.
@@ -63,6 +85,11 @@ type FIDR struct {
 	// hashLanes is the modeled SHA-256 core count: HashAll fans the
 	// batch across this many worker goroutines (1 = serial).
 	hashLanes int
+	// chunker cuts byte streams into variable-size chunks for
+	// BufferStream; nil outside CDC mode. bounds is its reusable
+	// boundary scratch (no per-call allocation).
+	chunker *chunk.CDC
+	bounds  []int
 
 	stats Stats
 	obs   *nicObs
@@ -111,14 +138,37 @@ func (n *FIDR) Instrument(reg *metrics.Registry) {
 	n.obs.hashLanesG.Set(float64(n.hashLanes))
 }
 
+// New creates a FIDR NIC from cfg.
+func New(cfg Config) (*FIDR, error) {
+	if cfg.BufferBytes < 4096 {
+		return nil, fmt.Errorf("nic: buffer capacity %d too small", cfg.BufferBytes)
+	}
+	n := &FIDR{bufferCap: cfg.BufferBytes, lbaIndex: make(map[uint64]int), hashLanes: 1}
+	if cfg.HashLanes != 0 {
+		n.hashLanes = lanes.Normalize(cfg.HashLanes)
+	}
+	if cfg.Chunking.Mode == chunk.ModeCDC {
+		ck := cfg.Chunking
+		if err := ck.Normalize(); err != nil {
+			return nil, fmt.Errorf("nic: %w", err)
+		}
+		if ck.Max > cfg.BufferBytes {
+			return nil, fmt.Errorf("nic: max chunk %d exceeds buffer capacity %d", ck.Max, cfg.BufferBytes)
+		}
+		c, err := ck.NewChunker()
+		if err != nil {
+			return nil, fmt.Errorf("nic: %w", err)
+		}
+		n.chunker = c
+	}
+	return n, nil
+}
+
 // NewFIDR creates a FIDR NIC with the given buffer capacity in bytes.
 // The NIC starts with one hash lane (serial); SetHashLanes widens the
 // SHA-core array.
 func NewFIDR(bufferCap int) (*FIDR, error) {
-	if bufferCap < 4096 {
-		return nil, fmt.Errorf("nic: buffer capacity %d too small", bufferCap)
-	}
-	return &FIDR{bufferCap: bufferCap, lbaIndex: make(map[uint64]int), hashLanes: 1}, nil
+	return New(Config{BufferBytes: bufferCap})
 }
 
 // SetHashLanes sets the modeled SHA-256 core count HashAll fans out
@@ -143,7 +193,7 @@ func (n *FIDR) BufferWrite(lba uint64, data []byte) error {
 	}
 	cp := bufpool.Get(len(data))
 	copy(cp, data)
-	n.buffer = append(n.buffer, WriteEntry{LBA: lba, Data: cp})
+	n.buffer = append(n.buffer, WriteEntry{LBA: lba, Data: cp, Size: len(data)})
 	n.lbaIndex[lba] = len(n.buffer) - 1
 	n.buffered += len(data)
 	n.stats.WritesBuffered++
@@ -155,6 +205,40 @@ func (n *FIDR) BufferWrite(lba uint64, data []byte) error {
 		n.obs.bufferedBytes.Set(float64(n.buffered))
 	}
 	return nil
+}
+
+// ErrNoChunker is returned by BufferStream when the NIC was not
+// configured for content-defined chunking.
+var ErrNoChunker = errors.New("nic: not configured for content-defined chunking")
+
+// BufferStream runs the NIC's content-defined chunker over a stream
+// segment beginning at absolute stream byte offset and buffers the
+// resulting variable-size chunks, each addressed by its extent (stream
+// byte offset of the chunk start). It returns the number of bytes
+// consumed: when the in-NIC buffer fills mid-segment, consumed stops at
+// the last buffered chunk boundary with ErrBufferFull, and the caller
+// resumes with offset+consumed and data[consumed:] after draining a
+// batch — the chunker's boundary rule depends only on bytes at and
+// after a boundary, so the resumed call reproduces the remaining
+// boundaries exactly.
+//
+// Segmentation is the caller's: the final chunk of each call ends at
+// len(data), so callers should feed segments at their own record or
+// batch boundaries (the bench harness uses the backup-generation
+// segments the trace provides).
+func (n *FIDR) BufferStream(offset uint64, data []byte) (int, error) {
+	if n.chunker == nil {
+		return 0, ErrNoChunker
+	}
+	n.bounds = n.chunker.AppendBoundaries(n.bounds[:0], data)
+	consumed := 0
+	for _, b := range n.bounds {
+		if err := n.BufferWrite(offset+uint64(consumed), data[consumed:b]); err != nil {
+			return consumed, err
+		}
+		consumed = b
+	}
+	return consumed, nil
 }
 
 // Buffered returns the number of buffered chunks.

@@ -2,8 +2,10 @@ package nic
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
+	"fidr/internal/chunk"
 	"fidr/internal/fingerprint"
 )
 
@@ -173,5 +175,75 @@ func TestAreaMatchesTable4(t *testing.T) {
 	}
 	if SupportResources(2) != SupportResources(1) {
 		t.Error(">1 fraction not clamped")
+	}
+}
+
+// TestBufferStream exercises the CDC ingest path: variable-size chunks
+// extent-addressed by stream offset, drain-and-resume on ErrBufferFull,
+// and chunk coverage of the whole stream.
+func TestBufferStream(t *testing.T) {
+	n, err := New(Config{
+		BufferBytes: 64 << 10,
+		Chunking:    chunk.Config{Mode: chunk.ModeCDC, Min: 1024, Avg: 4096, Max: 16384},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(77)).Read(data)
+
+	var got []WriteEntry
+	off := 0
+	for off < len(data) {
+		consumed, err := n.BufferStream(uint64(off), data[off:])
+		if err != nil && err != ErrBufferFull {
+			t.Fatal(err)
+		}
+		if err == ErrBufferFull && consumed == 0 && n.Buffered() == 0 {
+			t.Fatal("no progress with empty buffer")
+		}
+		off += consumed
+		// Drain: host marks everything unique; chunks go to the engines.
+		entries := n.HashAll()
+		flags := make([]bool, len(entries))
+		for i := range flags {
+			flags[i] = true
+		}
+		batch, err := n.ScheduleBatch(flags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, batch...)
+	}
+
+	// Extents must tile [0, len(data)) exactly and match content.
+	pos := uint64(0)
+	for i, e := range got {
+		if e.LBA != pos {
+			t.Fatalf("chunk %d at extent %d, want %d", i, e.LBA, pos)
+		}
+		if e.Size != len(e.Data) || e.Size <= 0 || e.Size > 16384 {
+			t.Fatalf("chunk %d size %d (len %d) out of range", i, e.Size, len(e.Data))
+		}
+		if !bytes.Equal(e.Data, data[pos:pos+uint64(e.Size)]) {
+			t.Fatalf("chunk %d content mismatch", i)
+		}
+		pos += uint64(e.Size)
+	}
+	if pos != uint64(len(data)) {
+		t.Fatalf("chunks cover %d bytes, want %d", pos, len(data))
+	}
+
+	// Chunking inside the NIC must match chunking the whole stream at
+	// once when drains land on boundaries (resumability).
+	want := chunk.NewCDC(1024, 4096, 16384).Boundaries(data)
+	if len(got) != len(want) {
+		t.Fatalf("%d chunks via BufferStream, %d via whole-stream chunking", len(got), len(want))
+	}
+
+	// Misconfigured: stream API without CDC mode.
+	plainN, _ := NewFIDR(1 << 20)
+	if _, err := plainN.BufferStream(0, data[:4096]); err != ErrNoChunker {
+		t.Fatalf("BufferStream without chunker: %v, want ErrNoChunker", err)
 	}
 }
